@@ -1,0 +1,68 @@
+// Command benchgen writes the synthetic ISCAS89-profile benchmark
+// circuits to .bench files, so they can be inspected, diffed, or fed to
+// external tools.
+//
+// Usage:
+//
+//	benchgen -dir out/          # all twelve Table I circuits
+//	benchgen -dir out/ -circuits s344,s510
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+	"repro/internal/bench"
+	"repro/internal/verilog"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "output directory")
+	circuits := flag.String("circuits", "", "comma-separated subset (default: all)")
+	asVerilog := flag.Bool("verilog", false, "emit structural Verilog (.v) instead of .bench")
+	flag.Parse()
+
+	names := scanpower.BenchmarkNames()
+	if *circuits != "" {
+		names = strings.Split(*circuits, ",")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		c, err := scanpower.Benchmark(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		ext := ".bench"
+		write := bench.Write
+		if *asVerilog {
+			ext = ".v"
+			write = verilog.Write
+		}
+		path := filepath.Join(*dir, name+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := write(f, c); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		st := c.ComputeStats()
+		fmt.Printf("%s: %s\n", path, st)
+	}
+}

@@ -1,0 +1,68 @@
+// Command leaktab prints the per-cell leakage tables of the calibrated
+// 45 nm model — the reproduction of the paper's Figure 2 (NAND2) and the
+// analogous tables for every other library cell.
+//
+// Usage:
+//
+//	leaktab            # Figure 2 only
+//	leaktab -all       # every cell and input state
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bsim"
+	"repro/internal/leakage"
+	"repro/internal/logic"
+)
+
+func main() {
+	all := flag.Bool("all", false, "print every library cell, not just the Figure 2 NAND2")
+	useBSIM := flag.Bool("bsim", false, "derive the model from the BSIM device equations instead of the Figure 2 calibration")
+	flag.Parse()
+
+	m := leakage.Default()
+	if *useBSIM {
+		params, err := leakage.ParamsFromDevices(bsim.Default45())
+		if err != nil {
+			fmt.Println("leaktab:", err)
+			return
+		}
+		m = leakage.New(params)
+		fmt.Println("(model derived from BSIM device equations, not the Figure 2 anchor)")
+	}
+	fmt.Println("Figure 2 — leakage current of NAND2 gate in 45nm technology")
+	fmt.Println(" A B   Leakage (nA)")
+	f := m.Figure2()
+	for ab, leak := range f {
+		fmt.Printf(" %d %d   %.0f\n", ab>>1&1, ab&1, leak)
+	}
+	fmt.Println("(paper: 00→78, 01→73, 10→264, 11→408)")
+	if !*all {
+		return
+	}
+	cells := []struct {
+		t     logic.GateType
+		arity int
+	}{
+		{logic.Not, 1},
+		{logic.Nand, 2}, {logic.Nand, 3}, {logic.Nand, 4},
+		{logic.Nor, 2}, {logic.Nor, 3}, {logic.Nor, 4},
+		{logic.Mux2, 3},
+	}
+	for _, cell := range cells {
+		fmt.Printf("\n%s%d (input bit order: index 0 = transistor nearest the output)\n",
+			cell.t, cell.arity)
+		for bits := 0; bits < 1<<cell.arity; bits++ {
+			pattern := make([]byte, cell.arity)
+			for i := range pattern {
+				pattern[i] = '0'
+				if bits>>i&1 == 1 {
+					pattern[i] = '1'
+				}
+			}
+			fmt.Printf(" %s   %8.2f nA\n", pattern, m.GateLeakBits(cell.t, cell.arity, bits))
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Command scanpower runs the full low-power scan flow on one circuit and
+// prints a detailed report: timing, MUX selection, transition blocking,
+// leakage vector, and the three-structure power comparison.
+//
+// Usage:
+//
+//	scanpower -circuit s344          # synthetic Table I benchmark
+//	scanpower -bench path/to/x.bench # real netlist (mapped automatically)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/scan"
+	"repro/internal/techmap"
+	"repro/internal/vcd"
+	"repro/internal/vectors"
+)
+
+func main() {
+	circuit := flag.String("circuit", "", "Table I benchmark name (e.g. s344)")
+	benchFile := flag.String("bench", "", "path to an ISCAS89 .bench file")
+	extensions := flag.Bool("extensions", false, "also run the enhanced-scan and reordering extension studies")
+	vcdPath := flag.String("vcd", "", "dump the proposed structure's scan-mode waveforms to this VCD file")
+	patFile := flag.String("patterns", "", "replay patterns from this vectors file instead of running ATPG (power section only)")
+	flag.Parse()
+
+	var (
+		c   *netlist.Circuit
+		err error
+	)
+	switch {
+	case *circuit != "":
+		c, err = scanpower.Benchmark(*circuit)
+	case *benchFile != "":
+		c, err = scanpower.LoadBench(*benchFile)
+		if err == nil && !techmap.IsMapped(c, 4) {
+			c, err = scanpower.Prepare(c)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "scanpower: need -circuit or -bench")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scanpower:", err)
+		os.Exit(1)
+	}
+
+	cfg := scanpower.DefaultConfig()
+	st := c.ComputeStats()
+	fmt.Printf("circuit      %s\n", st)
+
+	sol, err := core.Build(c, cfg.Proposed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scanpower:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("critical     %.1f ps (unchanged by the DFT modification)\n", sol.Stats.CriticalDelay)
+	fmt.Printf("muxed        %d / %d scan cells\n", sol.Stats.MuxCount, st.FFs)
+	fmt.Printf("blocking     %d gates blocked, %d unblockable, %d nets still toggling\n",
+		sol.Stats.BlockedGates, sol.Stats.FailedGates, sol.Stats.TransitionNets)
+	fmt.Printf("vector       %d inputs justified, %d filled for minimum leakage\n",
+		sol.Stats.AssignedInputs, sol.Stats.FilledInputs)
+	fmt.Printf("reordering   %d gates permuted\n", sol.Stats.ReorderedGates)
+	fmt.Printf("quiet gates  %.1f%% of the combinational part\n", sol.BlockedShare()*100)
+	fmt.Printf("scan leak    %.2f µW expected (+%.2f µW in the MUX cells)\n",
+		cfg.Leak.PowerUW(sol.Stats.ScanLeakNA), cfg.Leak.PowerUW(sol.MuxScanLeakNA(cfg.Leak)))
+
+	if *vcdPath != "" {
+		if err := dumpVCD(*vcdPath, sol, cfg, *patFile); err != nil {
+			fmt.Fprintln(os.Stderr, "scanpower:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("vcd          scan-mode waveforms written to %s\n", *vcdPath)
+	}
+
+	if *patFile != "" {
+		if err := replayPatterns(c, sol, cfg, *patFile); err != nil {
+			fmt.Fprintln(os.Stderr, "scanpower:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cmp, err := scanpower.Compare(c, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scanpower:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\npatterns     %d (%.1f%% stuck-at coverage)\n", cmp.Patterns, cmp.FaultCoverage*100)
+	fmt.Printf("%-14s %14s %12s\n", "structure", "dynamic µW/Hz", "static µW")
+	fmt.Printf("%-14s %14.3e %12.2f\n", "traditional", cmp.Traditional.DynamicPerHz, cmp.Traditional.StaticUW)
+	fmt.Printf("%-14s %14.3e %12.2f\n", "input-control", cmp.InputControl.DynamicPerHz, cmp.InputControl.StaticUW)
+	fmt.Printf("%-14s %14.3e %12.2f\n", "proposed", cmp.Proposed.DynamicPerHz, cmp.Proposed.StaticUW)
+	fmt.Printf("\nimprovement vs traditional: dynamic %.2f%%, static %.2f%%\n",
+		cmp.DynImprovementVsTraditional(), cmp.StaticImprovementVsTraditional())
+	fmt.Printf("improvement vs input-ctrl:  dynamic %.2f%%, static %.2f%%\n",
+		cmp.DynImprovementVsInputControl(), cmp.StaticImprovementVsInputControl())
+
+	if !*extensions {
+		return
+	}
+	fmt.Println("\n--- extensions ---")
+	enh, err := scanpower.CompareEnhanced(c, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scanpower:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("enhanced scan (full isolation): dynamic %.3e µW/Hz, but +%.1f ps on the clock period\n",
+		enh.Enhanced.DynamicPerHz, enh.DelayPenaltyPS)
+	for _, structure := range []string{"traditional", "proposed"} {
+		st, err := scanpower.StudyReordering(c, cfg, structure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scanpower:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("reordering on %-12s dynamic %.3e -> patterns %.3e, chain %.3e, both %.3e µW/Hz (best gain %.1f%%)\n",
+			structure+":", st.Baseline.DynamicPerHz,
+			st.PatternsReordered.DynamicPerHz, st.ChainReordered.DynamicPerHz,
+			st.Both.DynamicPerHz, st.BestDynamicGain())
+	}
+}
+
+// loadOrGenerate returns the patterns for the power section: from the
+// vectors file when given, otherwise freshly generated.
+func loadOrGenerate(c *netlist.Circuit, cfg scanpower.Config, patFile string) ([]scan.Pattern, error) {
+	if patFile == "" {
+		res, err := atpg.Generate(c, cfg.ATPG)
+		if err != nil {
+			return nil, err
+		}
+		return res.Patterns, nil
+	}
+	f, err := os.Open(patFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := vectors.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := set.Validate(c); err != nil {
+		return nil, err
+	}
+	return set.Patterns, nil
+}
+
+// dumpVCD writes the proposed structure's scan waveforms.
+func dumpVCD(path string, sol *core.Solution, cfg scanpower.Config, patFile string) error {
+	pats, err := loadOrGenerate(sol.Circuit, cfg, patFile)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return vcd.DumpScan(f, scan.New(sol.Circuit), pats, sol.Cfg, nil)
+}
+
+// replayPatterns measures the three structures on a stored pattern set.
+func replayPatterns(c *netlist.Circuit, sol *core.Solution, cfg scanpower.Config, patFile string) error {
+	pats, err := loadOrGenerate(c, cfg, patFile)
+	if err != nil {
+		return err
+	}
+	trad, err := power.MeasureScan(scan.New(c), pats, scan.Traditional(c), cfg.Leak, cfg.Cap)
+	if err != nil {
+		return err
+	}
+	prop, err := power.MeasureScan(scan.New(sol.Circuit), pats, sol.Cfg, cfg.Leak, cfg.Cap)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nreplayed %d stored patterns\n", len(pats))
+	fmt.Printf("%-14s %14s %12s\n", "structure", "dynamic µW/Hz", "static µW")
+	fmt.Printf("%-14s %14.3e %12.2f\n", "traditional", trad.DynamicPerHz, trad.StaticUW)
+	fmt.Printf("%-14s %14.3e %12.2f\n", "proposed", prop.DynamicPerHz, prop.StaticUW)
+	return nil
+}

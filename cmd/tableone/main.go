@@ -1,0 +1,117 @@
+// Command tableone regenerates the paper's Table I: scan-mode dynamic and
+// static power of the combinational part under traditional scan, the
+// input-control baseline, and the proposed structure, for the twelve
+// ISCAS89 benchmark profiles.
+//
+// Usage:
+//
+//	tableone [-circuits s344,s382,...] [-markdown] [-j N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+type row struct {
+	idx  int
+	cmp  *scanpower.Comparison
+	note string
+	err  error
+}
+
+func main() {
+	circuits := flag.String("circuits", "", "comma-separated circuit names (default: all twelve)")
+	markdown := flag.Bool("markdown", false, "emit a Markdown table (for EXPERIMENTS.md)")
+	workers := flag.Int("j", runtime.NumCPU(), "circuits to process in parallel")
+	flag.Parse()
+
+	names := scanpower.BenchmarkNames()
+	if *circuits != "" {
+		names = strings.Split(*circuits, ",")
+	}
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	cfg := scanpower.DefaultConfig()
+
+	if *workers < 1 {
+		*workers = 1
+	}
+	jobs := make(chan int)
+	results := make([]row, len(names))
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				r := row{idx: i}
+				c, err := scanpower.Benchmark(names[i])
+				if err != nil {
+					r.err = err
+					results[i] = r
+					continue
+				}
+				cmp, err := scanpower.Compare(c, cfg)
+				if err != nil {
+					r.err = err
+					results[i] = r
+					continue
+				}
+				r.cmp = cmp
+				r.note = fmt.Sprintf("# %s: %d patterns, %.1f%% coverage, %d/%d flops muxed, %v",
+					cmp.Circuit, cmp.Patterns, cmp.FaultCoverage*100,
+					cmp.ProposedStats.MuxCount, cmp.Stats.FFs,
+					time.Since(start).Round(time.Millisecond))
+				results[i] = r
+			}
+		}()
+	}
+	go func() {
+		for i := range names {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	wg.Wait()
+
+	if *markdown {
+		fmt.Println("| Circuit | Trad dyn (µW/Hz) | Trad static (µW) | IC dyn (µW/Hz) | IC static (µW) | Prop dyn (µW/Hz) | Prop static (µW) | dyn% vs Trad | stat% vs Trad | dyn% vs IC | stat% vs IC |")
+		fmt.Println("|---|---|---|---|---|---|---|---|---|---|---|")
+	} else {
+		fmt.Println(scanpower.TableHeader())
+	}
+	failed := false
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "tableone: %s: %v\n", names[r.idx], r.err)
+			failed = true
+			continue
+		}
+		cmp := r.cmp
+		if *markdown {
+			fmt.Printf("| %s | %.3e | %.2f | %.3e | %.2f | %.3e | %.2f | %.2f | %.2f | %.2f | %.2f |\n",
+				cmp.Circuit,
+				cmp.Traditional.DynamicPerHz, cmp.Traditional.StaticUW,
+				cmp.InputControl.DynamicPerHz, cmp.InputControl.StaticUW,
+				cmp.Proposed.DynamicPerHz, cmp.Proposed.StaticUW,
+				cmp.DynImprovementVsTraditional(), cmp.StaticImprovementVsTraditional(),
+				cmp.DynImprovementVsInputControl(), cmp.StaticImprovementVsInputControl())
+		} else {
+			fmt.Println(cmp.Row())
+		}
+		fmt.Fprintln(os.Stderr, r.note)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

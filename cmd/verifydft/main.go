@@ -1,0 +1,177 @@
+// Command verifydft independently verifies the three safety claims of the
+// proposed DFT modification on a circuit:
+//
+//  1. normal-mode equivalence — with Shift Enable low, the materialized
+//     MUX netlist computes exactly the original functions (randomized
+//     simulation);
+//  2. timing — the critical path delay is unchanged;
+//  3. test quality — the original test set achieves the same stuck-at
+//     coverage on the modified circuit.
+//
+// Usage:
+//
+//	verifydft -circuit s344 [-trials 2000]
+//	verifydft -bench path/to/x.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro"
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/techmap"
+	"repro/internal/timing"
+)
+
+func main() {
+	circuit := flag.String("circuit", "", "Table I benchmark name")
+	benchFile := flag.String("bench", "", "path to an ISCAS89 .bench file")
+	trials := flag.Int("trials", 2000, "random equivalence trials")
+	flag.Parse()
+
+	var (
+		c   *netlist.Circuit
+		err error
+	)
+	switch {
+	case *circuit != "":
+		c, err = scanpower.Benchmark(*circuit)
+	case *benchFile != "":
+		c, err = scanpower.LoadBench(*benchFile)
+		if err == nil && !techmap.IsMapped(c, 4) {
+			c, err = scanpower.Prepare(c)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "verifydft: need -circuit or -bench")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verifydft:", err)
+		os.Exit(1)
+	}
+
+	cfg := scanpower.DefaultConfig()
+	sol, err := core.Build(c, cfg.Proposed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verifydft:", err)
+		os.Exit(1)
+	}
+	dft, err := core.InsertMuxes(c, sol.Cfg.Muxed, sol.Cfg.MuxVal)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verifydft:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d/%d scan cells muxed\n", c.Name, sol.Stats.MuxCount, c.NumFFs())
+	fail := false
+
+	// 1. Normal-mode equivalence.
+	if err := normalModeEquiv(c, dft, *trials); err != nil {
+		fmt.Println("EQUIVALENCE   FAIL:", err)
+		fail = true
+	} else {
+		fmt.Printf("EQUIVALENCE   ok (%d random vectors, SE=0)\n", *trials)
+	}
+
+	// 2. Timing.
+	before := timing.Analyze(c, cfg.Delay).Critical
+	after := timing.Analyze(dft, cfg.Delay).Critical
+	if after > before+1e-9 {
+		fmt.Printf("TIMING        FAIL: %.2f ps -> %.2f ps\n", before, after)
+		fail = true
+	} else {
+		fmt.Printf("TIMING        ok (critical path %.2f ps unchanged)\n", before)
+	}
+
+	// 3. Coverage.
+	res, err := atpg.Generate(c, cfg.ATPG)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verifydft:", err)
+		os.Exit(1)
+	}
+	covA := atpg.CoverageOf(c, res.Patterns)
+	covB := atpg.CoverageOf(sol.Circuit, res.Patterns)
+	if covB+1e-9 < covA {
+		fmt.Printf("COVERAGE      FAIL: %.2f%% -> %.2f%%\n", covA*100, covB*100)
+		fail = true
+	} else {
+		fmt.Printf("COVERAGE      ok (%.2f%% with %d patterns)\n", covA*100, len(res.Patterns))
+	}
+	if math.IsNaN(covA) {
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("all checks passed")
+}
+
+// normalModeEquiv simulates both circuits with SE=0 and compares outputs
+// and next state for random vectors.
+func normalModeEquiv(c, dft *netlist.Circuit, trials int) error {
+	rng := rand.New(rand.NewSource(42))
+	sa, sb := sim.New(c), sim.New(dft)
+	pi := make([]bool, len(c.PIs))
+	ppi := make([]bool, c.NumFFs())
+	piB := make([]bool, len(dft.PIs))
+	// Map DFT PI index -> original PI index or special.
+	kind := make([]int, len(dft.PIs)) // >=0: orig index, -1: SE, -2: TIE0, -3: TIE1
+	origIdx := make(map[string]int)
+	for i, p := range c.PIs {
+		origIdx[c.Nets[p].Name] = i
+	}
+	for i, p := range dft.PIs {
+		switch name := dft.Nets[p].Name; name {
+		case "SE":
+			kind[i] = -1
+		case "TIE0":
+			kind[i] = -2
+		case "TIE1":
+			kind[i] = -3
+		default:
+			j, ok := origIdx[name]
+			if !ok {
+				return fmt.Errorf("unexpected DFT input %q", name)
+			}
+			kind[i] = j
+		}
+	}
+	for trial := 0; trial < trials; trial++ {
+		sim.RandomVector(rng, pi)
+		sim.RandomVector(rng, ppi)
+		for i := range piB {
+			switch k := kind[i]; k {
+			case -1, -2:
+				piB[i] = false
+			case -3:
+				piB[i] = true
+			default:
+				piB[i] = pi[k]
+			}
+		}
+		stA := sa.Eval(pi, ppi)
+		stB := sb.Eval(piB, ppi)
+		for _, po := range c.POs {
+			name := c.Nets[po].Name
+			poB, ok := dft.NetByName(name)
+			if !ok {
+				return fmt.Errorf("output %q missing", name)
+			}
+			if stA[po] != stB[poB] {
+				return fmt.Errorf("trial %d: output %q differs", trial, name)
+			}
+		}
+		for fi := range c.FFs {
+			if stA[c.FFs[fi].D] != stB[dft.FFs[fi].D] {
+				return fmt.Errorf("trial %d: next state of flop %d differs", trial, fi)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package scanpower_test
+
+// Runnable godoc examples for the public API.
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/leakage"
+)
+
+const s27Source = `INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// Parse a netlist, map it to the library, and inspect its size.
+func ExamplePrepare() {
+	c, err := scanpower.ParseBench(s27Source, "s27")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapped, err := scanpower.Prepare(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := mapped.ComputeStats()
+	fmt.Printf("%d PIs, %d FFs, library-only gates: %d\n", st.PIs, st.FFs, st.Gates)
+	// Output:
+	// 4 PIs, 3 FFs, library-only gates: 13
+}
+
+// The calibrated leakage model reproduces the paper's Figure 2 exactly.
+func ExampleBenchmark_figure2() {
+	m := leakage.Default()
+	f := m.Figure2()
+	fmt.Printf("NAND2 leakage (nA): 00=%.0f 01=%.0f 10=%.0f 11=%.0f\n",
+		f[0], f[1], f[2], f[3])
+	// Output:
+	// NAND2 leakage (nA): 00=78 01=73 10=264 11=408
+}
+
+// Build the proposed structure on a Table I benchmark and look at the
+// flow's decisions.
+func ExampleBenchmark() {
+	c, err := scanpower.Benchmark("s344")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := core.Build(c, scanpower.DefaultConfig().Proposed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("muxed %d of %d scan cells; critical path preserved: %v\n",
+		sol.Stats.MuxCount, c.NumFFs(), sol.Stats.CriticalDelay > 0)
+	// Output:
+	// muxed 10 of 15 scan cells; critical path preserved: true
+}

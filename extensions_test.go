@@ -1,0 +1,253 @@
+package scanpower
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func TestCompareEnhanced(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := CompareEnhanced(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full isolation is the dynamic floor: nothing moves during shifting
+	// except capture boundaries, so it must be at or below the proposed
+	// structure's dynamic power.
+	if cmp.Enhanced.DynamicPerHz > cmp.Proposed.DynamicPerHz*1.001 {
+		t.Errorf("enhanced dynamic %v above proposed %v",
+			cmp.Enhanced.DynamicPerHz, cmp.Proposed.DynamicPerHz)
+	}
+	// But it pays for it in clock period, which the proposed structure
+	// never does (that is the paper's argument).
+	if cmp.ProposedMuxes < cmp.FFs && cmp.DelayPenaltyPS <= 0 {
+		t.Errorf("enhanced scan penalty %v ps with %d/%d selective muxes",
+			cmp.DelayPenaltyPS, cmp.ProposedMuxes, cmp.FFs)
+	}
+}
+
+func TestStudyReorderingTraditional(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := StudyReordering(c, DefaultConfig(), "traditional")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Baseline.Cycles == 0 {
+		t.Fatal("no measurement")
+	}
+	// Greedy pattern reordering must not increase traditional-scan
+	// dynamic power on this workload (it minimizes exactly the loaded-
+	// state Hamming tour the shifting replays).
+	if st.PatternsReordered.DynamicPerHz > st.Baseline.DynamicPerHz*1.05 {
+		t.Errorf("pattern reordering hurt: %v -> %v",
+			st.Baseline.DynamicPerHz, st.PatternsReordered.DynamicPerHz)
+	}
+	if st.BestDynamicGain() <= 0 {
+		t.Errorf("no reordering combination improved dynamic power (best gain %.2f%%)",
+			st.BestDynamicGain())
+	}
+}
+
+func TestStudyReorderingProposedStillWins(t *testing.T) {
+	// Even with the best reordering applied to traditional scan, the
+	// proposed structure (unreordered) should remain far ahead on this
+	// FF-rich circuit — reordering is a complement, not a substitute.
+	c, err := Benchmark("s382")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	trad, err := StudyReordering(c, cfg, "traditional")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := StudyReordering(c, cfg, "proposed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestTrad := trad.Baseline.DynamicPerHz
+	for _, r := range []float64{trad.PatternsReordered.DynamicPerHz,
+		trad.ChainReordered.DynamicPerHz, trad.Both.DynamicPerHz} {
+		if r < bestTrad {
+			bestTrad = r
+		}
+	}
+	if prop.Baseline.DynamicPerHz >= bestTrad {
+		t.Errorf("proposed %v should beat best-reordered traditional %v",
+			prop.Baseline.DynamicPerHz, bestTrad)
+	}
+}
+
+func TestStudyReorderingRejectsUnknownStructure(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StudyReordering(c, DefaultConfig(), "bogus"); err == nil {
+		t.Error("accepted unknown structure")
+	}
+}
+
+func TestStudyTechScalingTrend(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := StudyTechScaling(c, DefaultConfig(), 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("got %d nodes, want 5", len(points))
+	}
+	// The paper's motivation: the static share grows monotonically with
+	// scaling and dominates at the newest node.
+	for i := 1; i < len(points); i++ {
+		if points[i].StaticShare <= points[i-1].StaticShare {
+			t.Errorf("static share not monotone: %dnm %.3f -> %dnm %.3f",
+				points[i-1].NM, points[i-1].StaticShare,
+				points[i].NM, points[i].StaticShare)
+		}
+	}
+	if last := points[len(points)-1]; last.StaticShare < 0.5 {
+		t.Errorf("static should dominate at %d nm (share %.2f)", last.NM, last.StaticShare)
+	}
+	// And at the oldest node, dynamic still dominates at this frequency.
+	if points[0].StaticShare > 0.5 {
+		t.Errorf("dynamic should dominate at %d nm (share %.2f)",
+			points[0].NM, points[0].StaticShare)
+	}
+}
+
+func TestStudyChains(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := StudyChains(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatalf("only %d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].ShiftCycles >= points[i-1].ShiftCycles {
+			t.Errorf("%d chains: cycles %d not below %d chains' %d",
+				points[i].Chains, points[i].ShiftCycles,
+				points[i-1].Chains, points[i-1].ShiftCycles)
+		}
+	}
+}
+
+func TestInsertTestPointsFunctionalTransparency(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gate the three heaviest-fanout gate outputs.
+	var nets []netlist.NetID
+	for ni := range c.Nets {
+		n := &c.Nets[ni]
+		if !n.IsPI() && !n.IsPPI() && len(n.Fanout) >= 3 {
+			nets = append(nets, netlist.NetID(ni))
+			if len(nets) == 3 {
+				break
+			}
+		}
+	}
+	if len(nets) == 0 {
+		t.Skip("no high-fanout nets")
+	}
+	values := make([]bool, len(nets))
+	values[0] = true
+	plan, err := core.InsertTestPoints(c, nets, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With TPE=0 the gated netlist must compute the original functions.
+	sa, sb := sim.New(c), sim.New(plan.Circuit)
+	rng := rand.New(rand.NewSource(31))
+	pi := make([]bool, len(c.PIs))
+	ppi := make([]bool, c.NumFFs())
+	piB := make([]bool, len(plan.Circuit.PIs))
+	for trial := 0; trial < 300; trial++ {
+		sim.RandomVector(rng, pi)
+		sim.RandomVector(rng, ppi)
+		copy(piB, pi)
+		piB[plan.TPEIndex] = false
+		stA := sa.Eval(pi, ppi)
+		stB := sb.Eval(piB, ppi)
+		for fi := range c.FFs {
+			if stA[c.FFs[fi].D] != stB[plan.Circuit.FFs[fi].D] {
+				t.Fatalf("trial %d: next state of flop %d differs with TPE=0", trial, fi)
+			}
+		}
+		for _, po := range c.POs {
+			name := c.Nets[po].Name
+			pb, ok := plan.Circuit.NetByName(name)
+			if !ok {
+				t.Fatalf("PO %s missing", name)
+			}
+			if stA[po] != stB[pb] {
+				t.Fatalf("trial %d: PO %s differs with TPE=0", trial, name)
+			}
+		}
+	}
+}
+
+func TestInsertTestPointsValidation(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.InsertTestPoints(c, []netlist.NetID{0}, []bool{true, false}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := core.InsertTestPoints(c, []netlist.NetID{c.PIs[0]}, []bool{false}); err == nil {
+		t.Error("accepted gating a primary input")
+	}
+	someGate := c.Gates[0].Output
+	if _, err := core.InsertTestPoints(c, []netlist.NetID{someGate, someGate}, []bool{false, false}); err == nil {
+		t.Error("accepted duplicate net")
+	}
+}
+
+func TestStudyTestPoints(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := StudyTestPoints(c, DefaultConfig(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BasePeakPerHz <= 0 {
+		t.Fatal("no base peak")
+	}
+	if st.FinalPeakPerHz > st.LimitPerHz*1.0001 && st.Points < 1 {
+		t.Errorf("limit missed with no points: %+v", st)
+	}
+	if st.Points > 0 {
+		if st.FinalPeakPerHz > st.LimitPerHz*1.0001 {
+			t.Logf("limit not reached even with %d points (final %v > limit %v)",
+				st.Points, st.FinalPeakPerHz, st.LimitPerHz)
+		}
+		if st.DelayPenaltyPS < 0 {
+			t.Errorf("negative delay penalty %v", st.DelayPenaltyPS)
+		}
+	}
+	if _, err := StudyTestPoints(c, DefaultConfig(), 0); err == nil {
+		t.Error("accepted bad fraction")
+	}
+}

@@ -1,0 +1,134 @@
+package scanpower
+
+// Whole-flow property tests over randomly generated circuits: for many
+// synthetic designs of varying shape, the full proposed flow must hold
+// its contracts — critical path preserved, declared-quiet nets provably
+// constant, coverage unaffected, measurement sane.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/core"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/power"
+	"repro/internal/scan"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// randomProfiles builds a spread of small random circuit profiles.
+func randomProfiles(n int, seed int64) []iscas.Profile {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]iscas.Profile, n)
+	for i := range out {
+		ffs := 2 + rng.Intn(12)
+		pos := 1 + rng.Intn(6)
+		out[i] = iscas.Profile{
+			Name:  fmt.Sprintf("rnd%d", i),
+			PIs:   1 + rng.Intn(10),
+			POs:   pos,
+			FFs:   ffs,
+			Gates: ffs + pos + 20 + rng.Intn(120),
+			Seed:  rng.Int63(),
+		}
+	}
+	return out
+}
+
+func TestFlowInvariantsOnRandomCircuits(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, p := range randomProfiles(12, 77) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			c, err := iscas.Generate(p)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			sol, err := core.Build(c, cfg.Proposed)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+
+			// 1. Timing contract: materialized DFT keeps the critical path.
+			dft, err := core.InsertMuxes(c, sol.Cfg.Muxed, sol.Cfg.MuxVal)
+			if err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			before := timing.Analyze(c, cfg.Delay).Critical
+			after := timing.Analyze(dft, cfg.Delay).Critical
+			if after > before+1e-9 {
+				t.Errorf("critical path grew: %v -> %v", before, after)
+			}
+
+			// 2. Blocking soundness: quiet nets never move.
+			checkQuietNets(t, sol)
+
+			// 3. Measurement sanity + dynamic no worse than traditional.
+			res, err := atpg.Generate(c, cfg.ATPG)
+			if err != nil {
+				t.Fatalf("atpg: %v", err)
+			}
+			if len(res.Patterns) == 0 {
+				t.Skip("no testable faults in this random circuit")
+			}
+			trad, err := power.MeasureScan(scan.New(c), res.Patterns, scan.Traditional(c), cfg.Leak, cfg.Cap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prop, err := power.MeasureScan(scan.New(sol.Circuit), res.Patterns, sol.Cfg, cfg.Leak, cfg.Cap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prop.DynamicPerHz > trad.DynamicPerHz*1.001 {
+				t.Errorf("proposed dynamic %v above traditional %v",
+					prop.DynamicPerHz, trad.DynamicPerHz)
+			}
+			if prop.StaticUW <= 0 || trad.StaticUW <= 0 {
+				t.Error("non-positive static power")
+			}
+
+			// 4. Coverage unaffected on the measured (reordered) circuit.
+			covA := atpg.CoverageOf(c, res.Patterns)
+			covB := atpg.CoverageOf(sol.Circuit, res.Patterns)
+			if covB+1e-9 < covA {
+				t.Errorf("coverage dropped %v -> %v", covA, covB)
+			}
+		})
+	}
+}
+
+func checkQuietNets(t *testing.T, sol *core.Solution) {
+	t.Helper()
+	w := sol.Circuit
+	s := sim.New(w)
+	rng := rand.New(rand.NewSource(5))
+	pi := make([]bool, len(w.PIs))
+	for i := range pi {
+		pi[i] = sol.Cfg.PIHold[i] == logic.One
+	}
+	ppi := make([]bool, w.NumFFs())
+	var ref []bool
+	for trial := 0; trial < 64; trial++ {
+		for f := 0; f < w.NumFFs(); f++ {
+			if sol.Cfg.Muxed[f] {
+				ppi[f] = sol.Cfg.MuxVal[f]
+			} else {
+				ppi[f] = rng.Intn(2) == 1
+			}
+		}
+		st := s.Eval(pi, ppi)
+		if trial == 0 {
+			ref = append([]bool(nil), st...)
+			continue
+		}
+		for n := range st {
+			if !sol.Trans[n] && st[n] != ref[n] {
+				t.Fatalf("net %s declared quiet but toggled", w.Nets[n].Name)
+			}
+		}
+	}
+}

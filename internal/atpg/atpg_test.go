@@ -1,0 +1,386 @@
+package atpg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+const s27 = `INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func loadS27(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(s27, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAllFaultsCount(t *testing.T) {
+	c := loadS27(t)
+	faults := AllFaults(c)
+	// Every net in s27 is read by something or is a PO: 17 nets * 2.
+	if len(faults) != 2*c.NumNets() {
+		t.Errorf("fault count = %d, want %d", len(faults), 2*c.NumNets())
+	}
+	// Sorted and paired.
+	for i := 0; i+1 < len(faults); i += 2 {
+		if faults[i].Net != faults[i+1].Net || faults[i].Stuck || !faults[i+1].Stuck {
+			t.Fatalf("faults not paired at %d: %v %v", i, faults[i], faults[i+1])
+		}
+	}
+}
+
+func TestAllFaultsExcludesDeadNets(t *testing.T) {
+	c := netlist.New("dead")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "used", "a")
+	c.AddGate(logic.Not, "unused", "a")
+	c.MarkPO("used")
+	c.MustFreeze()
+	for _, f := range AllFaults(c) {
+		if c.Nets[f.Net].Name == "unused" {
+			t.Error("fault on unobservable net included")
+		}
+	}
+}
+
+// naiveDetects checks detection by two full simulations.
+func naiveDetects(c *netlist.Circuit, pi, ppi []bool, f Fault) bool {
+	s := sim.New(c)
+	good := append([]bool(nil), s.Eval(pi, ppi)...)
+	if good[f.Net] == f.Stuck {
+		return false
+	}
+	// Faulty simulation: force the net by recomputing manually.
+	vals := make([]bool, c.NumNets())
+	for i, n := range c.PIs {
+		vals[n] = pi[i]
+	}
+	for i, ff := range c.FFs {
+		vals[ff.Q] = ppi[i]
+	}
+	if _, ok := inputNet(c, f.Net); ok {
+		vals[f.Net] = f.Stuck
+	}
+	buf := make([]bool, 0, 8)
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		buf = buf[:0]
+		for _, in := range g.Inputs {
+			buf = append(buf, vals[in])
+		}
+		if g.Output == f.Net {
+			vals[g.Output] = f.Stuck
+		} else {
+			vals[g.Output] = logic.EvalBool(g.Type, buf)
+		}
+	}
+	for _, po := range c.POs {
+		if vals[po] != good[po] {
+			return true
+		}
+	}
+	for _, ff := range c.FFs {
+		if vals[ff.D] != good[ff.D] {
+			return true
+		}
+	}
+	return false
+}
+
+func inputNet(c *netlist.Circuit, n netlist.NetID) (int, bool) {
+	for i, id := range c.CombInputs() {
+		if id == n {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// TestFaultSimAgainstNaive cross-validates the event-driven fault
+// simulator against brute-force double simulation on random patterns.
+func TestFaultSimAgainstNaive(t *testing.T) {
+	c := loadS27(t)
+	fs := NewFaultSim(c)
+	faults := AllFaults(c)
+	rng := rand.New(rand.NewSource(7))
+	pi := make([]bool, len(c.PIs))
+	ppi := make([]bool, c.NumFFs())
+	for trial := 0; trial < 50; trial++ {
+		sim.RandomVector(rng, pi)
+		sim.RandomVector(rng, ppi)
+		fs.SetPattern(pi, ppi)
+		for _, f := range faults {
+			got := fs.Detects(f)
+			want := naiveDetects(c, pi, ppi, f)
+			if got != want {
+				t.Fatalf("trial %d fault %s: event-driven=%v naive=%v",
+					trial, f.Name(c), got, want)
+			}
+		}
+	}
+}
+
+func TestGenerateS27FullCoverage(t *testing.T) {
+	c := loadS27(t)
+	res, err := Generate(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted != 0 {
+		t.Errorf("aborted %d faults on s27", res.Aborted)
+	}
+	if cov := res.Coverage(); cov < 1.0 {
+		var missed []string
+		for i, d := range res.Detected {
+			if !d {
+				missed = append(missed, res.Faults[i].Name(c))
+			}
+		}
+		t.Errorf("coverage = %v, missed %v", cov, missed)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns generated")
+	}
+	// Independent re-simulation must agree with the claimed coverage.
+	indep := CoverageOf(c, res.Patterns)
+	claimed := float64(res.DetectedCount()) / float64(len(res.Faults))
+	if indep < claimed-1e-12 {
+		t.Errorf("independent coverage %v < claimed %v", indep, claimed)
+	}
+}
+
+// TestClassificationSoundness brute-forces detectability of every fault
+// over the full input space and checks Generate never misclassifies.
+func TestClassificationSoundness(t *testing.T) {
+	c := loadS27(t)
+	res, err := Generate(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nIn := len(c.CombInputs())
+	for i, f := range res.Faults {
+		testable := false
+		pi := make([]bool, len(c.PIs))
+		ppi := make([]bool, c.NumFFs())
+		for bits := 0; bits < 1<<nIn && !testable; bits++ {
+			for j := 0; j < len(pi); j++ {
+				pi[j] = bits>>j&1 == 1
+			}
+			for j := 0; j < len(ppi); j++ {
+				ppi[j] = bits>>(len(pi)+j)&1 == 1
+			}
+			if naiveDetects(c, pi, ppi, f) {
+				testable = true
+			}
+		}
+		if res.Detected[i] && !testable {
+			t.Errorf("fault %s claimed detected but is untestable", f.Name(c))
+		}
+		if !res.Detected[i] && testable && res.Aborted == 0 {
+			t.Errorf("fault %s testable but not detected (and nothing aborted)", f.Name(c))
+		}
+	}
+}
+
+func TestRedundantFaultClassifiedUntestable(t *testing.T) {
+	// y = AND(a, NOT(a)) == 0 always: y/SA0 is redundant.
+	c := netlist.New("red")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "na", "a")
+	c.AddGate(logic.And, "y", "a", "na")
+	c.MarkPO("y")
+	c.MustFreeze()
+	res, err := Generate(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Untestable == 0 {
+		t.Error("redundant fault not classified untestable")
+	}
+	yID, _ := c.NetByName("y")
+	for i, f := range res.Faults {
+		if f.Net == yID && !f.Stuck && res.Detected[i] {
+			t.Error("y/SA0 claimed detected")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := loadS27(t)
+	a, err := Generate(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Patterns, b.Patterns) {
+		t.Error("same seed produced different pattern sets")
+	}
+	opts := DefaultOptions()
+	opts.Seed = 99
+	d, err := Generate(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d // different seed may or may not differ; just must not crash
+}
+
+func TestCompactionPreservesCoverage(t *testing.T) {
+	c := loadS27(t)
+	loose := DefaultOptions()
+	loose.Compact = false
+	a, err := Generate(c, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := DefaultOptions()
+	tight.Compact = true
+	b, err := Generate(c, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Patterns) > len(a.Patterns) {
+		t.Errorf("compaction grew the set: %d -> %d", len(a.Patterns), len(b.Patterns))
+	}
+	if CoverageOf(c, b.Patterns) < CoverageOf(c, a.Patterns)-1e-12 {
+		t.Error("compaction lost coverage")
+	}
+}
+
+func TestGenerateNoRandomPhase(t *testing.T) {
+	// Pure-PODEM mode must still reach full coverage on s27.
+	c := loadS27(t)
+	opts := DefaultOptions()
+	opts.MaxRandomPatterns = 0
+	res, err := Generate(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := res.Coverage(); cov < 1.0 {
+		t.Errorf("pure PODEM coverage = %v", cov)
+	}
+}
+
+func TestGenerateRequiresFrozen(t *testing.T) {
+	c := netlist.New("uf")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "o", "a")
+	c.MarkPO("o")
+	if _, err := Generate(c, DefaultOptions()); err == nil {
+		t.Error("Generate accepted unfrozen circuit")
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	c := loadS27(t)
+	f := Fault{Net: 0, Stuck: true}
+	if f.String() == "" || f.Name(c) == "" {
+		t.Error("empty fault strings")
+	}
+	if got := (Fault{Net: 3, Stuck: false}).String(); got != "net3/SA0" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDetectsBeforeSetPatternPanics(t *testing.T) {
+	c := loadS27(t)
+	fs := NewFaultSim(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Detects before SetPattern did not panic")
+		}
+	}()
+	fs.Detects(Fault{Net: 0})
+}
+
+func TestNDetectGrowsPatternSetAndCounts(t *testing.T) {
+	c := loadS27(t)
+	single := DefaultOptions()
+	res1, err := Generate(c, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := DefaultOptions()
+	multi.NDetect = 3
+	res3, err := Generate(c, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Patterns) < len(res1.Patterns) {
+		t.Errorf("3-detect set (%d) smaller than 1-detect (%d)",
+			len(res3.Patterns), len(res1.Patterns))
+	}
+	if res3.Coverage() < res1.Coverage() {
+		t.Errorf("n-detect lost coverage: %v < %v", res3.Coverage(), res1.Coverage())
+	}
+	// Independent audit: count detections per fault over the final set.
+	fs := NewFaultSim(c)
+	counts := make([]int, len(res3.Faults))
+	for _, p := range res3.Patterns {
+		fs.SetPattern(p.PI, p.State)
+		for i, f := range res3.Faults {
+			if fs.Detects(f) {
+				counts[i]++
+			}
+		}
+	}
+	for i, f := range res3.Faults {
+		if res3.Detected[i] && res3.DetCounts[i] >= 3 && counts[i] < 3 {
+			t.Errorf("fault %s: claimed >=3 detections, audit found %d", f.Name(c), counts[i])
+		}
+		if res3.DetCounts[i] > 0 && counts[i] == 0 {
+			t.Errorf("fault %s: claimed detected, audit found none", f.Name(c))
+		}
+	}
+}
+
+// TestSCOAPGuidanceKeepsClassificationSound: SCOAP only reorders the
+// search; coverage conclusions on s27 must be identical with and without
+// it.
+func TestSCOAPGuidanceKeepsClassificationSound(t *testing.T) {
+	c := loadS27(t)
+	with := DefaultOptions()
+	with.MaxRandomPatterns = 0
+	without := with
+	without.UseSCOAP = false
+	a, err := Generate(c, with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(c, without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Coverage() != b.Coverage() || a.Untestable != b.Untestable {
+		t.Errorf("SCOAP changed conclusions: cov %v/%v untestable %d/%d",
+			a.Coverage(), b.Coverage(), a.Untestable, b.Untestable)
+	}
+}

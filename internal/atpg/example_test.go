@@ -1,0 +1,38 @@
+package atpg_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/atpg"
+	"repro/internal/iscas"
+)
+
+// Generate a compact stuck-at test set for the real ISCAS89 s27.
+func ExampleGenerate() {
+	c := iscas.S27()
+	res, err := atpg.Generate(c, atpg.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coverage %.0f%%, untestable %d, aborted %d\n",
+		res.Coverage()*100, res.Untestable, res.Aborted)
+	// Output:
+	// coverage 100%, untestable 0, aborted 0
+}
+
+// Fault-simulate an existing pattern set from scratch.
+func ExampleCoverageOf() {
+	c := iscas.S27()
+	res, err := atpg.Generate(c, atpg.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Dropping half the patterns loses coverage.
+	half := res.Patterns[:len(res.Patterns)/2]
+	full := atpg.CoverageOf(c, res.Patterns)
+	cut := atpg.CoverageOf(c, half)
+	fmt.Printf("full set >= halved set: %v\n", full >= cut)
+	// Output:
+	// full set >= halved set: true
+}

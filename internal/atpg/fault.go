@@ -1,0 +1,62 @@
+// Package atpg generates stuck-at test patterns for full-scan circuits.
+// It stands in for the ATOM test generator used in the paper's
+// experiments: a random-pattern phase followed by deterministic PODEM for
+// the residual faults, then reverse-order compaction. The produced
+// patterns are what the scan structures shift in during the power
+// measurements, and the fault bookkeeping is what demonstrates that the
+// proposed DFT modification leaves fault coverage untouched.
+package atpg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Fault is a single stuck-at fault on a net (stem fault model).
+type Fault struct {
+	Net   netlist.NetID
+	Stuck bool // true = stuck-at-1
+}
+
+// String renders the fault as "netname/SA0" style.
+func (f Fault) String() string {
+	v := "SA0"
+	if f.Stuck {
+		v = "SA1"
+	}
+	return fmt.Sprintf("net%d/%s", f.Net, v)
+}
+
+// Name renders the fault with its net name resolved against c.
+func (f Fault) Name(c *netlist.Circuit) string {
+	v := "SA0"
+	if f.Stuck {
+		v = "SA1"
+	}
+	return c.Nets[f.Net].Name + "/" + v
+}
+
+// AllFaults enumerates both stuck-at faults on every net that is either a
+// combinational input, a gate output that something reads, or an observed
+// endpoint. Nets driving nothing and observed nowhere are excluded (their
+// faults are trivially untestable).
+func AllFaults(c *netlist.Circuit) []Fault {
+	var out []Fault
+	for ni := range c.Nets {
+		n := &c.Nets[ni]
+		observable := n.IsPO() || len(n.Fanout) > 0 || len(n.FanoutFF) > 0
+		if !observable {
+			continue
+		}
+		out = append(out, Fault{netlist.NetID(ni), false}, Fault{netlist.NetID(ni), true})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Net != out[j].Net {
+			return out[i].Net < out[j].Net
+		}
+		return !out[i].Stuck && out[j].Stuck
+	})
+	return out
+}

@@ -1,0 +1,356 @@
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/testability"
+)
+
+// FillMode chooses how don't-care bits of deterministic patterns are
+// completed. Fill strategy is a classic test-power lever: random fill
+// maximizes coverage-per-pattern (more fortuitous detections), while
+// adjacent fill (repeat the previous specified bit along the scan chain,
+// "MT-fill") minimizes the transitions the pattern drags through the
+// chain during shifting.
+type FillMode int
+
+// Fill modes.
+const (
+	// FillRandom completes don't-cares with random bits (default).
+	FillRandom FillMode = iota
+	// FillZero ties don't-cares low.
+	FillZero
+	// FillOne ties don't-cares high.
+	FillOne
+	// FillAdjacent repeats the last specified value along the scan order
+	// (minimum-transition fill).
+	FillAdjacent
+)
+
+// Options tunes Generate.
+type Options struct {
+	// Fill chooses the don't-care completion strategy for deterministic
+	// patterns (the random phase is unaffected: its patterns are fully
+	// random by construction).
+	Fill FillMode
+	// MaxBacktracks bounds each PODEM run (default 64).
+	MaxBacktracks int
+	// MaxRandomPatterns bounds the random-pattern phase (default 512).
+	MaxRandomPatterns int
+	// RandomStall ends the random phase after this many consecutive
+	// useless patterns (default 32).
+	RandomStall int
+	// MaxPodemFaults caps how many residual faults the deterministic
+	// phase attempts (0 = all). Faults beyond the cap count as aborted.
+	// PODEM re-implies the full cone per decision, so on very large
+	// circuits this cap bounds generation time at a small coverage cost.
+	MaxPodemFaults int
+	// NDetect asks that each fault be detected by at least N patterns
+	// (0 or 1 = classic single detection). Higher N improves unmodeled
+	// defect coverage at the cost of a larger pattern set.
+	NDetect int
+	// Compact enables reverse-order static compaction (default on in
+	// DefaultOptions).
+	Compact bool
+	// UseSCOAP steers PODEM's backtrace with SCOAP controllability
+	// (default on in DefaultOptions).
+	UseSCOAP bool
+	// Seed drives random fill and the random phase; runs are fully
+	// deterministic for a given seed.
+	Seed int64
+}
+
+// DefaultOptions returns the settings used by all experiments.
+func DefaultOptions() Options {
+	return Options{
+		MaxBacktracks:     64,
+		MaxRandomPatterns: 512,
+		RandomStall:       32,
+		Compact:           true,
+		UseSCOAP:          true,
+		Seed:              1,
+	}
+}
+
+// Result is the outcome of test generation.
+type Result struct {
+	// Patterns is the compacted test set in application order.
+	Patterns []scan.Pattern
+	// Faults is the full fault list; Detected[i] tells whether Faults[i]
+	// is covered by Patterns, and DetCounts[i] by how many patterns (up
+	// to Options.NDetect, where counting stops).
+	Faults    []Fault
+	Detected  []bool
+	DetCounts []int
+	// Untestable counts faults proven redundant; Aborted counts faults on
+	// which PODEM hit its backtrack limit.
+	Untestable int
+	Aborted    int
+}
+
+// DetectedCount returns the number of detected faults.
+func (r *Result) DetectedCount() int {
+	n := 0
+	for _, d := range r.Detected {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage returns detected / (total - untestable), the standard fault
+// coverage figure, in [0,1].
+func (r *Result) Coverage() float64 {
+	den := len(r.Faults) - r.Untestable
+	if den <= 0 {
+		return 1
+	}
+	return float64(r.DetectedCount()) / float64(den)
+}
+
+// Generate produces a stuck-at test set for the frozen circuit c.
+func Generate(c *netlist.Circuit, opts Options) (*Result, error) {
+	if !c.Frozen() {
+		return nil, fmt.Errorf("atpg: circuit %s must be frozen", c.Name)
+	}
+	if opts.MaxBacktracks <= 0 {
+		opts.MaxBacktracks = 64
+	}
+	if opts.MaxRandomPatterns < 0 {
+		opts.MaxRandomPatterns = 0
+	}
+	if opts.RandomStall <= 0 {
+		opts.RandomStall = 32
+	}
+	if opts.NDetect < 1 {
+		opts.NDetect = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	faults := AllFaults(c)
+	detected := make([]bool, len(faults))
+	detCount := make([]int, len(faults))
+	fs := NewFaultSim(c)
+
+	nPI, nFF := len(c.PIs), c.NumFFs()
+	var patterns []scan.Pattern
+
+	// Phase 1: random patterns, 64 lanes at a time on the bit-parallel
+	// fault simulator. A fault's detection is credited to the
+	// lowest-indexed detecting lane, and only credited patterns are kept.
+	fs64 := NewFaultSim64(c)
+	stall := 0
+	batch := make([]scan.Pattern, 0, 64)
+	for tries := 0; tries < opts.MaxRandomPatterns && stall < opts.RandomStall; {
+		bsize := opts.MaxRandomPatterns - tries
+		if bsize > 64 {
+			bsize = 64
+		}
+		batch = batch[:0]
+		for len(batch) < bsize {
+			p := scan.Pattern{PI: make([]bool, nPI), State: make([]bool, nFF)}
+			randFill(rng, p.PI)
+			randFill(rng, p.State)
+			batch = append(batch, p)
+		}
+		tries += bsize
+		fs64.SetPatterns(batch)
+		credited := uint64(0)
+		newDet := 0
+		for i, f := range faults {
+			if detCount[i] >= opts.NDetect {
+				continue
+			}
+			mask := fs64.DetectMask(f)
+			if mask == 0 {
+				continue
+			}
+			newDet++
+			// Credit the lowest detecting lanes until the quota is met.
+			for mask != 0 && detCount[i] < opts.NDetect {
+				low := mask & (-mask)
+				credited |= low
+				mask &^= low
+				detCount[i]++
+			}
+			detected[i] = true
+		}
+		if newDet > 0 {
+			stall = 0
+			for lane := 0; lane < bsize; lane++ {
+				if credited&(1<<lane) != 0 {
+					patterns = append(patterns, batch[lane])
+				}
+			}
+		} else {
+			stall += bsize
+		}
+	}
+
+	// Phase 2: deterministic PODEM for the residue. For NDetect > 1 each
+	// remaining fault gets one PODEM run per missing detection; the
+	// random X-fill diversifies the resulting patterns.
+	res := &Result{Faults: faults, Detected: detected, DetCounts: detCount}
+	detectAllCount := func(pat scan.Pattern) int {
+		fs.SetPattern(pat.PI, pat.State)
+		n := 0
+		for i, f := range faults {
+			if detCount[i] >= opts.NDetect {
+				continue
+			}
+			if fs.Detects(f) {
+				detCount[i]++
+				detected[i] = true
+				n++
+			}
+		}
+		return n
+	}
+	var scoap *testability.Analysis
+	if opts.UseSCOAP {
+		scoap = testability.Compute(c)
+	}
+	attempted := 0
+	for i, f := range faults {
+		if detCount[i] >= opts.NDetect {
+			continue
+		}
+		if opts.MaxPodemFaults > 0 && attempted >= opts.MaxPodemFaults {
+			if !detected[i] {
+				res.Aborted++
+			}
+			continue
+		}
+		attempted++
+		p := newPodem(c, f, opts.MaxBacktracks, scoap)
+		switch p.run() {
+		case podemSuccess:
+			for detCount[i] < opts.NDetect {
+				pat := extractPattern(c, p, rng, opts.Fill)
+				before := detCount[i]
+				if detectAllCount(pat) > 0 {
+					patterns = append(patterns, pat)
+				}
+				if detCount[i] == before {
+					if !detected[i] {
+						// The X-fill must not mask the target fault — PODEM
+						// left the detecting assignment in place, so this
+						// indicates a bug; flag it loudly rather than
+						// silently losing coverage.
+						return nil, fmt.Errorf("atpg: internal: PODEM pattern misses its target fault %s",
+							f.Name(c))
+					}
+					break // repeated fills no longer add detections
+				}
+			}
+		case podemUntestable:
+			res.Untestable++
+		case podemAborted:
+			res.Aborted++
+		}
+	}
+
+	// Phase 3: reverse-order static compaction (quota-aware for NDetect).
+	if opts.Compact && len(patterns) > 1 {
+		patterns = compact(c, patterns, faults, opts.NDetect)
+	}
+	res.Patterns = patterns
+	return res, nil
+}
+
+func randFill(rng *rand.Rand, dst []bool) {
+	for i := range dst {
+		dst[i] = rng.Intn(2) == 1
+	}
+}
+
+// extractPattern splits PODEM's input assignment into PI/state parts and
+// completes don't-cares per the fill mode.
+func extractPattern(c *netlist.Circuit, p *podem, rng *rand.Rand, mode FillMode) scan.Pattern {
+	nPI := len(c.PIs)
+	pat := scan.Pattern{PI: make([]bool, nPI), State: make([]bool, c.NumFFs())}
+	// Adjacent fill carries the last specified value forward, PI bits
+	// first, then the scan state in chain (flop-index) order.
+	last := false
+	for i, v := range p.assign {
+		var b bool
+		switch {
+		case v.IsBinary():
+			b = v.Bool()
+			last = b
+		case mode == FillZero:
+			b = false
+		case mode == FillOne:
+			b = true
+		case mode == FillAdjacent:
+			b = last
+		default:
+			b = rng.Intn(2) == 1
+		}
+		if i < nPI {
+			pat.PI[i] = b
+		} else {
+			pat.State[i-nPI] = b
+		}
+	}
+	return pat
+}
+
+// compact re-fault-simulates the patterns in reverse order and keeps only
+// those that detect a fault not already covered by a kept pattern.
+func compact(c *netlist.Circuit, patterns []scan.Pattern, faults []Fault, nDetect int) []scan.Pattern {
+	if nDetect < 1 {
+		nDetect = 1
+	}
+	fs := NewFaultSim(c)
+	seen := make([]int, len(faults))
+	var kept []scan.Pattern
+	for i := len(patterns) - 1; i >= 0; i-- {
+		p := patterns[i]
+		fs.SetPattern(p.PI, p.State)
+		useful := 0
+		for fi, f := range faults {
+			if seen[fi] >= nDetect {
+				continue
+			}
+			if fs.Detects(f) {
+				seen[fi]++
+				useful++
+			}
+		}
+		if useful > 0 {
+			kept = append(kept, p)
+		}
+	}
+	// Restore application order.
+	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+		kept[i], kept[j] = kept[j], kept[i]
+	}
+	return kept
+}
+
+// CoverageOf fault-simulates an arbitrary pattern set from scratch and
+// returns its fault coverage over AllFaults(c). Used to demonstrate that
+// a DFT modification leaves coverage unchanged.
+func CoverageOf(c *netlist.Circuit, patterns []scan.Pattern) float64 {
+	faults := AllFaults(c)
+	if len(faults) == 0 {
+		return 1
+	}
+	detected := make([]bool, len(faults))
+	fs := NewFaultSim(c)
+	for _, p := range patterns {
+		fs.SetPattern(p.PI, p.State)
+		fs.DetectAll(faults, detected)
+	}
+	n := 0
+	for _, d := range detected {
+		if d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(faults))
+}

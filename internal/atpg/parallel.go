@@ -1,0 +1,202 @@
+package atpg
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+)
+
+// FaultSim64 is a 64-way bit-parallel stuck-at fault simulator (the
+// classic PPSFP technique): each net carries a 64-bit word holding its
+// value under up to 64 patterns at once, so one event-driven pass decides
+// a fault's detection under the whole batch. The random-pattern phase of
+// Generate runs on top of this; the serial FaultSim remains for
+// single-pattern uses (compaction, coverage audits).
+type FaultSim64 struct {
+	c    *netlist.Circuit
+	good []uint64
+	n    int // number of valid pattern lanes (1..64)
+
+	faulty []uint64
+	stamp  []uint32
+	gstamp []uint32
+	epoch  uint32
+
+	buckets [][]netlist.GateID
+	inBuf   []uint64
+}
+
+// NewFaultSim64 builds a parallel simulator for the frozen circuit c.
+func NewFaultSim64(c *netlist.Circuit) *FaultSim64 {
+	if !c.Frozen() {
+		panic("atpg: FaultSim64 needs a frozen circuit")
+	}
+	return &FaultSim64{
+		c:       c,
+		good:    make([]uint64, c.NumNets()),
+		faulty:  make([]uint64, c.NumNets()),
+		stamp:   make([]uint32, c.NumNets()),
+		gstamp:  make([]uint32, c.NumGates()),
+		buckets: make([][]netlist.GateID, c.Depth()+1),
+		inBuf:   make([]uint64, 0, 8),
+	}
+}
+
+// evalWord evaluates one gate over packed words.
+func evalWord(t logic.GateType, ins []uint64) uint64 {
+	switch t {
+	case logic.Buf:
+		return ins[0]
+	case logic.Not:
+		return ^ins[0]
+	case logic.And, logic.Nand:
+		out := ^uint64(0)
+		for _, w := range ins {
+			out &= w
+		}
+		if t == logic.Nand {
+			return ^out
+		}
+		return out
+	case logic.Or, logic.Nor:
+		out := uint64(0)
+		for _, w := range ins {
+			out |= w
+		}
+		if t == logic.Nor {
+			return ^out
+		}
+		return out
+	case logic.Xor, logic.Xnor:
+		out := uint64(0)
+		for _, w := range ins {
+			out ^= w
+		}
+		if t == logic.Xnor {
+			return ^out
+		}
+		return out
+	case logic.Mux2:
+		d0, d1, sel := ins[0], ins[1], ins[2]
+		return (d0 &^ sel) | (d1 & sel)
+	}
+	panic("atpg: evalWord on unknown gate type " + t.String())
+}
+
+// SetPatterns loads up to 64 patterns (lane i = patterns[i]) and runs the
+// good-circuit simulation.
+func (fs *FaultSim64) SetPatterns(patterns []scan.Pattern) {
+	if len(patterns) == 0 || len(patterns) > 64 {
+		panic("atpg: SetPatterns needs 1..64 patterns")
+	}
+	c := fs.c
+	fs.n = len(patterns)
+	for i, piNet := range c.PIs {
+		w := uint64(0)
+		for lane, p := range patterns {
+			if p.PI[i] {
+				w |= 1 << lane
+			}
+		}
+		fs.good[piNet] = w
+	}
+	for f, ff := range c.FFs {
+		w := uint64(0)
+		for lane, p := range patterns {
+			if p.State[f] {
+				w |= 1 << lane
+			}
+		}
+		fs.good[ff.Q] = w
+	}
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		fs.inBuf = fs.inBuf[:0]
+		for _, in := range g.Inputs {
+			fs.inBuf = append(fs.inBuf, fs.good[in])
+		}
+		fs.good[g.Output] = evalWord(g.Type, fs.inBuf)
+	}
+}
+
+// laneMask returns the mask of valid lanes.
+func (fs *FaultSim64) laneMask() uint64 {
+	if fs.n == 64 {
+		return ^uint64(0)
+	}
+	return (1 << fs.n) - 1
+}
+
+func (fs *FaultSim64) val(n netlist.NetID) uint64 {
+	if fs.stamp[n] == fs.epoch {
+		return fs.faulty[n]
+	}
+	return fs.good[n]
+}
+
+// DetectMask returns, as a bitmask over the loaded lanes, the patterns
+// that detect fault f at a primary output or flop data input.
+func (fs *FaultSim64) DetectMask(f Fault) uint64 {
+	c := fs.c
+	lanes := fs.laneMask()
+	stuck := uint64(0)
+	if f.Stuck {
+		stuck = ^uint64(0)
+	}
+	// Activation requires the good value to differ from the stuck value.
+	if (fs.good[f.Net]^stuck)&lanes == 0 {
+		return 0
+	}
+	fs.epoch++
+	if fs.epoch == 0 {
+		for i := range fs.stamp {
+			fs.stamp[i] = 0
+		}
+		for i := range fs.gstamp {
+			fs.gstamp[i] = 0
+		}
+		fs.epoch = 1
+	}
+	fs.faulty[f.Net] = stuck
+	fs.stamp[f.Net] = fs.epoch
+	detected := uint64(0)
+	if net := &c.Nets[f.Net]; net.IsPO() || len(net.FanoutFF) > 0 {
+		detected |= (fs.good[f.Net] ^ stuck) & lanes
+	}
+	for i := range fs.buckets {
+		fs.buckets[i] = fs.buckets[i][:0]
+	}
+	schedule := func(n netlist.NetID) {
+		for _, g := range c.Nets[n].Fanout {
+			if fs.gstamp[g] != fs.epoch {
+				fs.gstamp[g] = fs.epoch
+				fs.buckets[c.Level(g)] = append(fs.buckets[c.Level(g)], g)
+			}
+		}
+	}
+	schedule(f.Net)
+	for lvl := 0; lvl < len(fs.buckets); lvl++ {
+		for qi := 0; qi < len(fs.buckets[lvl]); qi++ {
+			gi := fs.buckets[lvl][qi]
+			g := &c.Gates[gi]
+			if g.Output == f.Net {
+				continue
+			}
+			fs.inBuf = fs.inBuf[:0]
+			for _, in := range g.Inputs {
+				fs.inBuf = append(fs.inBuf, fs.val(in))
+			}
+			nv := evalWord(g.Type, fs.inBuf)
+			if (nv^fs.val(g.Output))&lanes == 0 {
+				continue
+			}
+			fs.faulty[g.Output] = nv
+			fs.stamp[g.Output] = fs.epoch
+			if net := &c.Nets[g.Output]; net.IsPO() || len(net.FanoutFF) > 0 {
+				detected |= (nv ^ fs.good[g.Output]) & lanes
+			}
+			schedule(g.Output)
+		}
+	}
+	return detected
+}

@@ -1,0 +1,267 @@
+package atpg
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/testability"
+)
+
+// podemStatus is the outcome of one deterministic test-generation run.
+type podemStatus int
+
+const (
+	podemSuccess podemStatus = iota
+	// podemUntestable: the search space was exhausted — the fault is
+	// redundant (no test exists).
+	podemUntestable
+	// podemAborted: the backtrack limit was hit before a conclusion.
+	podemAborted
+)
+
+// podem implements the PODEM algorithm with the (good, faulty) pair
+// representation of the D-calculus: each net carries two three-valued
+// levels; D corresponds to (1,0) and D' to (0,1). Decisions are made only
+// at the combinational inputs (PIs and scan-cell outputs), which is what
+// makes PODEM's backtracking complete.
+type podem struct {
+	c      *netlist.Circuit
+	fault  Fault
+	inputs []netlist.NetID
+	inIdx  map[netlist.NetID]int
+	// scoap, when non-nil, steers backtrace toward the cheapest
+	// controllability choices.
+	scoap *testability.Analysis
+
+	goodV  []logic.Value
+	faultV []logic.Value
+	assign []logic.Value // per input, current decision values
+	inBufG []logic.Value
+	inBufF []logic.Value
+
+	maxBacktracks int
+}
+
+type podemDecision struct {
+	input   int
+	value   logic.Value
+	flipped bool
+}
+
+func newPodem(c *netlist.Circuit, f Fault, maxBacktracks int, scoap *testability.Analysis) *podem {
+	inputs := c.CombInputs()
+	idx := make(map[netlist.NetID]int, len(inputs))
+	for i, n := range inputs {
+		idx[n] = i
+	}
+	return &podem{
+		c:             c,
+		fault:         f,
+		scoap:         scoap,
+		inputs:        inputs,
+		inIdx:         idx,
+		goodV:         make([]logic.Value, c.NumNets()),
+		faultV:        make([]logic.Value, c.NumNets()),
+		assign:        make([]logic.Value, len(inputs)),
+		inBufG:        make([]logic.Value, 0, 8),
+		inBufF:        make([]logic.Value, 0, 8),
+		maxBacktracks: maxBacktracks,
+	}
+}
+
+// imply forward-simulates both the good and the faulty circuit from the
+// current input assignment. The fault net is forced to the stuck value in
+// the faulty circuit.
+func (p *podem) imply() {
+	c := p.c
+	for i, n := range p.inputs {
+		p.goodV[n] = p.assign[i]
+		p.faultV[n] = p.assign[i]
+	}
+	stuck := logic.FromBool(p.fault.Stuck)
+	if p.inIdx != nil {
+		if _, isInput := p.inIdx[p.fault.Net]; isInput {
+			p.faultV[p.fault.Net] = stuck
+		}
+	}
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		p.inBufG = p.inBufG[:0]
+		p.inBufF = p.inBufF[:0]
+		for _, in := range g.Inputs {
+			p.inBufG = append(p.inBufG, p.goodV[in])
+			p.inBufF = append(p.inBufF, p.faultV[in])
+		}
+		p.goodV[g.Output] = logic.Eval(g.Type, p.inBufG)
+		if g.Output == p.fault.Net {
+			p.faultV[g.Output] = stuck
+		} else {
+			p.faultV[g.Output] = logic.Eval(g.Type, p.inBufF)
+		}
+	}
+}
+
+// detected reports whether some observed net (PO or flop D input) carries
+// a binary good/faulty difference.
+func (p *podem) detected() bool {
+	for _, po := range p.c.POs {
+		if diffBinary(p.goodV[po], p.faultV[po]) {
+			return true
+		}
+	}
+	for _, ff := range p.c.FFs {
+		if diffBinary(p.goodV[ff.D], p.faultV[ff.D]) {
+			return true
+		}
+	}
+	return false
+}
+
+func diffBinary(a, b logic.Value) bool {
+	return a.IsBinary() && b.IsBinary() && a != b
+}
+
+// objective returns the next (net, value) goal, or ok=false when the
+// current partial assignment cannot lead to a detection (activation
+// blocked or D-frontier empty).
+func (p *podem) objective() (netlist.NetID, logic.Value, bool) {
+	fv := p.goodV[p.fault.Net]
+	want := logic.FromBool(!p.fault.Stuck)
+	if fv == logic.X {
+		return p.fault.Net, want, true
+	}
+	if fv != want {
+		return 0, 0, false // activation conflict
+	}
+	// Fault activated: find a D-frontier gate — an input carries a binary
+	// difference and the output can still change.
+	for _, gi := range p.c.Topo() {
+		g := &p.c.Gates[gi]
+		if p.goodV[g.Output] != logic.X && p.faultV[g.Output] != logic.X {
+			continue
+		}
+		hasD := false
+		for _, in := range g.Inputs {
+			if diffBinary(p.goodV[in], p.faultV[in]) {
+				hasD = true
+				break
+			}
+		}
+		if !hasD {
+			continue
+		}
+		// Objective: set an unassigned side input to the value that lets
+		// the difference through (non-controlling where defined).
+		for _, in := range g.Inputs {
+			if p.goodV[in] == logic.X {
+				v := logic.One
+				if g.Type.HasControllingValue() {
+					v = g.Type.NonControllingValue()
+				} else if g.Type == logic.Mux2 && in == g.Inputs[2] {
+					// Select line of a MUX: either side works; pick the
+					// side carrying the difference.
+					if diffBinary(p.goodV[g.Inputs[1]], p.faultV[g.Inputs[1]]) {
+						v = logic.One
+					} else {
+						v = logic.Zero
+					}
+				}
+				return in, v, true
+			}
+		}
+	}
+	return 0, 0, false // D-frontier empty
+}
+
+// backtrace maps an internal objective to an input assignment by walking
+// X-paths backwards through drivers.
+func (p *podem) backtrace(n netlist.NetID, v logic.Value) (int, logic.Value) {
+	c := p.c
+	for {
+		if idx, ok := p.inIdx[n]; ok {
+			return idx, v
+		}
+		g := &c.Gates[c.Nets[n].Driver]
+		if g.Type.Inverting() {
+			v = v.Not()
+		}
+		// Choose an input with X good value; one must exist because the
+		// net itself is X (or we are tracing through binary nets toward
+		// the fault site — then any X input works, and if none is X the
+		// first input keeps the walk moving toward the inputs). With
+		// SCOAP, prefer the X input whose controllability toward the
+		// propagated value is cheapest.
+		next := g.Inputs[0]
+		bestCost := -1
+		for _, in := range g.Inputs {
+			if p.goodV[in] != logic.X {
+				continue
+			}
+			if p.scoap == nil {
+				next = in
+				break
+			}
+			cost := p.scoap.Controllability(in, v == logic.One)
+			if v == logic.X {
+				cost = p.scoap.CC0[in]
+				if p.scoap.CC1[in] < cost {
+					cost = p.scoap.CC1[in]
+				}
+			}
+			if bestCost == -1 || cost < bestCost {
+				bestCost = cost
+				next = in
+			}
+		}
+		n = next
+	}
+}
+
+// run executes the PODEM search. On success the input assignment (with X
+// for untouched inputs) is left in p.assign.
+func (p *podem) run() podemStatus {
+	for i := range p.assign {
+		p.assign[i] = logic.X
+	}
+	var stack []podemDecision
+	backtracks := 0
+	for {
+		p.imply()
+		if p.detected() {
+			return podemSuccess
+		}
+		obj, val, ok := p.objective()
+		if ok {
+			in, v := p.backtrace(obj, val)
+			if p.assign[in] != logic.X {
+				// Backtrace landed on an assigned input (possible on
+				// reconvergent paths): treat as conflict.
+				ok = false
+			} else {
+				stack = append(stack, podemDecision{input: in, value: v})
+				p.assign[in] = v
+				continue
+			}
+		}
+		// Conflict: flip the most recent unflipped decision.
+		flipped := false
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.value = top.value.Not()
+				p.assign[top.input] = top.value
+				flipped = true
+				break
+			}
+			p.assign[top.input] = logic.X
+			stack = stack[:len(stack)-1]
+		}
+		if !flipped {
+			return podemUntestable
+		}
+		backtracks++
+		if backtracks > p.maxBacktracks {
+			return podemAborted
+		}
+	}
+}

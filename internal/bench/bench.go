@@ -1,0 +1,204 @@
+// Package bench reads and writes the ISCAS89 ".bench" netlist format used
+// to distribute the s-series benchmark circuits:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G5 = DFF(G10)
+//	G8 = NAND(G14, G6)
+//	G14 = NOT(G0)
+//
+// Flip-flop lines (DFF) become netlist.FF entries; every other assignment
+// becomes a combinational gate. Gate type names are case-insensitive.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// ParseError describes a syntax error with its 1-based line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("bench: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a .bench description and returns the frozen circuit.
+func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
+	c := netlist.New(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	ffCount := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case matchDirective(line, "INPUT"):
+			arg, err := directiveArg(line, "INPUT", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			c.AddPI(arg)
+		case matchDirective(line, "OUTPUT"):
+			arg, err := directiveArg(line, "OUTPUT", lineNo)
+			if err != nil {
+				return nil, err
+			}
+			c.MarkPO(arg)
+		default:
+			if err := parseAssign(c, line, lineNo, &ffCount); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: read: %w", err)
+	}
+	if err := c.Freeze(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return c, nil
+}
+
+func matchDirective(line, dir string) bool {
+	u := strings.ToUpper(line)
+	return strings.HasPrefix(u, dir+"(") || strings.HasPrefix(u, dir+" (")
+}
+
+func directiveArg(line, dir string, lineNo int) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close_ := strings.LastIndexByte(line, ')')
+	if open < 0 || close_ < open {
+		return "", &ParseError{lineNo, fmt.Sprintf("malformed %s directive %q", dir, line)}
+	}
+	arg := strings.TrimSpace(line[open+1 : close_])
+	if arg == "" {
+		return "", &ParseError{lineNo, dir + " with empty signal name"}
+	}
+	return arg, nil
+}
+
+func parseAssign(c *netlist.Circuit, line string, lineNo int, ffCount *int) error {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return &ParseError{lineNo, fmt.Sprintf("expected assignment, got %q", line)}
+	}
+	out := strings.TrimSpace(line[:eq])
+	if out == "" {
+		return &ParseError{lineNo, "assignment with empty output name"}
+	}
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close_ := strings.LastIndexByte(rhs, ')')
+	if open <= 0 || close_ < open {
+		return &ParseError{lineNo, fmt.Sprintf("malformed gate expression %q", rhs)}
+	}
+	typeName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	argstr := rhs[open+1 : close_]
+	var args []string
+	for _, a := range strings.Split(argstr, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return &ParseError{lineNo, fmt.Sprintf("empty operand in %q", line)}
+		}
+		args = append(args, a)
+	}
+	if len(args) == 0 {
+		return &ParseError{lineNo, fmt.Sprintf("gate %q has no operands", out)}
+	}
+	if typeName == "DFF" {
+		if len(args) != 1 {
+			return &ParseError{lineNo, fmt.Sprintf("DFF %q must have exactly one input", out)}
+		}
+		*ffCount++
+		c.AddFF(fmt.Sprintf("ff%d_%s", *ffCount, out), out, args[0])
+		return nil
+	}
+	gt, ok := logic.ParseGateType(typeName)
+	if !ok {
+		return &ParseError{lineNo, fmt.Sprintf("unknown gate type %q", typeName)}
+	}
+	c.AddGate(gt, out, args...)
+	return nil
+}
+
+// Write emits the circuit in .bench syntax. Gates are emitted in
+// topological order (the circuit must be frozen); MUX2 gates — which have
+// no ISCAS89 spelling — are emitted as MUX2(d0, d1, sel) and are accepted
+// back by Parse.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	st := c.ComputeStats()
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d D-type flipflops, %d gates\n",
+		st.PIs, st.POs, st.FFs, st.Gates)
+	for _, pi := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Nets[pi].Name)
+	}
+	for _, po := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Nets[po].Name)
+	}
+	fmt.Fprintln(bw)
+	for _, ff := range c.FFs {
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", c.Nets[ff.Q].Name, c.Nets[ff.D].Name)
+	}
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		names := make([]string, len(g.Inputs))
+		for i, in := range g.Inputs {
+			names[i] = c.Nets[in].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n",
+			c.Nets[g.Output].Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(src, name string) (*netlist.Circuit, error) {
+	return Parse(strings.NewReader(src), name)
+}
+
+// Canonical renders the circuit to a normalized string in which inputs,
+// outputs, flops and gates appear in name order — useful for equality
+// checks in tests independent of construction order.
+func Canonical(c *netlist.Circuit) string {
+	var lines []string
+	for _, pi := range c.PIs {
+		lines = append(lines, "INPUT("+c.Nets[pi].Name+")")
+	}
+	for _, po := range c.POs {
+		lines = append(lines, "OUTPUT("+c.Nets[po].Name+")")
+	}
+	for _, ff := range c.FFs {
+		lines = append(lines, c.Nets[ff.Q].Name+" = DFF("+c.Nets[ff.D].Name+")")
+	}
+	for _, g := range c.Gates {
+		names := make([]string, len(g.Inputs))
+		for i, in := range g.Inputs {
+			names[i] = c.Nets[in].Name
+		}
+		if g.Type != logic.Mux2 { // MUX inputs are positional
+			sort.Strings(names)
+		}
+		lines = append(lines, c.Nets[g.Output].Name+" = "+g.Type.String()+
+			"("+strings.Join(names, ", ")+")")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// s27 is the real ISCAS89 s27 benchmark.
+const s27 = `# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func TestParseS27(t *testing.T) {
+	c, err := ParseString(s27, "s27")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	st := c.ComputeStats()
+	if st.PIs != 4 || st.POs != 1 || st.FFs != 3 || st.Gates != 10 {
+		t.Fatalf("s27 stats wrong: %v", st)
+	}
+	if st.ByType[logic.Nor] != 4 || st.ByType[logic.Not] != 2 ||
+		st.ByType[logic.And] != 1 || st.ByType[logic.Or] != 2 ||
+		st.ByType[logic.Nand] != 1 {
+		t.Errorf("gate type histogram wrong: %v", st.ByType)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := ParseString(s27, "s27")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	c2, err := ParseString(sb.String(), "s27rt")
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if Canonical(c) != Canonical(c2) {
+		t.Errorf("round trip changed circuit:\n%s\nvs\n%s", Canonical(c), Canonical(c2))
+	}
+}
+
+func TestParseCaseInsensitiveAndSpacing(t *testing.T) {
+	src := `
+input( a )
+INPUT(b)
+output(o)
+o = nand( a , b )
+`
+	c, err := ParseString(src, "ci")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.NumGates() != 1 || c.Gates[0].Type != logic.Nand {
+		t.Fatalf("parsed wrong gate: %+v", c.Gates)
+	}
+}
+
+func TestParseMUX2RoundTrip(t *testing.T) {
+	src := `INPUT(d0)
+INPUT(d1)
+INPUT(se)
+OUTPUT(y)
+y = MUX2(d0, d1, se)
+`
+	c, err := ParseString(src, "mux")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !strings.Contains(sb.String(), "MUX2(d0, d1, se)") {
+		t.Errorf("MUX2 not written positionally:\n%s", sb.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"garbage", "INPUT(a)\nnot an assignment\n", "assignment"},
+		{"unknown gate", "INPUT(a)\nb = FROB(a)\n", "unknown gate type"},
+		{"empty input", "INPUT()\n", "empty signal"},
+		{"dff arity", "INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n", "exactly one"},
+		{"empty operand", "INPUT(a)\nb = NAND(a, )\n", "empty operand"},
+		{"malformed expr", "INPUT(a)\nb = NAND a\n", "malformed"},
+		{"empty output", "INPUT(a)\n = NAND(a, a)\n", "empty output"},
+		{"undriven", "INPUT(a)\nOUTPUT(z)\nb = NAND(a, z)\n", "undriven"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src, c.name)
+			if err == nil {
+				t.Fatalf("Parse accepted %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q does not mention %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestParseErrorLineNumber(t *testing.T) {
+	_, err := ParseString("INPUT(a)\n\n# c\nb = FROB(a)\n", "ln")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("error line = %d, want 4", pe.Line)
+	}
+}
+
+func TestCanonicalOrderIndependence(t *testing.T) {
+	a := `INPUT(x)
+INPUT(y)
+OUTPUT(o)
+o = NAND(x, y)
+`
+	b := `INPUT(y)
+INPUT(x)
+OUTPUT(o)
+o = NAND(y, x)
+`
+	ca, err := ParseString(a, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := ParseString(b, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Canonical(ca) != Canonical(cb) {
+		t.Errorf("canonical forms differ:\n%s\nvs\n%s", Canonical(ca), Canonical(cb))
+	}
+}
+
+func TestWriteHeaderCounts(t *testing.T) {
+	c, err := ParseString(s27, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "4 inputs, 1 outputs, 3 D-type flipflops, 10 gates") {
+		t.Errorf("header counts missing:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the .bench parser with arbitrary input: it must never
+// panic, and anything it accepts must be a frozen, internally consistent
+// circuit that survives a write/reparse round trip.
+//
+// The seed corpus runs as part of `go test`; `go test -fuzz=FuzzParse`
+// explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"# empty\n",
+		"INPUT(a)\n",
+		"INPUT(a)\nOUTPUT(o)\no = NOT(a)\n",
+		"INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = NAND(a, b)\n",
+		"INPUT(a)\nq = DFF(d)\nd = NOT(q)\n",
+		"INPUT(a)\nOUTPUT(o)\no = MUX2(a, a, a)\n",
+		"input(a)\noutput(o)\no = nor(a , a)\n",
+		"INPUT(a)\nb = FROB(a)\n",
+		"INPUT()\n",
+		"o = \n",
+		"= NAND(a)\n",
+		"INPUT(a)\no = NAND(a,)\n",
+		"INPUT(a)\nOUTPUT(o)\no = XOR(a, a)\nINPUT(a)\n",
+		strings.Repeat("INPUT(x)\n", 50),
+		"INPUT(a)\nx = NAND(a, y)\ny = NAND(a, x)\n",
+		"INPUT(a)\r\nOUTPUT(o)\r\no = NOT(a)\r\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if !c.Frozen() {
+			t.Fatal("accepted circuit is not frozen")
+		}
+		// Accepted circuits must round-trip.
+		var sb strings.Builder
+		if err := Write(&sb, c); err != nil {
+			t.Fatalf("write accepted circuit: %v", err)
+		}
+		c2, err := ParseString(sb.String(), "fuzz2")
+		if err != nil {
+			t.Fatalf("reparse of written circuit failed: %v\n%s", err, sb.String())
+		}
+		if Canonical(c) != Canonical(c2) {
+			t.Fatalf("round trip changed circuit:\n%s\n---\n%s", Canonical(c), Canonical(c2))
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package bsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSubthresholdExponentialInVT(t *testing.T) {
+	d := Default45N()
+	base := d.Subthreshold(0, 0.9, 0)
+	d.VT0 += 0.1 // 100 mV higher threshold
+	raised := d.Subthreshold(0, 0.9, 0)
+	// Eq. 2: ΔI = exp(ΔVT/(n·kT/q)) ≈ exp(0.1/0.0388) ≈ 13×.
+	ratio := base / raised
+	want := math.Exp(0.1 / (d.N * d.thermalV()))
+	if math.Abs(ratio-want)/want > 0.01 {
+		t.Errorf("VT sensitivity ratio %v, want %v", ratio, want)
+	}
+}
+
+func TestSubthresholdDIBL(t *testing.T) {
+	d := Default45N()
+	low := d.Subthreshold(0, 0.45, 0)
+	high := d.Subthreshold(0, 0.9, 0)
+	if high <= low {
+		t.Error("drain bias must increase subthreshold current (DIBL)")
+	}
+}
+
+func TestSubthresholdBodyEffect(t *testing.T) {
+	d := Default45N()
+	nobody := d.Subthreshold(0, 0.9, 0)
+	body := d.Subthreshold(0, 0.9, 0.3)
+	if body >= nobody {
+		t.Error("source-bulk bias must reduce subthreshold current")
+	}
+}
+
+func TestSubthresholdNonNegativeAndZeroAtZeroVDS(t *testing.T) {
+	d := Default45N()
+	if d.Subthreshold(0, 0, 0) != 0 {
+		t.Error("no VDS, no current")
+	}
+	if d.Subthreshold(-0.5, 0.9, 0) < 0 {
+		t.Error("negative current")
+	}
+}
+
+func TestGateTunnelExponentialInTox(t *testing.T) {
+	d := Default45N()
+	thick := d
+	thick.ToxNM = d.ToxNM * 1.3
+	thin := d.GateTunnel(0.9)
+	thicker := thick.GateTunnel(0.9)
+	if thin <= thicker*2 {
+		t.Errorf("30%% thicker oxide should cut tunneling by far more than 2x: %v vs %v",
+			thin, thicker)
+	}
+	if d.GateTunnel(0) != 0 || d.GateTunnel(-1) != 0 {
+		t.Error("no oxide drop, no tunneling")
+	}
+	if d.GateTunnel(0.9) <= d.GateTunnel(0.45) {
+		t.Error("tunneling must grow with Vox")
+	}
+}
+
+func TestSolveStackSingleDeviceMatchesDirect(t *testing.T) {
+	d := Default45N()
+	res, err := SolveStack([]Device{d}, []bool{false}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := d.Subthreshold(0, 0.9, 0)
+	if math.Abs(res.Current-direct)/direct > 0.01 {
+		t.Errorf("1-stack current %v, direct %v", res.Current, direct)
+	}
+	if len(res.NodeV) != 0 {
+		t.Error("single device has no internal nodes")
+	}
+}
+
+// TestStackEffect is the paper's core leakage physics: two off devices in
+// series leak much less than one, because the internal node rises and
+// gives the lower device negative VGS and body bias.
+func TestStackEffect(t *testing.T) {
+	d := Default45N()
+	one, err := SolveStack([]Device{d}, []bool{false}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := SolveStack([]Device{d, d}, []bool{false, false}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := one.Current / two.Current; ratio < 3 {
+		t.Errorf("stack suppression ratio %v, want > 3", ratio)
+	}
+	three, err := SolveStack([]Device{d, d, d}, []bool{false, false, false}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Current >= two.Current {
+		t.Error("deeper stacks must leak less")
+	}
+	// The internal node of the 2-stack floats at a small positive voltage.
+	if len(two.NodeV) != 1 || two.NodeV[0] <= 0 || two.NodeV[0] > 0.45 {
+		t.Errorf("2-stack internal node = %v, want small positive", two.NodeV)
+	}
+}
+
+// TestSingleOffPositionDependence: one off device with an on device in
+// series — the position of the off device changes its terminal biases
+// (the off-near-rail case sits behind a source follower whose node rides
+// at VDD−VT, the off-near-output case sees the full drain swing). The
+// resulting currents must differ measurably: this is exactly why the
+// paper's gate input reordering has something to optimize.
+func TestSingleOffPositionDependence(t *testing.T) {
+	d := Default45N()
+	offTop, err := SolveStack([]Device{d, d}, []bool{false, true}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offBottom, err := SolveStack([]Device{d, d}, []bool{true, false}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := math.Abs(offTop.Current-offBottom.Current) / offBottom.Current
+	if diff < 0.05 {
+		t.Errorf("positions leak %v vs %v — input order should matter (>5%%)",
+			offTop.Current, offBottom.Current)
+	}
+}
+
+func TestSolveStackValidation(t *testing.T) {
+	if _, err := SolveStack(nil, nil, 0.9); err == nil {
+		t.Error("accepted empty stack")
+	}
+	d := Default45N()
+	if _, err := SolveStack([]Device{d}, []bool{false, true}, 0.9); err == nil {
+		t.Error("accepted mismatched gateOn")
+	}
+	res, err := SolveStack([]Device{d}, []bool{false}, 0)
+	if err != nil || res.Current != 0 {
+		t.Error("zero supply should mean zero current")
+	}
+}
+
+func TestNANDTableShape(t *testing.T) {
+	tech := Default45()
+	tab, err := tech.Table("NAND", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indices: bit i = input i. 00=0, 10(A=0?): bit0=in0... Using in0 =
+	// nearest output. States: 0b00 both off, 0b11 both on.
+	if len(tab) != 4 {
+		t.Fatalf("table size %d", len(tab))
+	}
+	for s, v := range tab {
+		if v <= 0 || math.IsNaN(v) || v > 1e5 {
+			t.Errorf("state %02b: implausible %v nA", s, v)
+		}
+	}
+	// Physics the flow relies on:
+	// (a) all-on is the worst state (parallel PMOS leak + NMOS tunneling);
+	if !(tab[3] > tab[0] && tab[3] > tab[1] && tab[3] > tab[2]) {
+		t.Errorf("NAND2 11 should be worst: %v", tab)
+	}
+	// (b) both-off (stacked) leaks less than either single-off state.
+	if !(tab[0] < tab[1] && tab[0] < tab[2]) {
+		t.Errorf("NAND2 00 should beat single-off states: %v", tab)
+	}
+}
+
+func TestNORTableShape(t *testing.T) {
+	tech := Default45()
+	tab, err := tech.Table("NOR", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NOR duals: all-zero input (both PMOS on, both NMOS off in parallel)
+	// is worst; all-one (stacked off PMOS) among the best.
+	if !(tab[0] > tab[3]) {
+		t.Errorf("NOR2 00 should exceed 11: %v", tab)
+	}
+}
+
+func TestInverterTable(t *testing.T) {
+	tech := Default45()
+	tab, err := tech.Table("INV", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab) != 2 || tab[0] <= 0 || tab[1] <= 0 {
+		t.Fatalf("INV table %v", tab)
+	}
+	// Both states leak within an order of magnitude (single unstacked
+	// device each side).
+	ratio := tab[0] / tab[1]
+	if ratio < 0.1 || ratio > 10 {
+		t.Errorf("INV state ratio implausible: %v", tab)
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	tech := Default45()
+	if _, err := tech.Table("XOR", 2); err == nil {
+		t.Error("accepted unknown cell")
+	}
+	if _, err := tech.Table("NAND", 1); err == nil {
+		t.Error("accepted NAND1")
+	}
+	if _, err := tech.NANDLeak(nil); err == nil {
+		t.Error("accepted empty pattern")
+	}
+}
+
+// TestMagnitudesInNanoampRange sanity-checks absolute scale: a 45 nm
+// device should leak tens to hundreds of nA per the paper's Figure 2.
+func TestMagnitudesInNanoampRange(t *testing.T) {
+	d := Default45N()
+	i := NA(d.Subthreshold(0, 0.9, 0))
+	if i < 10 || i > 2000 {
+		t.Errorf("single off NMOS leaks %v nA; expected tens to hundreds", i)
+	}
+	g := NA(d.GateTunnel(0.9))
+	if g < 0.5 || g > 500 {
+		t.Errorf("gate tunneling %v nA; expected single to tens", g)
+	}
+}

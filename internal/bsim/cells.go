@@ -1,0 +1,156 @@
+package bsim
+
+import (
+	"fmt"
+)
+
+// Cell characterization: per-input-state leakage of the library cells,
+// the device-level equivalent of the paper's HSPICE table generation.
+
+// Tech bundles the device pair and supply of one technology corner.
+type Tech struct {
+	N, P Device
+	VDD  float64
+}
+
+// Default45 returns the 45 nm / 0.9 V corner.
+func Default45() Tech {
+	return Tech{N: Default45N(), P: Default45P(), VDD: 0.9}
+}
+
+// InverterLeak returns the inverter leakage (amps) for input a.
+func (t Tech) InverterLeak(a bool) float64 {
+	if a {
+		// Output 0: PMOS off at full |VDS|; NMOS on, channel at ground,
+		// full oxide drop.
+		sub := t.P.Subthreshold(0, t.VDD, 0)
+		gate := t.N.GateTunnel(t.VDD)
+		return sub + gate
+	}
+	// Output 1: NMOS off at full VDS; PMOS on with full oxide drop.
+	sub := t.N.Subthreshold(0, t.VDD, 0)
+	gate := t.P.GateTunnel(t.VDD)
+	return sub + gate
+}
+
+// NANDLeak returns the leakage (amps) of an n-input NAND for the given
+// input pattern; in[0] drives the NMOS nearest the output.
+func (t Tech) NANDLeak(in []bool) (float64, error) {
+	return t.seriesParallelLeak(in, true)
+}
+
+// NORLeak returns the leakage (amps) of an n-input NOR; in[0] drives the
+// PMOS nearest the output.
+func (t Tech) NORLeak(in []bool) (float64, error) {
+	return t.seriesParallelLeak(in, false)
+}
+
+// seriesParallelLeak evaluates a NAND (nmosSeries) or NOR cell by solving
+// its blocked series stack with SolveStack and adding parallel-network
+// subthreshold and on-device gate tunneling.
+func (t Tech) seriesParallelLeak(in []bool, nmosSeries bool) (float64, error) {
+	n := len(in)
+	if n < 1 {
+		return 0, fmt.Errorf("bsim: empty input pattern")
+	}
+	var series, parallel Device
+	if nmosSeries {
+		series, parallel = t.N, t.P
+	} else {
+		series, parallel = t.P, t.N
+	}
+	// In magnitude space a series device is on when its input equals the
+	// conducting level: 1 for NMOS, 0 for PMOS.
+	gateOn := make([]bool, n)
+	allOn := true
+	for k, v := range in {
+		on := v
+		if !nmosSeries {
+			on = !v
+		}
+		gateOn[k] = on
+		if !on {
+			allOn = false
+		}
+	}
+	total := 0.0
+	if allOn {
+		// Stack conducts: output at the stack rail. Every parallel device
+		// is off at full |VDS|; every series device tunnels with a full
+		// oxide drop.
+		total += float64(n) * parallel.Subthreshold(0, t.VDD, 0)
+		total += float64(n) * series.GateTunnel(t.VDD)
+		return total, nil
+	}
+	// Stack blocked: solve its subthreshold current with internal nodes.
+	devs := make([]Device, n)
+	for k := range devs {
+		devs[k] = series
+	}
+	res, err := SolveStack(devs, gateOn, t.VDD)
+	if err != nil {
+		return 0, err
+	}
+	total += res.Current
+	// Parallel network: at least one on device pins the output to its
+	// rail, so off parallel devices see ~0 VDS (no subthreshold); each on
+	// parallel device tunnels with a full oxide drop.
+	for k, on := range gateOn {
+		if !on { // series off => parallel twin on
+			total += parallel.GateTunnel(t.VDD)
+		}
+		_ = k
+	}
+	// Series on-devices below the lowest off device sit with their
+	// channel at the rail: full oxide drop tunneling. Nodes between/above
+	// off devices float near the output; negligible drop.
+	lowestOff := -1
+	for k := n - 1; k >= 0; k-- {
+		if !gateOn[k] {
+			lowestOff = k
+			break
+		}
+	}
+	for k := lowestOff + 1; k < n; k++ {
+		total += series.GateTunnel(t.VDD)
+	}
+	return total, nil
+}
+
+// NA converts amps to nanoamps.
+func NA(amps float64) float64 { return amps * 1e9 }
+
+// Table characterizes one cell over all input states, in nA; kind is
+// "NAND", "NOR" or "INV".
+func (t Tech) Table(kind string, arity int) ([]float64, error) {
+	switch kind {
+	case "INV":
+		return []float64{NA(t.InverterLeak(false)), NA(t.InverterLeak(true))}, nil
+	case "NAND", "NOR":
+		if arity < 2 {
+			return nil, fmt.Errorf("bsim: %s arity %d", kind, arity)
+		}
+		out := make([]float64, 1<<arity)
+		in := make([]bool, arity)
+		for bits := range out {
+			for i := range in {
+				in[i] = bits>>i&1 == 1
+			}
+			var (
+				amps float64
+				err  error
+			)
+			if kind == "NAND" {
+				amps, err = t.NANDLeak(in)
+			} else {
+				amps, err = t.NORLeak(in)
+			}
+			if err != nil {
+				return nil, err
+			}
+			out[bits] = NA(amps)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("bsim: unknown cell kind %q", kind)
+}

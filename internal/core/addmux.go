@@ -1,0 +1,49 @@
+package core
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/timing"
+)
+
+// AddMUX implements the paper's first step:
+//
+//  1. Find delay of critical path(s) of the circuit
+//  2. For each pseudo-input: add a multiplexer; if the critical path
+//     delay changed, remove it.
+//
+// It returns, per flop, whether its output may carry a scan-mode MUX
+// without lengthening the critical path, together with the timing
+// analysis it used. The per-flop checks are independent because a MUX at
+// one pseudo-input lengthens only the paths leaving that pseudo-input
+// (the slack-based equivalence is unit-tested against literal
+// re-insertion in internal/timing).
+func AddMUX(c *netlist.Circuit, model timing.DelayModel) ([]bool, *timing.Analysis) {
+	a := timing.Analyze(c, model)
+	muxable := make([]bool, c.NumFFs())
+	for fi, ff := range c.FFs {
+		muxable[fi] = !a.WouldMuxChangeCritical(ff.Q)
+	}
+	return muxable, a
+}
+
+// AddMUXLiteral is the paper's procedure taken literally: for each
+// pseudo-input, physically insert the multiplexer, re-run the timing
+// analysis on the materialized netlist, and remove the MUX again if the
+// critical path delay changed. It is O(flops × STA) where AddMUX is one
+// STA pass; the two are proven equivalent by tests, and AddMUX is what
+// the flow uses.
+func AddMUXLiteral(c *netlist.Circuit, model timing.DelayModel) ([]bool, error) {
+	base := timing.Analyze(c, model).Critical
+	muxable := make([]bool, c.NumFFs())
+	for fi := range c.FFs {
+		single := make([]bool, c.NumFFs())
+		single[fi] = true
+		dft, err := InsertMuxes(c, single, make([]bool, c.NumFFs()))
+		if err != nil {
+			return nil, err
+		}
+		after := timing.Analyze(dft, model).Critical
+		muxable[fi] = after <= base+1e-9
+	}
+	return muxable, nil
+}

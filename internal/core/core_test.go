@@ -1,0 +1,427 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/iscas"
+	"repro/internal/leakage"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/scan"
+	"repro/internal/sim"
+	"repro/internal/techmap"
+	"repro/internal/timing"
+)
+
+const s27 = `INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// mappedS27 returns s27 mapped to the NAND/NOR/INV library.
+func mappedS27(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(s27, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := techmap.Map(c, techmap.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAddMUXKeepsCriticalDelay(t *testing.T) {
+	c := mappedS27(t)
+	model := timing.Default()
+	muxable, a := AddMUX(c, model)
+	muxVal := make([]bool, c.NumFFs())
+	dft, err := InsertMuxes(c, muxable, muxVal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := timing.Analyze(dft, model)
+	if after.Critical > a.Critical+1e-9 {
+		t.Errorf("AddMUX selection changed critical delay: %v -> %v", a.Critical, after.Critical)
+	}
+}
+
+func TestAddMUXIsMaximalUnderLiteralCheck(t *testing.T) {
+	// Every rejected flop, if muxed anyway, must lengthen the critical
+	// path (the rejection is never spurious).
+	c := mappedS27(t)
+	model := timing.Default()
+	muxable, a := AddMUX(c, model)
+	for fi, ok := range muxable {
+		if ok {
+			continue
+		}
+		single := make([]bool, c.NumFFs())
+		single[fi] = true
+		dft, err := InsertMuxes(c, single, make([]bool, c.NumFFs()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := timing.Analyze(dft, model)
+		if after.Critical <= a.Critical+1e-9 {
+			t.Errorf("flop %d rejected but MUX is actually free (%v vs %v)",
+				fi, after.Critical, a.Critical)
+		}
+	}
+}
+
+func TestInsertMuxesNormalModeEquivalence(t *testing.T) {
+	c := mappedS27(t)
+	muxable, _ := AddMUX(c, timing.Default())
+	muxVal := make([]bool, c.NumFFs())
+	for i := range muxVal {
+		muxVal[i] = i%2 == 0
+	}
+	dft, err := InsertMuxes(c, muxable, muxVal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With SE=0 the DFT netlist must behave exactly like the original.
+	rng := rand.New(rand.NewSource(1))
+	sa, sb := sim.New(c), sim.New(dft)
+	pi := make([]bool, len(c.PIs))
+	ppi := make([]bool, c.NumFFs())
+	piB := make([]bool, len(dft.PIs))
+	for trial := 0; trial < 300; trial++ {
+		sim.RandomVector(rng, pi)
+		sim.RandomVector(rng, ppi)
+		for i := range piB {
+			name := dft.Nets[dft.PIs[i]].Name
+			switch name {
+			case "SE":
+				piB[i] = false
+			case "TIE0":
+				piB[i] = false
+			case "TIE1":
+				piB[i] = true
+			default:
+				id, _ := c.NetByName(name)
+				for j, orig := range c.PIs {
+					if orig == id {
+						piB[i] = pi[j]
+					}
+				}
+			}
+		}
+		stA := sa.Eval(pi, ppi)
+		stB := sb.Eval(piB, ppi)
+		for _, po := range c.POs {
+			name := c.Nets[po].Name
+			poB, ok := dft.NetByName(name)
+			if !ok {
+				t.Fatalf("PO %s missing in DFT netlist", name)
+			}
+			if stA[po] != stB[poB] {
+				t.Fatalf("trial %d: PO %s differs in normal mode", trial, name)
+			}
+		}
+		for fi := range c.FFs {
+			if stA[c.FFs[fi].D] != stB[dft.FFs[fi].D] {
+				t.Fatalf("trial %d: next state of flop %d differs", trial, fi)
+			}
+		}
+	}
+}
+
+func TestInsertMuxesValidation(t *testing.T) {
+	c := mappedS27(t)
+	if _, err := InsertMuxes(c, []bool{true}, []bool{true}); err == nil {
+		t.Error("accepted wrong-length mux flags")
+	}
+}
+
+func TestBuildProposedS27(t *testing.T) {
+	c := mappedS27(t)
+	sol, err := Build(c, ProposedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.MuxCount == 0 {
+		t.Error("no pseudo-input was multiplexed on s27")
+	}
+	if err := sol.Cfg.Validate(sol.Circuit); err != nil {
+		t.Fatalf("invalid shift config: %v", err)
+	}
+	// Every PI hold value must be binary after the fill.
+	for i, v := range sol.Cfg.PIHold {
+		if !v.IsBinary() {
+			t.Errorf("PIHold[%d] = %v, want binary", i, v)
+		}
+	}
+	if sol.Stats.ScanLeakNA <= 0 {
+		t.Error("scan leakage must be positive")
+	}
+	if sol.BlockedShare() <= 0 {
+		t.Error("no gate ended up quiet")
+	}
+}
+
+// TestBlockingSoundness is the central correctness property: every net the
+// flow declares transition-free must hold a constant value no matter what
+// the non-multiplexed scan cells carry during shifting.
+func TestBlockingSoundness(t *testing.T) {
+	c := mappedS27(t)
+	for _, opts := range []Options{ProposedOptions(), InputControlOptions()} {
+		sol, err := Build(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := sol.Circuit
+		s := sim.New(w)
+		rng := rand.New(rand.NewSource(3))
+		pi := make([]bool, len(w.PIs))
+		ppi := make([]bool, w.NumFFs())
+		for i, p := range w.PIs {
+			pi[i] = sol.Cfg.PIHold[i] == logic.One
+			_ = p
+		}
+		var ref []bool
+		for trial := 0; trial < 200; trial++ {
+			for f := 0; f < w.NumFFs(); f++ {
+				if sol.Cfg.Muxed[f] {
+					ppi[f] = sol.Cfg.MuxVal[f]
+				} else {
+					ppi[f] = rng.Intn(2) == 1
+				}
+			}
+			st := s.Eval(pi, ppi)
+			if trial == 0 {
+				ref = append([]bool(nil), st...)
+				continue
+			}
+			for n := range st {
+				if sol.Trans[n] {
+					continue
+				}
+				if st[n] != ref[n] {
+					t.Fatalf("opts mux=%v: net %s declared quiet but toggled",
+						opts.UseMux, w.Nets[n].Name)
+				}
+				if sol.Val[n].IsBinary() && st[n] != sol.Val[n].Bool() {
+					t.Fatalf("net %s: implied %v but simulates %v",
+						w.Nets[n].Name, sol.Val[n], st[n])
+				}
+			}
+		}
+	}
+}
+
+// TestProposedBeatsTraditionalOnPower wires the whole measurement path:
+// proposed must cut dynamic power and not increase static power.
+func TestProposedBeatsTraditionalOnPower(t *testing.T) {
+	c := mappedS27(t)
+	sol, err := Build(c, ProposedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := leakage.Default()
+	cm := power.DefaultCapModel()
+	rng := rand.New(rand.NewSource(5))
+	var pats []scan.Pattern
+	for i := 0; i < 20; i++ {
+		p := scan.Pattern{PI: make([]bool, len(c.PIs)), State: make([]bool, c.NumFFs())}
+		sim.RandomVector(rng, p.PI)
+		sim.RandomVector(rng, p.State)
+		pats = append(pats, p)
+	}
+	chT := scan.New(c)
+	trad, err := power.MeasureScan(chT, pats, scan.Traditional(c), lm, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chP := scan.New(sol.Circuit)
+	prop, err := power.MeasureScan(chP, pats, sol.Cfg, lm, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.DynamicPerHz >= trad.DynamicPerHz {
+		t.Errorf("proposed dynamic %v >= traditional %v", prop.DynamicPerHz, trad.DynamicPerHz)
+	}
+	if prop.StaticUW > trad.StaticUW*1.02 {
+		t.Errorf("proposed static %v clearly above traditional %v", prop.StaticUW, trad.StaticUW)
+	}
+}
+
+func TestInputControlBaselineShape(t *testing.T) {
+	c := mappedS27(t)
+	sol, err := Build(c, InputControlOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.MuxCount != 0 || sol.Cfg.MuxCount() != 0 {
+		t.Error("input-control baseline must not insert MUXes")
+	}
+	if sol.Stats.ReorderedGates != 0 {
+		t.Error("input-control baseline must not reorder")
+	}
+	for _, v := range sol.Cfg.PIHold {
+		if !v.IsBinary() {
+			t.Error("baseline PI hold values must be binary")
+		}
+	}
+}
+
+func TestReorderInputsPreservesFunction(t *testing.T) {
+	c := mappedS27(t)
+	clone := c.Clone()
+	clone.MustFreeze()
+	state := make([]logic.Value, clone.NumNets())
+	rng := rand.New(rand.NewSource(7))
+	for i := range state {
+		state[i] = logic.Value(rng.Intn(3))
+	}
+	lm := leakage.Default()
+	before := lm.CircuitLeak(clone, state)
+	changed := ReorderInputs(clone, state, lm)
+	after := lm.CircuitLeak(clone, state)
+	if after > before+1e-9 {
+		t.Errorf("reordering increased leakage: %v -> %v", before, after)
+	}
+	if changed > 0 {
+		if err := sim.Equivalent(c, clone, 500, rng); err != nil {
+			t.Fatalf("reordering changed function: %v", err)
+		}
+	}
+}
+
+func TestReorderInputsFindsKnownWin(t *testing.T) {
+	// NAND2 with state (1,0) leaks 264; swapping to (0,1) leaks 73.
+	c := netlist.New("swap")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddGate(logic.Nand, "o", "a", "b")
+	c.MarkPO("o")
+	c.MustFreeze()
+	aID, _ := c.NetByName("a")
+	bID, _ := c.NetByName("b")
+	state := make([]logic.Value, c.NumNets())
+	state[aID], state[bID] = logic.One, logic.Zero
+	lm := leakage.Default()
+	if n := ReorderInputs(c, state, lm); n != 1 {
+		t.Fatalf("ReorderInputs changed %d gates, want 1", n)
+	}
+	if c.Gates[0].Inputs[0] != bID || c.Gates[0].Inputs[1] != aID {
+		t.Error("inputs not swapped into the cheap order")
+	}
+	// Second call is a no-op (already optimal).
+	if n := ReorderInputs(c, state, lm); n != 0 {
+		t.Errorf("reorder not idempotent: changed %d more gates", n)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	c := mappedS27(t)
+	a, err := Build(c, ProposedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(c, ProposedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment differs at net %d across identical runs", i)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	c := netlist.New("uf")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "o", "a")
+	c.MarkPO("o")
+	if _, err := Build(c, ProposedOptions()); err == nil {
+		t.Error("accepted unfrozen circuit")
+	}
+	c.MustFreeze()
+	opts := ProposedOptions()
+	opts.Leak = nil
+	if _, err := Build(c, opts); err == nil {
+		t.Error("accepted nil leakage model")
+	}
+}
+
+func TestBuildDoesNotMutateInput(t *testing.T) {
+	c := mappedS27(t)
+	orig := bench.Canonical(c)
+	if _, err := Build(c, ProposedOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if bench.Canonical(c) != orig {
+		t.Error("Build mutated its input circuit")
+	}
+}
+
+func TestMuxScanLeakNA(t *testing.T) {
+	c := mappedS27(t)
+	sol, err := Build(c, ProposedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := leakage.Default()
+	if sol.Stats.MuxCount > 0 && sol.MuxScanLeakNA(lm) <= 0 {
+		t.Error("mux overhead leak should be positive when muxes exist")
+	}
+	none, err := Build(c, InputControlOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.MuxScanLeakNA(lm) != 0 {
+		t.Error("baseline has mux leak")
+	}
+}
+
+// TestAddMUXLiteralAgreesWithFast proves the slack-based AddMUX equals
+// the paper's literal insert/re-analyze/remove procedure on every
+// benchmark profile small enough to afford the literal loop.
+func TestAddMUXLiteralAgreesWithFast(t *testing.T) {
+	model := timing.Default()
+	for _, name := range []string{"s344", "s382", "s510", "s641"} {
+		p, ok := iscas.ByName(name)
+		if !ok {
+			t.Fatalf("profile %s missing", name)
+		}
+		c, err := iscas.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, _ := AddMUX(c, model)
+		lit, err := AddMUXLiteral(c, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := range fast {
+			if fast[fi] != lit[fi] {
+				t.Errorf("%s flop %d: fast=%v literal=%v", name, fi, fast[fi], lit[fi])
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// InsertMuxes materializes the proposed DFT structure as a netlist: every
+// flop with muxed[f] set has its Q output routed through a MUX2 whose
+// other data input ties to the constant muxVal[f] (locally connected to
+// Vcc or Gnd — no routing overhead, as the paper notes) and whose select
+// is the Shift Enable signal (present in every scan design; no extra
+// control signal).
+//
+// The returned circuit has two extra primary inputs, "SE" (shift enable)
+// and the internal constant rails "TIE0"/"TIE1" (modeled as inputs the
+// testbench drives), plus renamed raw flop outputs. With SE=0 it is
+// functionally identical to the original — that equivalence and the
+// unchanged fault coverage are what the integration tests check.
+func InsertMuxes(c *netlist.Circuit, muxed []bool, muxVal []bool) (*netlist.Circuit, error) {
+	if len(muxed) != c.NumFFs() || len(muxVal) != c.NumFFs() {
+		return nil, fmt.Errorf("core: muxed/muxVal sized %d/%d for %d flops",
+			len(muxed), len(muxVal), c.NumFFs())
+	}
+	anyMux := false
+	needTie0, needTie1 := false, false
+	for f, m := range muxed {
+		if m {
+			anyMux = true
+			if muxVal[f] {
+				needTie1 = true
+			} else {
+				needTie0 = true
+			}
+		}
+	}
+	nb := netlist.New(c.Name + "_dft")
+	for _, pi := range c.PIs {
+		nb.AddPI(c.Nets[pi].Name)
+	}
+	var se string
+	if anyMux {
+		se = freshName(c, "SE")
+		nb.AddPI(se)
+		if needTie0 {
+			nb.AddPI(freshName(c, "TIE0"))
+		}
+		if needTie1 {
+			nb.AddPI(freshName(c, "TIE1"))
+		}
+	}
+	for f, ff := range c.FFs {
+		q := c.Nets[ff.Q].Name
+		d := c.Nets[ff.D].Name
+		if muxed[f] {
+			raw := freshName(c, q+"_raw")
+			nb.AddFF(ff.Name, raw, d)
+			tie := freshName(c, "TIE0")
+			if muxVal[f] {
+				tie = freshName(c, "TIE1")
+			}
+			// MUX2(d0, d1, sel): sel=SE picks the tied constant during
+			// shift, the flop output otherwise.
+			nb.AddGate(logic.Mux2, q, raw, tie, se)
+		} else {
+			nb.AddFF(ff.Name, q, d)
+		}
+	}
+	for _, g := range c.Gates {
+		ins := make([]string, len(g.Inputs))
+		for i, in := range g.Inputs {
+			ins[i] = c.Nets[in].Name
+		}
+		nb.AddGate(g.Type, c.Nets[g.Output].Name, ins...)
+	}
+	for _, po := range c.POs {
+		nb.MarkPO(c.Nets[po].Name)
+	}
+	if err := nb.Freeze(); err != nil {
+		return nil, fmt.Errorf("core: InsertMuxes produced malformed netlist: %w", err)
+	}
+	return nb, nil
+}
+
+// freshName returns base if unused in c, otherwise base with a numeric
+// suffix that is.
+func freshName(c *netlist.Circuit, base string) string {
+	if _, ok := c.NetByName(base); !ok {
+		return base
+	}
+	for i := 1; ; i++ {
+		name := fmt.Sprintf("%s_%d", base, i)
+		if _, ok := c.NetByName(name); !ok {
+			return name
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+)
+
+// Test-point insertion in the style of Sankaralingam & Touba (DFT 2002),
+// reference [6] of the paper: gating gates are inserted at selected
+// internal lines so that, with a global Test Point Enable signal asserted
+// during scan shifting, those lines freeze and the activity behind them
+// dies. It controls *peak* power, and — the drawback the paper calls out —
+// it needs a dedicated global control signal routed to every point and
+// adds a gate delay on every gated line (unlike the proposed structure,
+// which reuses Shift Enable and only ever touches slack paths).
+
+// TestPointPlan is the outcome of PlanTestPoints.
+type TestPointPlan struct {
+	// Circuit is the modified netlist with one AND/OR gate per point and
+	// the TPE primary input appended.
+	Circuit *netlist.Circuit
+	// Nets are the gated lines (IDs in the ORIGINAL circuit) and Values
+	// the constants they are forced to while TPE is asserted.
+	Nets   []netlist.NetID
+	Values []bool
+	// TPEIndex is the index of the TPE input within Circuit.PIs.
+	TPEIndex int
+}
+
+// InsertTestPoints gates the given nets of c: net n is replaced downstream
+// by AND(n, ¬TPE) when forced to 0 or OR(n, TPE) when forced to 1. The
+// composite AND/OR cells keep the intent legible; map the result through
+// techmap for a library-only netlist.
+func InsertTestPoints(c *netlist.Circuit, nets []netlist.NetID, values []bool) (*TestPointPlan, error) {
+	if len(nets) != len(values) {
+		return nil, fmt.Errorf("core: %d nets, %d values", len(nets), len(values))
+	}
+	gated := make(map[netlist.NetID]bool, len(nets))
+	for _, n := range nets {
+		if int(n) < 0 || int(n) >= c.NumNets() {
+			return nil, fmt.Errorf("core: net %d out of range", n)
+		}
+		if c.Nets[n].IsPI() {
+			return nil, fmt.Errorf("core: gating primary input %q is pointless (hold it instead)", c.Nets[n].Name)
+		}
+		if gated[n] {
+			return nil, fmt.Errorf("core: net %q gated twice", c.Nets[n].Name)
+		}
+		gated[n] = true
+	}
+	nb := netlist.New(c.Name + "_tp")
+	for _, pi := range c.PIs {
+		nb.AddPI(c.Nets[pi].Name)
+	}
+	tpe := freshName(c, "TPE")
+	nb.AddPI(tpe)
+	tpeB := freshName(c, "TPE_B")
+	nb.AddGate(logic.Not, tpeB, tpe)
+
+	// raw returns the name carrying the original (ungated) signal.
+	raw := func(n netlist.NetID) string {
+		if gated[n] {
+			return freshName(c, c.Nets[n].Name+"_tpraw")
+		}
+		return c.Nets[n].Name
+	}
+	for _, ff := range c.FFs {
+		nb.AddFF(ff.Name, raw(ff.Q), c.Nets[ff.D].Name)
+	}
+	for _, g := range c.Gates {
+		ins := make([]string, len(g.Inputs))
+		for i, in := range g.Inputs {
+			ins[i] = c.Nets[in].Name
+		}
+		nb.AddGate(g.Type, raw(g.Output), ins...)
+	}
+	for i, n := range nets {
+		name := c.Nets[n].Name
+		if values[i] {
+			nb.AddGate(logic.Or, name, raw(n), tpe)
+		} else {
+			nb.AddGate(logic.And, name, raw(n), tpeB)
+		}
+	}
+	for _, po := range c.POs {
+		nb.MarkPO(c.Nets[po].Name)
+	}
+	if err := nb.Freeze(); err != nil {
+		return nil, fmt.Errorf("core: test-point netlist invalid: %w", err)
+	}
+	return &TestPointPlan{
+		Circuit:  nb,
+		Nets:     append([]netlist.NetID(nil), nets...),
+		Values:   append([]bool(nil), values...),
+		TPEIndex: len(c.PIs),
+	}, nil
+}
+
+// AdaptPatterns extends a pattern set of the original circuit with the
+// TPE bit (0 at capture — test points must be transparent functionally).
+func (p *TestPointPlan) AdaptPatterns(pats []scan.Pattern) []scan.Pattern {
+	out := make([]scan.Pattern, len(pats))
+	for i, pat := range pats {
+		pi := make([]bool, len(pat.PI)+1)
+		copy(pi, pat.PI)
+		// TPE bit defaults to false at capture.
+		out[i] = scan.Pattern{PI: pi, State: pat.State}
+	}
+	return out
+}
+
+// AdaptConfig extends a shift configuration with the TPE pin held high
+// during shifting (the whole point of the insertion).
+func (p *TestPointPlan) AdaptConfig(cfg scan.ShiftConfig) scan.ShiftConfig {
+	out := scan.ShiftConfig{
+		PIHold: make([]logic.Value, len(cfg.PIHold)+1),
+		Muxed:  append([]bool(nil), cfg.Muxed...),
+		MuxVal: append([]bool(nil), cfg.MuxVal...),
+	}
+	copy(out.PIHold, cfg.PIHold)
+	out.PIHold[p.TPEIndex] = logic.One
+	return out
+}
+
+// RankTestPointCandidates orders the circuit's gate-output nets by a
+// toggle profile (descending switched capacitance), the greedy priority
+// of the insertion loop.
+func RankTestPointCandidates(c *netlist.Circuit, profile []float64) []netlist.NetID {
+	var cands []netlist.NetID
+	for ni := range c.Nets {
+		n := &c.Nets[ni]
+		if n.IsPI() || n.IsPPI() {
+			continue // inputs are held/muxed by other means
+		}
+		if profile[ni] <= 0 {
+			continue
+		}
+		cands = append(cands, netlist.NetID(ni))
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return profile[cands[i]] > profile[cands[j]]
+	})
+	return cands
+}

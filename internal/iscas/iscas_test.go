@@ -1,0 +1,169 @@
+package iscas
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/techmap"
+	"repro/internal/timing"
+)
+
+func TestProfilesMatchPublishedStats(t *testing.T) {
+	want := map[string][4]int{ // PI, PO, FF, gates
+		"s344": {9, 11, 15, 160}, "s382": {3, 6, 21, 158},
+		"s444": {3, 6, 21, 181}, "s510": {19, 7, 6, 211},
+		"s641": {35, 24, 19, 379}, "s713": {35, 23, 19, 393},
+		"s1196": {14, 14, 18, 529}, "s1238": {14, 14, 18, 508},
+		"s1423": {17, 5, 74, 657}, "s1494": {8, 19, 6, 647},
+		"s5378": {35, 49, 179, 2779}, "s9234": {36, 39, 211, 5597},
+	}
+	if len(Profiles) != len(want) {
+		t.Fatalf("have %d profiles, want %d", len(Profiles), len(want))
+	}
+	for _, p := range Profiles {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected profile %s", p.Name)
+			continue
+		}
+		if p.PIs != w[0] || p.POs != w[1] || p.FFs != w[2] || p.Gates != w[3] {
+			t.Errorf("%s profile = %+v, want %v", p.Name, p, w)
+		}
+	}
+}
+
+func TestGenerateMatchesProfile(t *testing.T) {
+	for _, p := range Profiles {
+		if p.Gates > 1000 {
+			continue // big ones covered by TestGenerateLargest
+		}
+		c, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		st := c.ComputeStats()
+		if st.PIs != p.PIs || st.POs != p.POs || st.FFs != p.FFs || st.Gates != p.Gates {
+			t.Errorf("%s: generated %v, want profile %+v", p.Name, st, p)
+		}
+		if !techmap.IsMapped(c, 4) {
+			t.Errorf("%s: not library-only", p.Name)
+		}
+		if st.Depth < 3 {
+			t.Errorf("%s: depth %d implausibly shallow", p.Name, st.Depth)
+		}
+	}
+}
+
+func TestGenerateLargest(t *testing.T) {
+	p, ok := ByName("s9234")
+	if !ok {
+		t.Fatal("s9234 profile missing")
+	}
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.ComputeStats()
+	if st.Gates != p.Gates || st.FFs != p.FFs {
+		t.Errorf("s9234 stats %v", st)
+	}
+	// Timing must show a mix of critical and slack-rich pseudo-inputs so
+	// AddMUX has real decisions to make.
+	a := timing.Analyze(c, timing.Default())
+	if a.Critical <= 0 {
+		t.Fatal("no critical path")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("s344")
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Canonical(a) != bench.Canonical(b) {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestGenerateMostNetsObservable(t *testing.T) {
+	p, _ := ByName("s641")
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := 0
+	for ni := range c.Nets {
+		n := &c.Nets[ni]
+		if !n.IsPO() && len(n.Fanout) == 0 && len(n.FanoutFF) == 0 {
+			dead++
+		}
+	}
+	if frac := float64(dead) / float64(c.NumNets()); frac > 0.05 {
+		t.Errorf("%.1f%% of nets are dead; generator should keep logic observable", frac*100)
+	}
+}
+
+func TestGenerateRejectsBadProfile(t *testing.T) {
+	if _, err := Generate(Profile{Name: "bad", PIs: 0, FFs: 1, Gates: 10}); err == nil {
+		t.Error("accepted zero-PI profile")
+	}
+	if _, err := Generate(Profile{Name: "bad", PIs: 2, FFs: 2, POs: 9, Gates: 5}); err == nil {
+		t.Error("accepted gates < terminals")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("s344"); !ok {
+		t.Error("s344 missing")
+	}
+	if _, ok := ByName("s99999"); ok {
+		t.Error("found nonexistent circuit")
+	}
+}
+
+func TestS27IsReal(t *testing.T) {
+	c := S27()
+	st := c.ComputeStats()
+	if st.PIs != 4 || st.POs != 1 || st.FFs != 3 || st.Gates != 10 {
+		t.Errorf("embedded s27 stats wrong: %v", st)
+	}
+}
+
+// TestCritFracControlsMuxability pins the critical-spine mechanism: the
+// generated s510 (CritFrac 0.95) must leave AddMUX almost nothing to mux,
+// while s5378 (CritFrac 0.02) must be nearly fully muxable — this is the
+// structural property behind the paper's per-circuit spread of dynamic
+// improvements.
+func TestCritFracControlsMuxability(t *testing.T) {
+	count := func(name string) (muxable, ffs int) {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("profile %s missing", name)
+		}
+		c, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := timing.Analyze(c, timing.Default())
+		for _, ff := range c.FFs {
+			if !a.WouldMuxChangeCritical(ff.Q) {
+				muxable++
+			}
+		}
+		return muxable, c.NumFFs()
+	}
+	if m, n := count("s510"); m > n/3 {
+		t.Errorf("s510: %d/%d muxable, want almost none (CritFrac 0.95)", m, n)
+	}
+	if m, n := count("s5378"); m < n*9/10 {
+		t.Errorf("s5378: %d/%d muxable, want nearly all (CritFrac 0.02)", m, n)
+	}
+	if m, n := count("s1196"); m > n*2/3 {
+		t.Errorf("s1196: %d/%d muxable, want a clear minority unmuxable at least (CritFrac 0.8)", m, n)
+	}
+}

@@ -1,0 +1,50 @@
+package leakage
+
+import "repro/internal/bsim"
+
+// ParamsFromDevices derives the behavioral calibration constants from the
+// device-level BSIM models of internal/bsim instead of the Figure 2
+// anchor: single-device subthreshold and tunneling currents are evaluated
+// directly from Eq. 2 and Eq. 4, and the stack/position factors from the
+// series-stack DC solver. This is the "characterize the library with a
+// circuit simulator" path of the paper's Section 3, minus HSPICE.
+//
+// The default (Figure 2-anchored) calibration remains what the
+// experiments use; ParamsFromDevices exists to show the behavioral model
+// is obtainable from first principles and to let users re-derive it for
+// other device corners.
+func ParamsFromDevices(t bsim.Tech) (Params, error) {
+	n, p := t.N, t.P
+	isubN := bsim.NA(n.Subthreshold(0, t.VDD, 0))
+	isubP := bsim.NA(p.Subthreshold(0, t.VDD, 0))
+
+	one, err := bsim.SolveStack([]bsim.Device{n}, []bool{false}, t.VDD)
+	if err != nil {
+		return Params{}, err
+	}
+	two, err := bsim.SolveStack([]bsim.Device{n, n}, []bool{false, false}, t.VDD)
+	if err != nil {
+		return Params{}, err
+	}
+	offTop, err := bsim.SolveStack([]bsim.Device{n, n}, []bool{false, true}, t.VDD)
+	if err != nil {
+		return Params{}, err
+	}
+	offBottom, err := bsim.SolveStack([]bsim.Device{n, n}, []bool{true, false}, t.VDD)
+	if err != nil {
+		return Params{}, err
+	}
+	return Params{
+		IsubN:         isubN,
+		IsubP:         isubP,
+		IgN:           bsim.NA(n.GateTunnel(t.VDD)),
+		IgP:           bsim.NA(p.GateTunnel(t.VDD)),
+		Stack:         one.Current / two.Current,
+		OffNearOutput: offTop.Current / one.Current,
+		OffNearRail:   offBottom.Current / one.Current,
+		VDD:           t.VDD,
+	}, nil
+}
+
+// defaultTech is split out for tests.
+func defaultTech() bsim.Tech { return bsim.Default45() }

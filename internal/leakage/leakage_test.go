@@ -1,0 +1,211 @@
+package leakage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// TestFigure2Exact pins the model to the paper's Figure 2: the NAND2 45 nm
+// leakage table. This is the calibration anchor of the whole static-power
+// reproduction.
+func TestFigure2Exact(t *testing.T) {
+	m := Default()
+	got := m.Figure2()
+	want := [4]float64{78, 73, 264, 408} // states 00, 01, 10, 11 (A,B)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.5 {
+			t.Errorf("Figure2[%02b] = %.2f nA, want %.0f", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFigure2Ordering(t *testing.T) {
+	m := Default()
+	f := m.Figure2()
+	if !(f[1] < f[0] && f[0] < f[2] && f[2] < f[3]) {
+		t.Errorf("NAND2 ordering wrong: 01=%v 00=%v 10=%v 11=%v", f[1], f[0], f[2], f[3])
+	}
+}
+
+// TestInputOrderMatters verifies the asymmetry the paper's gate input
+// reordering step exploits: NAND2 "01" vs "10" differ by >3x.
+func TestInputOrderMatters(t *testing.T) {
+	m := Default()
+	l01 := m.GateLeak(logic.Nand, []logic.Value{logic.Zero, logic.One})
+	l10 := m.GateLeak(logic.Nand, []logic.Value{logic.One, logic.Zero})
+	if l10 < 3*l01 {
+		t.Errorf("NAND2 10/01 ratio = %v, want > 3", l10/l01)
+	}
+	// NOR has the dual asymmetry.
+	n01 := m.GateLeak(logic.Nor, []logic.Value{logic.Zero, logic.One})
+	n10 := m.GateLeak(logic.Nor, []logic.Value{logic.One, logic.Zero})
+	if n01 < 3*n10 {
+		t.Errorf("NOR2 01/10 ratio = %v, want > 3", n01/n10)
+	}
+}
+
+// TestStackEffect: more OFF devices in series leak (much) less.
+func TestStackEffect(t *testing.T) {
+	m := Default()
+	one := m.GateLeakBits(logic.Nand, 2, 0b10) // input0=0? bits: bit i = input i; 0b10 -> in0=0,in1=1
+	two := m.GateLeakBits(logic.Nand, 2, 0b00) // both off
+	if two >= one+200 {
+		t.Errorf("stack effect missing: 2-off=%v 1-off=%v", two, one)
+	}
+	// NAND4: all-off much smaller than single-off-at-rail.
+	allOff := m.GateLeakBits(logic.Nand, 4, 0b0000)
+	railOff := m.GateLeakBits(logic.Nand, 4, 0b0111) // only input3 (rail) off
+	if allOff >= railOff {
+		t.Errorf("NAND4 all-off %v should leak less than rail-off %v", allOff, railOff)
+	}
+}
+
+func TestPositionFactorMonotone(t *testing.T) {
+	m := Default()
+	// Single OFF device moving from output (idx 0) to rail (idx 3) in a
+	// NAND4 must leak monotonically more.
+	prev := -1.0
+	for idx := 0; idx < 4; idx++ {
+		bits := 0b1111 &^ (1 << idx)
+		l := m.GateLeakBits(logic.Nand, 4, bits)
+		if l <= prev {
+			t.Errorf("position %d leak %v not increasing (prev %v)", idx, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestGateLeakXAveraging(t *testing.T) {
+	m := Default()
+	// X on one input = average of the two refinements.
+	lx := m.GateLeak(logic.Nand, []logic.Value{logic.X, logic.One})
+	l0 := m.GateLeak(logic.Nand, []logic.Value{logic.Zero, logic.One})
+	l1 := m.GateLeak(logic.Nand, []logic.Value{logic.One, logic.One})
+	if math.Abs(lx-(l0+l1)/2) > 1e-9 {
+		t.Errorf("X average wrong: %v vs %v", lx, (l0+l1)/2)
+	}
+	// All-X NAND2 = mean of the full table.
+	lxx := m.GateLeak(logic.Nand, []logic.Value{logic.X, logic.X})
+	f := m.Figure2()
+	want := (f[0] + f[1] + f[2] + f[3]) / 4
+	if math.Abs(lxx-want) > 1e-9 {
+		t.Errorf("all-X NAND2 = %v, want table mean %v", lxx, want)
+	}
+}
+
+func TestAllTablesPositive(t *testing.T) {
+	m := Default()
+	types := []struct {
+		t     logic.GateType
+		arity []int
+	}{
+		{logic.Not, []int{1}},
+		{logic.Buf, []int{1}},
+		{logic.Nand, []int{2, 3, 4}},
+		{logic.Nor, []int{2, 3, 4}},
+		{logic.And, []int{2, 3, 4}},
+		{logic.Or, []int{2, 3, 4}},
+		{logic.Xor, []int{2, 3}},
+		{logic.Xnor, []int{2, 3}},
+		{logic.Mux2, []int{3}},
+	}
+	for _, ty := range types {
+		for _, a := range ty.arity {
+			for bits := 0; bits < 1<<a; bits++ {
+				l := m.GateLeakBits(ty.t, a, bits)
+				if l <= 0 || math.IsNaN(l) || l > 1e5 {
+					t.Errorf("%v/%d pattern %0*b: implausible leak %v", ty.t, a, a, bits, l)
+				}
+			}
+		}
+	}
+}
+
+func TestCompositeCellsLeakMore(t *testing.T) {
+	m := Default()
+	// AND = NAND+INV must leak more than the bare NAND in every state.
+	for bits := 0; bits < 4; bits++ {
+		if m.GateLeakBits(logic.And, 2, bits) <= m.GateLeakBits(logic.Nand, 2, bits) {
+			t.Errorf("AND2 pattern %02b leaks no more than NAND2", bits)
+		}
+	}
+	// XOR (4 NAND2s) leaks several times an inverter.
+	if m.GateLeakBits(logic.Xor, 2, 0) < 2*m.GateLeakBits(logic.Not, 1, 0) {
+		t.Error("XOR2 leak implausibly small")
+	}
+}
+
+func TestMuxLeakMatchesNandNetwork(t *testing.T) {
+	m := Default()
+	for bits := 0; bits < 8; bits++ {
+		d0 := bits&1 == 1
+		d1 := bits&2 == 2
+		sel := bits&4 == 4
+		selb := !sel
+		n1 := !(d0 && selb)
+		n2 := !(d1 && sel)
+		want := m.invLeak(sel) +
+			m.raw(logic.Nand, []bool{d0, selb}) +
+			m.raw(logic.Nand, []bool{d1, sel}) +
+			m.raw(logic.Nand, []bool{n1, n2})
+		if got := m.GateLeakBits(logic.Mux2, 3, bits); math.Abs(got-want) > 1e-9 {
+			t.Errorf("MUX2 %03b: %v vs network %v", bits, got, want)
+		}
+	}
+}
+
+func TestCircuitLeakAgainstManualSum(t *testing.T) {
+	m := Default()
+	c := netlist.New("two")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddGate(logic.Nand, "n", "a", "b")
+	c.AddGate(logic.Not, "o", "n")
+	c.MarkPO("o")
+	c.MustFreeze()
+
+	state := make([]logic.Value, c.NumNets())
+	aID, _ := c.NetByName("a")
+	bID, _ := c.NetByName("b")
+	nID, _ := c.NetByName("n")
+	state[aID], state[bID], state[nID] = logic.One, logic.Zero, logic.One
+
+	want := m.GateLeak(logic.Nand, []logic.Value{logic.One, logic.Zero}) +
+		m.GateLeak(logic.Not, []logic.Value{logic.One})
+	if got := m.CircuitLeak(c, state); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CircuitLeak = %v, want %v", got, want)
+	}
+
+	bstate := make([]bool, c.NumNets())
+	bstate[aID], bstate[bID], bstate[nID] = true, false, true
+	if got := m.CircuitLeakBool(c, bstate); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CircuitLeakBool = %v, want %v", got, want)
+	}
+}
+
+func TestPowerUW(t *testing.T) {
+	m := Default()
+	// 1000 nA at 0.9 V = 0.9 µW.
+	if got := m.PowerUW(1000); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("PowerUW(1000) = %v, want 0.9", got)
+	}
+}
+
+func TestLazyTableForUncommonArity(t *testing.T) {
+	m := Default()
+	// Arity 5 not prebuilt; GateLeak must build it on demand.
+	in := []logic.Value{logic.One, logic.One, logic.One, logic.One, logic.One}
+	l := m.GateLeak(logic.Nand, in)
+	if l <= 0 {
+		t.Errorf("NAND5 leak = %v", l)
+	}
+	// All-on NAND5: 5 off PMOS + 5 gate-leaking NMOS.
+	p := DefaultParams()
+	want := 5*p.IsubP + 5*p.IgN
+	if math.Abs(l-want) > 1e-9 {
+		t.Errorf("NAND5(1^5) = %v, want %v", l, want)
+	}
+}

@@ -1,0 +1,57 @@
+package leakage
+
+import "fmt"
+
+// Node describes one technology generation for the scaling study that
+// backs the paper's motivation ("in future technologies the static
+// portion of power dissipation will outreach the dynamic portion").
+// The 45 nm entry is the calibrated Figure 2 point; other generations
+// scale it with the classic ITRS-era trends: subthreshold leakage grows
+// roughly 3–5× per node as V_T drops, gate tunneling grows faster still
+// as T_ox thins, supply voltage and capacitance shrink slowly.
+type Node struct {
+	NM int
+	// VDD in volts.
+	VDD float64
+	// SubScale multiplies the subthreshold currents relative to 45 nm.
+	SubScale float64
+	// GateScale multiplies the gate-tunneling currents relative to 45 nm.
+	GateScale float64
+	// CapScale multiplies load capacitances relative to 45 nm.
+	CapScale float64
+}
+
+// Nodes lists the supported generations, oldest first.
+var Nodes = []Node{
+	{NM: 90, VDD: 1.20, SubScale: 0.06, GateScale: 0.02, CapScale: 2.2},
+	{NM: 65, VDD: 1.10, SubScale: 0.25, GateScale: 0.15, CapScale: 1.5},
+	{NM: 45, VDD: 0.90, SubScale: 1.00, GateScale: 1.00, CapScale: 1.0},
+	{NM: 32, VDD: 0.85, SubScale: 3.50, GateScale: 5.00, CapScale: 0.7},
+	{NM: 22, VDD: 0.80, SubScale: 11.0, GateScale: 22.0, CapScale: 0.5},
+}
+
+// NodeByNM returns the generation entry for the given feature size.
+func NodeByNM(nm int) (Node, error) {
+	for _, n := range Nodes {
+		if n.NM == nm {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("leakage: no %d nm node model (have 90/65/45/32/22)", nm)
+}
+
+// ParamsForNode returns the leakage calibration scaled to a technology
+// generation. ParamsForNode(45) equals DefaultParams.
+func ParamsForNode(nm int) (Params, error) {
+	n, err := NodeByNM(nm)
+	if err != nil {
+		return Params{}, err
+	}
+	p := DefaultParams()
+	p.IsubN *= n.SubScale
+	p.IsubP *= n.SubScale
+	p.IgN *= n.GateScale
+	p.IgP *= n.GateScale
+	p.VDD = n.VDD
+	return p, nil
+}

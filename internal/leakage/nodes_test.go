@@ -1,0 +1,98 @@
+package leakage
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParamsForNode45IsDefault(t *testing.T) {
+	p, err := ParamsForNode(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != DefaultParams() {
+		t.Errorf("45 nm params %+v differ from calibration %+v", p, DefaultParams())
+	}
+}
+
+func TestParamsForNodeUnknown(t *testing.T) {
+	if _, err := ParamsForNode(28); err == nil {
+		t.Error("accepted unsupported node")
+	}
+	if _, err := NodeByNM(7); err == nil {
+		t.Error("accepted unsupported node")
+	}
+}
+
+func TestLeakageGrowsMonotonicallyAcrossNodes(t *testing.T) {
+	// Total NAND2 table leakage must grow strictly from 90 nm to 22 nm.
+	prev := -1.0
+	for _, n := range Nodes {
+		p, err := ParamsForNode(n.NM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(p)
+		f := m.Figure2()
+		total := f[0] + f[1] + f[2] + f[3]
+		if total <= prev {
+			t.Errorf("%d nm total NAND2 leak %v not above previous node %v", n.NM, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestNodesOrderedAndScalesAnchored(t *testing.T) {
+	for i := 1; i < len(Nodes); i++ {
+		if Nodes[i].NM >= Nodes[i-1].NM {
+			t.Fatal("Nodes must be ordered newest-last")
+		}
+		if Nodes[i].CapScale >= Nodes[i-1].CapScale {
+			t.Error("capacitance must shrink with feature size")
+		}
+		if Nodes[i].VDD >= Nodes[i-1].VDD {
+			t.Error("VDD must shrink with feature size")
+		}
+	}
+	n45, _ := NodeByNM(45)
+	if n45.SubScale != 1 || n45.GateScale != 1 || n45.CapScale != 1 ||
+		math.Abs(n45.VDD-0.9) > 1e-12 {
+		t.Errorf("45 nm must be the calibration anchor: %+v", n45)
+	}
+}
+
+func TestParamsFromDevices(t *testing.T) {
+	p, err := ParamsFromDevices(defaultTech())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IsubN <= 0 || p.IsubP <= 0 || p.IgN <= 0 || p.IgP <= 0 {
+		t.Fatalf("non-positive derived currents: %+v", p)
+	}
+	if p.Stack <= 1.5 {
+		t.Errorf("derived stack factor %v implausibly weak", p.Stack)
+	}
+	if p.VDD != 0.9 {
+		t.Errorf("VDD = %v", p.VDD)
+	}
+	// A model built from the derived parameters must be usable and show
+	// the effects the flow exploits.
+	m := New(p)
+	f := m.Figure2()
+	for s, v := range f {
+		if v <= 0 {
+			t.Errorf("derived model state %02b leak %v", s, v)
+		}
+	}
+	// All-on worst; both-off beats both single-off states (stack effect).
+	if !(f[3] > f[1] && f[3] > f[2] && f[3] > f[0]) {
+		t.Errorf("derived model loses the all-on-worst shape: %v", f)
+	}
+	if !(f[0] < f[1] && f[0] < f[2]) {
+		t.Errorf("derived model loses the stack effect: %v", f)
+	}
+	// Input order must still matter (the reordering stage's raison d'être).
+	if f[1] == f[2] {
+		t.Error("derived model shows no input-order dependence")
+	}
+}

@@ -1,0 +1,330 @@
+// Package logic provides the three-valued (0, 1, X) logic system used by
+// every simulator, justifier and power estimator in this repository.
+//
+// The value X means "unknown / free": during scan shifting the
+// non-multiplexed pseudo-inputs carry arbitrary, changing data, so any line
+// whose value depends on them is X. A line that evaluates to a binary
+// constant under the controlled inputs alone is immune to scan-chain
+// transitions — that observation is the heart of the transition-blocking
+// algorithm of the paper.
+package logic
+
+import "fmt"
+
+// Value is a three-valued logic level.
+type Value uint8
+
+const (
+	// X is the unknown / unassigned value.
+	X Value = iota
+	// Zero is logic 0.
+	Zero
+	// One is logic 1.
+	One
+)
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	}
+	return fmt.Sprintf("Value(%d)", uint8(v))
+}
+
+// IsBinary reports whether v is a determinate 0 or 1.
+func (v Value) IsBinary() bool { return v == Zero || v == One }
+
+// Not returns the three-valued complement of v (X stays X).
+func (v Value) Not() Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// FromBool converts a bool to a binary Value.
+func FromBool(b bool) Value {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// Bool converts a binary Value to a bool; it panics on X because callers
+// must only use it on lines already proven binary.
+func (v Value) Bool() bool {
+	switch v {
+	case Zero:
+		return false
+	case One:
+		return true
+	}
+	panic("logic: Bool() on X value")
+}
+
+// GateType enumerates the gate primitives understood by the simulators.
+// After technology mapping only NAND, NOR and NOT appear in circuits, but
+// the parser and the mapper accept the full set.
+type GateType uint8
+
+const (
+	// Buf is a non-inverting buffer.
+	Buf GateType = iota
+	// Not is an inverter.
+	Not
+	// And is a logical AND of any arity >= 2.
+	And
+	// Nand is a logical NAND of any arity >= 2.
+	Nand
+	// Or is a logical OR of any arity >= 2.
+	Or
+	// Nor is a logical NOR of any arity >= 2.
+	Nor
+	// Xor is a logical XOR of any arity >= 2.
+	Xor
+	// Xnor is a logical XNOR of any arity >= 2.
+	Xnor
+	// Mux2 is the 2:1 multiplexer inserted by the proposed DFT
+	// modification: inputs are (d0, d1, sel); output = sel ? d1 : d0.
+	Mux2
+	numGateTypes
+)
+
+var gateTypeNames = [...]string{
+	Buf:  "BUF",
+	Not:  "NOT",
+	And:  "AND",
+	Nand: "NAND",
+	Or:   "OR",
+	Nor:  "NOR",
+	Xor:  "XOR",
+	Xnor: "XNOR",
+	Mux2: "MUX2",
+}
+
+// String implements fmt.Stringer.
+func (t GateType) String() string {
+	if int(t) < len(gateTypeNames) {
+		return gateTypeNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", uint8(t))
+}
+
+// ParseGateType converts a .bench-style type name to a GateType.
+func ParseGateType(s string) (GateType, bool) {
+	switch s {
+	case "BUF", "BUFF":
+		return Buf, true
+	case "NOT", "INV":
+		return Not, true
+	case "AND":
+		return And, true
+	case "NAND":
+		return Nand, true
+	case "OR":
+		return Or, true
+	case "NOR":
+		return Nor, true
+	case "XOR":
+		return Xor, true
+	case "XNOR":
+		return Xnor, true
+	case "MUX2", "MUX":
+		return Mux2, true
+	}
+	return 0, false
+}
+
+// HasControllingValue reports whether the gate type has a controlling input
+// value (a value on one input that fixes the output regardless of the other
+// inputs). NOT/BUF/XOR/XNOR/MUX2 have none — transitions on any of their
+// inputs always propagate (for MUX2 this conservatively treats the select
+// as fixed during scan, which it is).
+func (t GateType) HasControllingValue() bool {
+	switch t {
+	case And, Nand, Or, Nor:
+		return true
+	}
+	return false
+}
+
+// ControllingValue returns the controlling input value of the gate type.
+// It panics for types that have none; guard with HasControllingValue.
+func (t GateType) ControllingValue() Value {
+	switch t {
+	case And, Nand:
+		return Zero
+	case Or, Nor:
+		return One
+	}
+	panic("logic: ControllingValue on " + t.String())
+}
+
+// NonControllingValue returns the complement of the controlling value.
+func (t GateType) NonControllingValue() Value {
+	return t.ControllingValue().Not()
+}
+
+// Inverting reports whether the gate's output parity is inverted relative
+// to the AND/OR core (true for NOT, NAND, NOR, XNOR).
+func (t GateType) Inverting() bool {
+	switch t {
+	case Not, Nand, Nor, Xnor:
+		return true
+	}
+	return false
+}
+
+// ControlledOutput returns the output value produced when at least one
+// input carries the controlling value. Panics for gate types without one.
+func (t GateType) ControlledOutput() Value {
+	switch t {
+	case And:
+		return Zero
+	case Nand:
+		return One
+	case Or:
+		return One
+	case Nor:
+		return Zero
+	}
+	panic("logic: ControlledOutput on " + t.String())
+}
+
+// Eval evaluates the gate type over the given three-valued inputs.
+// For MUX2, ins must be (d0, d1, sel).
+func Eval(t GateType, ins []Value) Value {
+	switch t {
+	case Buf:
+		return ins[0]
+	case Not:
+		return ins[0].Not()
+	case And, Nand:
+		out := One
+		for _, v := range ins {
+			switch v {
+			case Zero:
+				out = Zero
+			case X:
+				if out == One {
+					out = X
+				}
+			}
+			if out == Zero {
+				break
+			}
+		}
+		if t == Nand {
+			return out.Not()
+		}
+		return out
+	case Or, Nor:
+		out := Zero
+		for _, v := range ins {
+			switch v {
+			case One:
+				out = One
+			case X:
+				if out == Zero {
+					out = X
+				}
+			}
+			if out == One {
+				break
+			}
+		}
+		if t == Nor {
+			return out.Not()
+		}
+		return out
+	case Xor, Xnor:
+		out := Zero
+		for _, v := range ins {
+			if v == X {
+				return X
+			}
+			if v == One {
+				out = out.Not()
+			}
+		}
+		if t == Xnor {
+			return out.Not()
+		}
+		return out
+	case Mux2:
+		d0, d1, sel := ins[0], ins[1], ins[2]
+		switch sel {
+		case Zero:
+			return d0
+		case One:
+			return d1
+		default:
+			if d0 == d1 && d0.IsBinary() {
+				return d0
+			}
+			return X
+		}
+	}
+	panic("logic: Eval on unknown gate type " + t.String())
+}
+
+// EvalBool evaluates the gate over binary inputs with no X handling; it is
+// the hot path of the two-valued simulators.
+func EvalBool(t GateType, ins []bool) bool {
+	switch t {
+	case Buf:
+		return ins[0]
+	case Not:
+		return !ins[0]
+	case And, Nand:
+		out := true
+		for _, v := range ins {
+			if !v {
+				out = false
+				break
+			}
+		}
+		if t == Nand {
+			return !out
+		}
+		return out
+	case Or, Nor:
+		out := false
+		for _, v := range ins {
+			if v {
+				out = true
+				break
+			}
+		}
+		if t == Nor {
+			return !out
+		}
+		return out
+	case Xor, Xnor:
+		out := false
+		for _, v := range ins {
+			if v {
+				out = !out
+			}
+		}
+		if t == Xnor {
+			return !out
+		}
+		return out
+	case Mux2:
+		if ins[2] {
+			return ins[1]
+		}
+		return ins[0]
+	}
+	panic("logic: EvalBool on unknown gate type " + t.String())
+}

@@ -1,0 +1,299 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{{Zero, "0"}, {One, "1"}, {X, "X"}, {Value(7), "Value(7)"}}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Value(%d).String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	if Zero.Not() != One || One.Not() != Zero || X.Not() != X {
+		t.Fatalf("Not table wrong: 0->%v 1->%v X->%v", Zero.Not(), One.Not(), X.Not())
+	}
+}
+
+func TestFromBoolRoundTrip(t *testing.T) {
+	if !FromBool(true).Bool() || FromBool(false).Bool() {
+		t.Fatal("FromBool/Bool round trip failed")
+	}
+}
+
+func TestBoolPanicsOnX(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bool() on X did not panic")
+		}
+	}()
+	_ = X.Bool()
+}
+
+func TestIsBinary(t *testing.T) {
+	if !Zero.IsBinary() || !One.IsBinary() || X.IsBinary() {
+		t.Fatal("IsBinary table wrong")
+	}
+}
+
+func TestParseGateType(t *testing.T) {
+	cases := map[string]GateType{
+		"NAND": Nand, "NOR": Nor, "NOT": Not, "INV": Not, "AND": And,
+		"OR": Or, "XOR": Xor, "XNOR": Xnor, "BUF": Buf, "BUFF": Buf,
+		"MUX2": Mux2, "MUX": Mux2,
+	}
+	for s, want := range cases {
+		got, ok := ParseGateType(s)
+		if !ok || got != want {
+			t.Errorf("ParseGateType(%q) = %v,%v want %v", s, got, ok, want)
+		}
+	}
+	if _, ok := ParseGateType("DFF"); ok {
+		t.Error("ParseGateType accepted DFF; flops are not combinational gates")
+	}
+	if _, ok := ParseGateType("bogus"); ok {
+		t.Error("ParseGateType accepted bogus name")
+	}
+}
+
+func TestControllingValues(t *testing.T) {
+	cases := []struct {
+		t           GateType
+		cv, ncv, co Value
+	}{
+		{And, Zero, One, Zero},
+		{Nand, Zero, One, One},
+		{Or, One, Zero, One},
+		{Nor, One, Zero, Zero},
+	}
+	for _, c := range cases {
+		if !c.t.HasControllingValue() {
+			t.Errorf("%v should have a controlling value", c.t)
+		}
+		if c.t.ControllingValue() != c.cv {
+			t.Errorf("%v controlling value = %v, want %v", c.t, c.t.ControllingValue(), c.cv)
+		}
+		if c.t.NonControllingValue() != c.ncv {
+			t.Errorf("%v non-controlling value = %v, want %v", c.t, c.t.NonControllingValue(), c.ncv)
+		}
+		if c.t.ControlledOutput() != c.co {
+			t.Errorf("%v controlled output = %v, want %v", c.t, c.t.ControlledOutput(), c.co)
+		}
+	}
+	for _, g := range []GateType{Buf, Not, Xor, Xnor, Mux2} {
+		if g.HasControllingValue() {
+			t.Errorf("%v should not have a controlling value", g)
+		}
+	}
+}
+
+func TestControllingValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ControllingValue(Xor) did not panic")
+		}
+	}()
+	Xor.ControllingValue()
+}
+
+func TestInverting(t *testing.T) {
+	inv := map[GateType]bool{Not: true, Nand: true, Nor: true, Xnor: true,
+		Buf: false, And: false, Or: false, Xor: false, Mux2: false}
+	for g, want := range inv {
+		if g.Inverting() != want {
+			t.Errorf("%v.Inverting() = %v, want %v", g, g.Inverting(), want)
+		}
+	}
+}
+
+func TestEvalBinaryTables(t *testing.T) {
+	two := []struct {
+		t    GateType
+		want [4]Value // indexed by a*2+b over {0,1}
+	}{
+		{And, [4]Value{Zero, Zero, Zero, One}},
+		{Nand, [4]Value{One, One, One, Zero}},
+		{Or, [4]Value{Zero, One, One, One}},
+		{Nor, [4]Value{One, Zero, Zero, Zero}},
+		{Xor, [4]Value{Zero, One, One, Zero}},
+		{Xnor, [4]Value{One, Zero, Zero, One}},
+	}
+	vals := []Value{Zero, One}
+	for _, c := range two {
+		for i, a := range vals {
+			for j, b := range vals {
+				got := Eval(c.t, []Value{a, b})
+				if got != c.want[i*2+j] {
+					t.Errorf("Eval(%v, %v,%v) = %v, want %v", c.t, a, b, got, c.want[i*2+j])
+				}
+			}
+		}
+	}
+	if Eval(Not, []Value{One}) != Zero || Eval(Buf, []Value{One}) != One {
+		t.Error("NOT/BUF tables wrong")
+	}
+}
+
+func TestEvalXSemantics(t *testing.T) {
+	cases := []struct {
+		t    GateType
+		in   []Value
+		want Value
+	}{
+		{And, []Value{X, Zero}, Zero}, // controlling value dominates X
+		{And, []Value{X, One}, X},
+		{Nand, []Value{Zero, X}, One},
+		{Nand, []Value{One, X}, X},
+		{Or, []Value{X, One}, One},
+		{Or, []Value{X, Zero}, X},
+		{Nor, []Value{One, X}, Zero},
+		{Nor, []Value{Zero, X}, X},
+		{Xor, []Value{X, Zero}, X}, // XOR never blocks
+		{Xor, []Value{X, One}, X},
+		{Xnor, []Value{One, X}, X},
+		{Not, []Value{X}, X},
+		{Buf, []Value{X}, X},
+		{Mux2, []Value{One, Zero, X}, X},
+		{Mux2, []Value{One, One, X}, One}, // equal binary data dominates unknown select
+		{Mux2, []Value{X, One, Zero}, X},
+		{Mux2, []Value{Zero, One, One}, One},
+		{Mux2, []Value{Zero, One, Zero}, Zero},
+		{Mux2, []Value{X, X, X}, X},
+	}
+	for _, c := range cases {
+		if got := Eval(c.t, c.in); got != c.want {
+			t.Errorf("Eval(%v, %v) = %v, want %v", c.t, c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalWideGates(t *testing.T) {
+	in := []Value{One, One, One, One}
+	if Eval(Nand, in) != Zero {
+		t.Error("NAND4(1,1,1,1) != 0")
+	}
+	in[2] = Zero
+	if Eval(Nand, in) != One {
+		t.Error("NAND4 with a 0 input != 1")
+	}
+	if Eval(Nor, []Value{Zero, Zero, Zero}) != One {
+		t.Error("NOR3(0,0,0) != 1")
+	}
+	if Eval(Xor, []Value{One, One, One}) != One {
+		t.Error("XOR3(1,1,1) != 1 (odd parity)")
+	}
+}
+
+// Property: Eval restricted to binary inputs agrees with EvalBool for every
+// gate type and every input combination up to arity 4.
+func TestEvalAgreesWithEvalBool(t *testing.T) {
+	types := []GateType{And, Nand, Or, Nor, Xor, Xnor}
+	for _, gt := range types {
+		for arity := 2; arity <= 4; arity++ {
+			for bits := 0; bits < 1<<arity; bits++ {
+				vs := make([]Value, arity)
+				bs := make([]bool, arity)
+				for i := 0; i < arity; i++ {
+					b := bits>>i&1 == 1
+					bs[i] = b
+					vs[i] = FromBool(b)
+				}
+				if Eval(gt, vs) != FromBool(EvalBool(gt, bs)) {
+					t.Fatalf("Eval/EvalBool disagree for %v %v", gt, bs)
+				}
+			}
+		}
+	}
+	for bits := 0; bits < 8; bits++ {
+		bs := []bool{bits&1 == 1, bits&2 == 2, bits&4 == 4}
+		vs := []Value{FromBool(bs[0]), FromBool(bs[1]), FromBool(bs[2])}
+		if Eval(Mux2, vs) != FromBool(EvalBool(Mux2, bs)) {
+			t.Fatalf("Eval/EvalBool disagree for MUX2 %v", bs)
+		}
+	}
+}
+
+// Property: X is a sound abstraction — for any gate and any input vector
+// containing X, every binary refinement of the inputs must produce an
+// output consistent with the three-valued result (if Eval says 0/1, every
+// refinement says the same).
+func TestXSoundness(t *testing.T) {
+	types := []GateType{And, Nand, Or, Nor, Xor, Xnor, Mux2, Not, Buf}
+	arities := map[GateType]int{Not: 1, Buf: 1, Mux2: 3}
+	for _, gt := range types {
+		arity := arities[gt]
+		if arity == 0 {
+			arity = 3
+		}
+		// enumerate all 3^arity three-valued input vectors
+		n := 1
+		for i := 0; i < arity; i++ {
+			n *= 3
+		}
+		for code := 0; code < n; code++ {
+			in := make([]Value, arity)
+			c := code
+			for i := 0; i < arity; i++ {
+				in[i] = Value(c % 3) // 0=X 1=Zero 2=One matches const order
+				c /= 3
+			}
+			abs := Eval(gt, in)
+			if !abs.IsBinary() {
+				continue
+			}
+			// all refinements must agree
+			var rec func(i int, ref []bool)
+			rec = func(i int, ref []bool) {
+				if i == arity {
+					if EvalBool(gt, ref) != abs.Bool() {
+						t.Fatalf("%v: Eval(%v)=%v but refinement %v gives %v",
+							gt, in, abs, ref, EvalBool(gt, ref))
+					}
+					return
+				}
+				switch in[i] {
+				case Zero:
+					ref[i] = false
+					rec(i+1, ref)
+				case One:
+					ref[i] = true
+					rec(i+1, ref)
+				default:
+					ref[i] = false
+					rec(i+1, ref)
+					ref[i] = true
+					rec(i+1, ref)
+				}
+			}
+			rec(0, make([]bool, arity))
+		}
+	}
+}
+
+// Property (testing/quick): De Morgan duality between NAND and NOR on
+// complemented binary inputs.
+func TestDeMorganQuick(t *testing.T) {
+	f := func(a, b, c bool) bool {
+		in := []bool{a, b, c}
+		neg := []bool{!a, !b, !c}
+		return EvalBool(Nand, in) == EvalBool(Or, neg) &&
+			EvalBool(Nor, in) == EvalBool(And, neg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGateTypeStringUnknown(t *testing.T) {
+	if got := GateType(200).String(); got != "GateType(200)" {
+		t.Errorf("unknown GateType string = %q", got)
+	}
+}

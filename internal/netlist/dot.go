@@ -1,0 +1,58 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits the circuit as a Graphviz digraph for visual inspection.
+// Primary inputs are boxes, flip-flops are double octagons, gates are
+// ellipses labeled with their type.
+func (c *Circuit) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", c.Name); err != nil {
+		return err
+	}
+	for _, pi := range c.PIs {
+		if _, err := fmt.Fprintf(w, "  %q [shape=box];\n", c.Nets[pi].Name); err != nil {
+			return err
+		}
+	}
+	for _, ff := range c.FFs {
+		if _, err := fmt.Fprintf(w, "  %q [shape=doubleoctagon];\n", ff.Name); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %q -> %q [style=dashed];\n",
+			c.Nets[ff.D].Name, ff.Name); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %q -> %q;\n",
+			ff.Name, c.Nets[ff.Q].Name); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %q [shape=point];\n", c.Nets[ff.Q].Name); err != nil {
+			return err
+		}
+	}
+	for gi, g := range c.Gates {
+		gname := fmt.Sprintf("g%d_%s", gi, g.Type)
+		if _, err := fmt.Fprintf(w, "  %q [label=%q];\n", gname, g.Type.String()); err != nil {
+			return err
+		}
+		for _, in := range g.Inputs {
+			if _, err := fmt.Fprintf(w, "  %q -> %q;\n", c.Nets[in].Name, gname); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %q -> %q;\n", gname, c.Nets[g.Output].Name); err != nil {
+			return err
+		}
+	}
+	for _, po := range c.POs {
+		if _, err := fmt.Fprintf(w, "  %q [shape=box, peripheries=2];\n",
+			c.Nets[po].Name); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

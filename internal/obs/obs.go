@@ -1,0 +1,125 @@
+// Package obs computes the leakage observability attribute of
+// Johnson, Somasekhar & Roy ("Models and algorithms for bounds on leakage
+// in CMOS circuits", TCAD 1999), extended — as the paper proposes — from
+// primary inputs to every line of the circuit.
+//
+// The leakage observability of line i is
+//
+//	Lobs(i) = Lavg(i,1) − Lavg(i,0)
+//
+// the difference between the average total circuit leakage when the line
+// carries 1 versus 0. A large magnitude means the line's value strongly
+// influences total leakage; the sign says which value is cheaper. The
+// proposed FindControlledInputPattern procedure uses it to steer every
+// free choice (which gate input to set to the controlling value, which
+// input to pick during Backtrace) toward low-leakage assignments.
+//
+// Lavg is estimated by Monte-Carlo conditional averaging: simulate N
+// uniform random input vectors, evaluate the total leakage of each, and
+// average per (line, value) bucket. This estimates the conditional
+// expectation E[L | line=v] under uniform inputs, the tractable analogue
+// of the reverse-topological bound computation of the original paper.
+package obs
+
+import (
+	"math/rand"
+
+	"repro/internal/leakage"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Observability holds per-net leakage observability estimates in nA.
+type Observability struct {
+	// Lobs[n] = Lavg(n,1) - Lavg(n,0).
+	Lobs []float64
+	// Mean is the overall average circuit leakage across samples.
+	Mean float64
+	// Samples is the number of random vectors used.
+	Samples int
+	// Ones[n] counts samples in which net n carried 1 (confidence proxy).
+	Ones []int
+}
+
+// Estimate computes observabilities for the frozen circuit c with the
+// given leakage model, using `samples` random vectors from rng.
+func Estimate(c *netlist.Circuit, lm *leakage.Model, samples int, rng *rand.Rand) *Observability {
+	if samples <= 0 {
+		samples = 128
+	}
+	s := sim.New(c)
+	nNets := c.NumNets()
+	sum1 := make([]float64, nNets)
+	cnt1 := make([]int, nNets)
+	sumAll := 0.0
+
+	pi := make([]bool, len(c.PIs))
+	ppi := make([]bool, c.NumFFs())
+	for it := 0; it < samples; it++ {
+		sim.RandomVector(rng, pi)
+		sim.RandomVector(rng, ppi)
+		state := s.Eval(pi, ppi)
+		leak := lm.CircuitLeakBool(c, state)
+		sumAll += leak
+		for n := 0; n < nNets; n++ {
+			if state[n] {
+				sum1[n] += leak
+				cnt1[n]++
+			}
+		}
+	}
+	o := &Observability{
+		Lobs:    make([]float64, nNets),
+		Mean:    sumAll / float64(samples),
+		Samples: samples,
+		Ones:    cnt1,
+	}
+	for n := 0; n < nNets; n++ {
+		c0 := samples - cnt1[n]
+		var avg1, avg0 float64
+		if cnt1[n] > 0 {
+			avg1 = sum1[n] / float64(cnt1[n])
+		} else {
+			avg1 = o.Mean // never observed at 1: no information
+		}
+		if c0 > 0 {
+			avg0 = (sumAll - sum1[n]) / float64(c0)
+		} else {
+			avg0 = o.Mean
+		}
+		o.Lobs[n] = avg1 - avg0
+	}
+	return o
+}
+
+// At returns Lobs for net n.
+func (o *Observability) At(n netlist.NetID) float64 { return o.Lobs[n] }
+
+// PreferredValue returns the cheaper value for net n: false (0) when
+// setting the line to 1 costs more leakage on average, true otherwise.
+func (o *Observability) PreferredValue(n netlist.NetID) bool {
+	return o.Lobs[n] < 0
+}
+
+// PickForValue implements the paper's selection directive: when a value v
+// must be placed on one line out of candidates, choose the line with
+// minimum observability if v is 1, maximum if v is 0 — so the assignment
+// disturbs total leakage toward cheaper states. Returns the index into
+// candidates.
+func (o *Observability) PickForValue(candidates []netlist.NetID, v bool) int {
+	best := 0
+	for i := 1; i < len(candidates); i++ {
+		oi := o.Lobs[candidates[i]]
+		ob := o.Lobs[candidates[best]]
+		if v {
+			if oi < ob {
+				best = i
+			}
+		} else {
+			if oi > ob {
+				best = i
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/leakage"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// invOnly: a single inverter. Leakage(in=0)=IsubN+IgP=220, (in=1)=IsubP+IgN=204.
+// So Lobs(a) = 204-220 = -16: setting a=1 is cheaper.
+func TestObservabilitySingleInverter(t *testing.T) {
+	c := netlist.New("inv")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "o", "a")
+	c.MarkPO("o")
+	c.MustFreeze()
+	lm := leakage.Default()
+	o := Estimate(c, lm, 2000, rand.New(rand.NewSource(1)))
+	aID, _ := c.NetByName("a")
+	p := lm.Params()
+	want := (p.IsubP + p.IgN) - (p.IsubN + p.IgP)
+	if math.Abs(o.At(aID)-want) > 1e-6 {
+		t.Errorf("Lobs(a) = %v, want %v", o.At(aID), want)
+	}
+	if !o.PreferredValue(aID) {
+		t.Error("preferred value of inverter input should be 1")
+	}
+	oID, _ := c.NetByName("o")
+	if math.Abs(o.At(oID)+want) > 1e-6 {
+		t.Errorf("Lobs(o) = %v, want %v (perfect anticorrelation)", o.At(oID), -want)
+	}
+}
+
+// nand2: exact conditional averages computable by hand from the Figure 2
+// table: states 00,01,10,11 equally likely.
+// Lavg(a=1) = (264+408)/2, Lavg(a=0) = (78+73)/2 -> Lobs(a) = 260.5.
+// Lavg(b=1) = (73+408)/2, Lavg(b=0) = (78+264)/2 -> Lobs(b) = 69.5.
+func TestObservabilityNAND2Exact(t *testing.T) {
+	c := netlist.New("nand")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddGate(logic.Nand, "o", "a", "b")
+	c.MarkPO("o")
+	c.MustFreeze()
+	lm := leakage.Default()
+	o := Estimate(c, lm, 20000, rand.New(rand.NewSource(2)))
+	aID, _ := c.NetByName("a")
+	bID, _ := c.NetByName("b")
+	f := lm.Figure2()
+	wantA := (f[2]+f[3])/2 - (f[0]+f[1])/2
+	wantB := (f[1]+f[3])/2 - (f[0]+f[2])/2
+	if math.Abs(o.At(aID)-wantA) > 12 {
+		t.Errorf("Lobs(a) = %v, want ~%v", o.At(aID), wantA)
+	}
+	if math.Abs(o.At(bID)-wantB) > 12 {
+		t.Errorf("Lobs(b) = %v, want ~%v", o.At(bID), wantB)
+	}
+	// a dominates b: first input position carries the bigger cost swing.
+	if o.At(aID) <= o.At(bID) {
+		t.Error("Lobs(a) should exceed Lobs(b)")
+	}
+}
+
+func TestPickForValue(t *testing.T) {
+	o := &Observability{Lobs: []float64{-50, 10, 200}}
+	cands := []netlist.NetID{0, 1, 2}
+	// Setting a 1: pick minimum observability -> net 0.
+	if got := o.PickForValue(cands, true); got != 0 {
+		t.Errorf("PickForValue(1) = %d, want 0", got)
+	}
+	// Setting a 0: pick maximum -> net 2.
+	if got := o.PickForValue(cands, false); got != 2 {
+		t.Errorf("PickForValue(0) = %d, want 2", got)
+	}
+}
+
+func TestEstimateDefaults(t *testing.T) {
+	c := netlist.New("inv")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "o", "a")
+	c.MarkPO("o")
+	c.MustFreeze()
+	o := Estimate(c, leakage.Default(), 0, rand.New(rand.NewSource(3)))
+	if o.Samples != 128 {
+		t.Errorf("default samples = %d, want 128", o.Samples)
+	}
+	if o.Mean <= 0 {
+		t.Error("mean leakage should be positive")
+	}
+}
+
+func TestConstantLikeNetFallsBackToMean(t *testing.T) {
+	// y = AND(a, NOT(a)) is always 0: Lavg(y,1) falls back to the mean, so
+	// Lobs(y) = mean - Lavg(y=0) = 0 exactly (every sample has y=0).
+	c := netlist.New("const")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "na", "a")
+	c.AddGate(logic.And, "y", "a", "na")
+	c.MarkPO("y")
+	c.MustFreeze()
+	o := Estimate(c, leakage.Default(), 500, rand.New(rand.NewSource(4)))
+	yID, _ := c.NetByName("y")
+	if math.Abs(o.At(yID)) > 1e-9 {
+		t.Errorf("Lobs(constant net) = %v, want 0", o.At(yID))
+	}
+	if o.Ones[yID] != 0 {
+		t.Errorf("constant-0 net observed at 1 %d times", o.Ones[yID])
+	}
+}
+
+// exactObservability computes Lobs by full enumeration of the input space
+// — the ground truth the Monte-Carlo estimator must converge to.
+func exactObservability(c *netlist.Circuit, lm *leakage.Model) []float64 {
+	s := sim.New(c)
+	nIn := len(c.CombInputs())
+	sum1 := make([]float64, c.NumNets())
+	cnt1 := make([]int, c.NumNets())
+	total := 0.0
+	n := 1 << nIn
+	pi := make([]bool, len(c.PIs))
+	ppi := make([]bool, c.NumFFs())
+	for bits := 0; bits < n; bits++ {
+		for i := range pi {
+			pi[i] = bits>>i&1 == 1
+		}
+		for i := range ppi {
+			ppi[i] = bits>>(len(pi)+i)&1 == 1
+		}
+		st := s.Eval(pi, ppi)
+		leak := lm.CircuitLeakBool(c, st)
+		total += leak
+		for ni := range st {
+			if st[ni] {
+				sum1[ni] += leak
+				cnt1[ni]++
+			}
+		}
+	}
+	out := make([]float64, c.NumNets())
+	for ni := range out {
+		c0 := n - cnt1[ni]
+		mean := total / float64(n)
+		a1, a0 := mean, mean
+		if cnt1[ni] > 0 {
+			a1 = sum1[ni] / float64(cnt1[ni])
+		}
+		if c0 > 0 {
+			a0 = (total - sum1[ni]) / float64(c0)
+		}
+		out[ni] = a1 - a0
+	}
+	return out
+}
+
+// TestEstimateConvergesToExact: with enough samples the Monte-Carlo
+// estimate must approach the exhaustive conditional averages on a small
+// circuit, for every line.
+func TestEstimateConvergesToExact(t *testing.T) {
+	c := netlist.New("conv")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddPI("s")
+	c.AddFF("f", "q", "d")
+	c.AddGate(logic.Nand, "x", "a", "q")
+	c.AddGate(logic.Nor, "y", "x", "b")
+	c.AddGate(logic.Nand, "d", "y", "s")
+	c.AddGate(logic.Not, "o", "y")
+	c.MarkPO("o")
+	c.MustFreeze()
+	lm := leakage.Default()
+	exact := exactObservability(c, lm)
+	o := Estimate(c, lm, 60000, rand.New(rand.NewSource(9)))
+	for ni := range exact {
+		diff := math.Abs(o.Lobs[ni] - exact[ni])
+		// Tolerate a few nA of Monte-Carlo noise on values spanning
+		// hundreds of nA.
+		if diff > 8 {
+			t.Errorf("net %s: estimate %v vs exact %v", c.Nets[ni].Name, o.Lobs[ni], exact[ni])
+		}
+	}
+}

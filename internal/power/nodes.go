@@ -1,0 +1,29 @@
+package power
+
+import (
+	"repro/internal/leakage"
+	"repro/internal/logic"
+)
+
+// CapModelForNode scales the default 45 nm capacitance model to another
+// technology generation (pin, wire and pad capacitances shrink with
+// feature size; VDD follows the node).
+func CapModelForNode(nm int) (CapModel, error) {
+	n, err := leakage.NodeByNM(nm)
+	if err != nil {
+		return CapModel{}, err
+	}
+	cm := DefaultCapModel()
+	scaled := CapModel{
+		PinCap:         make(map[logic.GateType]float64, len(cm.PinCap)),
+		PinCapPerFanin: cm.PinCapPerFanin * n.CapScale,
+		FFDCap:         cm.FFDCap * n.CapScale,
+		POCap:          cm.POCap * n.CapScale,
+		WirePerFanout:  cm.WirePerFanout * n.CapScale,
+		VDD:            n.VDD,
+	}
+	for t, c := range cm.PinCap {
+		scaled.PinCap[t] = c * n.CapScale
+	}
+	return scaled, nil
+}

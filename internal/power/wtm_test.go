@@ -1,0 +1,134 @@
+package power
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/iscas"
+	"repro/internal/leakage"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+func TestWTMHandComputed(t *testing.T) {
+	order := []int{0, 1, 2, 3} // identity chain, position 0 nearest scan-in
+	// Loaded state 1010 (flop0=1, flop1=0, ...). Stream (first shifted =
+	// bit for position 3): 0,1,0,1. Transitions at stream steps 0-1, 1-2,
+	// 2-3 with weights 3, 2, 1 -> WTM = 6.
+	if got := WTM([]bool{true, false, true, false}, order); got != 6 {
+		t.Errorf("WTM = %d, want 6", got)
+	}
+	// Constant state: no transitions.
+	if got := WTM([]bool{true, true, true, true}, order); got != 0 {
+		t.Errorf("WTM(const) = %d, want 0", got)
+	}
+	// Single transition mid-stream: state 0011 -> stream 1,1,0,0:
+	// mismatch at step 1-2, weight 2.
+	if got := WTM([]bool{false, false, true, true}, order); got != 2 {
+		t.Errorf("WTM = %d, want 2", got)
+	}
+}
+
+func TestWTMRespectsChainOrder(t *testing.T) {
+	state := []bool{true, false, true, false}
+	// Reorder the chain so equal bits are adjacent: flops 0,2 then 1,3.
+	grouped := []int{0, 2, 1, 3}
+	identity := []int{0, 1, 2, 3}
+	if WTM(state, grouped) >= WTM(state, identity) {
+		t.Errorf("grouped order %d should beat identity %d",
+			WTM(state, grouped), WTM(state, identity))
+	}
+}
+
+func TestTestSetWTM(t *testing.T) {
+	order := []int{0, 1}
+	pats := []scan.Pattern{
+		{State: []bool{true, false}},
+		{State: []bool{false, false}},
+	}
+	if got := TestSetWTM(pats, order); got != 1 {
+		t.Errorf("TestSetWTM = %d, want 1", got)
+	}
+}
+
+// TestWTMCorrelatesWithSimulatedDynamic validates the estimator: over
+// random pattern sets on a real circuit, the set with (much) higher WTM
+// must measure higher traditional-scan dynamic power.
+func TestWTMCorrelatesWithSimulatedDynamic(t *testing.T) {
+	p, _ := iscas.ByName("s344")
+	c, err := iscas.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := scan.New(c)
+	order := make([]int, c.NumFFs())
+	for i := range order {
+		order[i] = i
+	}
+	lm := leakage.Default()
+	cm := DefaultCapModel()
+	rng := rand.New(rand.NewSource(9))
+
+	makeSet := func(flip float64) []scan.Pattern {
+		// flip = probability a bit differs from its stream predecessor;
+		// low flip -> low WTM workload.
+		var pats []scan.Pattern
+		for i := 0; i < 20; i++ {
+			pat := scan.Pattern{PI: make([]bool, len(c.PIs)), State: make([]bool, c.NumFFs())}
+			sim.RandomVector(rng, pat.PI)
+			cur := rng.Intn(2) == 1
+			for j := range pat.State {
+				if rng.Float64() < flip {
+					cur = !cur
+				}
+				pat.State[j] = cur
+			}
+			pats = append(pats, pat)
+		}
+		return pats
+	}
+	calm := makeSet(0.05)
+	wild := makeSet(0.5)
+	if TestSetWTM(calm, order) >= TestSetWTM(wild, order) {
+		t.Fatal("construction failed: calm set should have lower WTM")
+	}
+	repCalm, err := MeasureScan(ch, calm, scan.Traditional(c), lm, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repWild, err := MeasureScan(ch, wild, scan.Traditional(c), lm, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repCalm.DynamicPerHz >= repWild.DynamicPerHz {
+		t.Errorf("WTM did not predict dynamic power: calm %v >= wild %v",
+			repCalm.DynamicPerHz, repWild.DynamicPerHz)
+	}
+}
+
+func TestPeakDynamicAtLeastMean(t *testing.T) {
+	p, _ := iscas.ByName("s344")
+	c, err := iscas.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := scan.New(c)
+	rng := rand.New(rand.NewSource(10))
+	var pats []scan.Pattern
+	for i := 0; i < 10; i++ {
+		pat := scan.Pattern{PI: make([]bool, len(c.PIs)), State: make([]bool, c.NumFFs())}
+		sim.RandomVector(rng, pat.PI)
+		sim.RandomVector(rng, pat.State)
+		pats = append(pats, pat)
+	}
+	rep, err := MeasureScan(ch, pats, scan.Traditional(c), leakage.Default(), DefaultCapModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakDynamicPerHz < rep.DynamicPerHz {
+		t.Errorf("peak %v below mean %v", rep.PeakDynamicPerHz, rep.DynamicPerHz)
+	}
+	if rep.PeakDynamicPerHz <= 0 {
+		t.Error("peak should be positive for random workload")
+	}
+}

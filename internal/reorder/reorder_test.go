@@ -1,0 +1,177 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/scan"
+)
+
+func randomPatterns(rng *rand.Rand, n, ffs, pis int) []scan.Pattern {
+	out := make([]scan.Pattern, n)
+	for i := range out {
+		out[i] = scan.Pattern{PI: make([]bool, pis), State: make([]bool, ffs)}
+		for j := range out[i].State {
+			out[i].State[j] = rng.Intn(2) == 1
+		}
+		for j := range out[i].PI {
+			out[i].PI[j] = rng.Intn(2) == 1
+		}
+	}
+	return out
+}
+
+func tourCost(patterns []scan.Pattern) int {
+	cost := weight(patterns[0].State) // distance from all-zero start
+	for i := 1; i < len(patterns); i++ {
+		cost += hamming(patterns[i-1].State, patterns[i].State)
+	}
+	return cost
+}
+
+func TestPatternsReducesTourCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		pats := randomPatterns(rng, 40, 30, 4)
+		ordered := Patterns(pats)
+		if len(ordered) != len(pats) {
+			t.Fatalf("lost patterns: %d -> %d", len(pats), len(ordered))
+		}
+		if got, want := tourCost(ordered), tourCost(pats); got > want {
+			t.Errorf("trial %d: reordering worsened tour: %d > %d", trial, got, want)
+		}
+	}
+}
+
+func TestPatternsIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pats := randomPatterns(rng, 25, 10, 2)
+	ordered := Patterns(pats)
+	// Count multiset membership by encoding states.
+	count := func(ps []scan.Pattern) map[string]int {
+		m := make(map[string]int)
+		for _, p := range ps {
+			key := ""
+			for _, b := range p.State {
+				if b {
+					key += "1"
+				} else {
+					key += "0"
+				}
+			}
+			for _, b := range p.PI {
+				if b {
+					key += "1"
+				} else {
+					key += "0"
+				}
+			}
+			m[key]++
+		}
+		return m
+	}
+	a, b := count(pats), count(ordered)
+	if len(a) != len(b) {
+		t.Fatal("pattern multiset changed")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("pattern %q count %d -> %d", k, v, b[k])
+		}
+	}
+}
+
+func TestPatternsSmallInputs(t *testing.T) {
+	if got := Patterns(nil); len(got) != 0 {
+		t.Error("nil input not handled")
+	}
+	one := randomPatterns(rand.New(rand.NewSource(3)), 1, 4, 1)
+	if got := Patterns(one); len(got) != 1 {
+		t.Error("single pattern not handled")
+	}
+}
+
+func TestPatternsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pats := randomPatterns(rng, 30, 12, 2)
+	a := Patterns(pats)
+	b := Patterns(pats)
+	for i := range a {
+		if hamming(a[i].State, b[i].State) != 0 {
+			t.Fatal("nondeterministic ordering")
+		}
+	}
+}
+
+func TestChainOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pats := randomPatterns(rng, 30, 17, 2)
+	order := ChainOrder(pats, 17)
+	seen := make([]bool, 17)
+	for _, f := range order {
+		if f < 0 || f >= 17 || seen[f] {
+			t.Fatalf("order %v is not a permutation", order)
+		}
+		seen[f] = true
+	}
+}
+
+func TestChainOrderBeatsIdentityOnStructuredData(t *testing.T) {
+	// Build patterns where even-indexed flops strongly correlate with one
+	// another and anticorrelate with odd ones: the natural order pays a
+	// mismatch at every boundary, a grouped order almost none.
+	rng := rand.New(rand.NewSource(6))
+	const ffs = 16
+	var pats []scan.Pattern
+	for i := 0; i < 50; i++ {
+		base := rng.Intn(2) == 1
+		p := scan.Pattern{PI: []bool{false}, State: make([]bool, ffs)}
+		for f := 0; f < ffs; f++ {
+			v := base
+			if f%2 == 1 {
+				v = !v
+			}
+			if rng.Intn(20) == 0 { // light noise
+				v = !v
+			}
+			p.State[f] = v
+		}
+		pats = append(pats, p)
+	}
+	identity := make([]int, ffs)
+	for i := range identity {
+		identity[i] = i
+	}
+	order := ChainOrder(pats, ffs)
+	got := AdjacentMismatchCost(pats, order)
+	want := AdjacentMismatchCost(pats, identity)
+	if got >= want/2 {
+		t.Errorf("chain order cost %d not clearly below identity %d", got, want)
+	}
+}
+
+func TestChainOrderEdgeCases(t *testing.T) {
+	if got := ChainOrder(nil, 0); len(got) != 0 {
+		t.Error("0 flops")
+	}
+	got := ChainOrder(nil, 3)
+	if len(got) != 3 {
+		t.Error("no patterns should yield identity order")
+	}
+	one := ChainOrder(randomPatterns(rand.New(rand.NewSource(7)), 5, 1, 1), 1)
+	if len(one) != 1 || one[0] != 0 {
+		t.Error("single flop")
+	}
+}
+
+func TestRandomOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	order := RandomOrder(9, rng)
+	seen := make([]bool, 9)
+	for _, f := range order {
+		if seen[f] {
+			t.Fatal("not a permutation")
+		}
+		seen[f] = true
+	}
+}

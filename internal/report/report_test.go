@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Power", "Circuit", "Dyn", "Static")
+	t.MustAddRow("s344", "2.2e-08", "23.2")
+	t.MustAddRow("s9234", "8.1e-09", "849.9")
+	return t
+}
+
+func TestMarkdownGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `### Power
+
+| Circuit | Dyn | Static |
+|---|---|---|
+| s344 | 2.2e-08 | 23.2 |
+| s9234 | 8.1e-09 | 849.9 |
+`
+	if sb.String() != want {
+		t.Errorf("markdown:\n%q\nwant\n%q", sb.String(), want)
+	}
+}
+
+func TestCSVGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "Circuit,Dyn,Static\ns344,2.2e-08,23.2\ns9234,8.1e-09,849.9\n"
+	if sb.String() != want {
+		t.Errorf("csv:\n%q\nwant\n%q", sb.String(), want)
+	}
+}
+
+func TestTextGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().Text(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `Power
+Circuit  Dyn      Static
+s344     2.2e-08  23.2
+s9234    8.1e-09  849.9
+`
+	if sb.String() != want {
+		t.Errorf("text:\n%q\nwant\n%q", sb.String(), want)
+	}
+}
+
+func TestAddRowValidates(t *testing.T) {
+	tb := New("x", "a", "b")
+	if err := tb.AddRow("only one"); err == nil {
+		t.Error("accepted short row")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddRow did not panic")
+		}
+	}()
+	tb.MustAddRow("1", "2", "3")
+}
+
+func TestWriteFormats(t *testing.T) {
+	for _, f := range []Format{FormatText, FormatMarkdown, FormatCSV, ""} {
+		var sb strings.Builder
+		if err := sample().Write(&sb, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("format %q produced nothing", f)
+		}
+	}
+	var sb strings.Builder
+	if err := sample().Write(&sb, "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := New("", "a")
+	tb.MustAddRow(`comma, and "quote"`)
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"comma, and ""quote"""`) {
+		t.Errorf("csv escaping wrong: %q", sb.String())
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Equivalent checks, by random simulation, that the combinational cores of
+// a and b compute the same primary-output and next-state functions. Inputs
+// and flops are matched by name, so the circuits may differ freely in
+// internal structure (e.g. before and after technology mapping).
+//
+// It returns nil if all trials agree and a descriptive error on the first
+// mismatch or on interface mismatch. Random simulation is a probabilistic
+// check; use enough trials for the input-space coverage you need (the
+// repository's callers use it on circuits whose transformations are
+// correct by construction, as a safety net).
+func Equivalent(a, b *netlist.Circuit, trials int, rng *rand.Rand) error {
+	if len(a.PIs) != len(b.PIs) || len(a.FFs) != len(b.FFs) || len(a.POs) != len(b.POs) {
+		return fmt.Errorf("sim: interface mismatch: %d/%d PIs, %d/%d FFs, %d/%d POs",
+			len(a.PIs), len(b.PIs), len(a.FFs), len(b.FFs), len(a.POs), len(b.POs))
+	}
+	// Build index maps from a's order into b's order, matching by name.
+	piMap, err := matchByName(a, b, a.PIs, "primary input")
+	if err != nil {
+		return err
+	}
+	poMap, err := matchByName(a, b, a.POs, "primary output")
+	if err != nil {
+		return err
+	}
+	ffMap := make([]int, len(a.FFs))
+	bQ := make(map[string]int, len(b.FFs))
+	for i, ff := range b.FFs {
+		bQ[b.Nets[ff.Q].Name] = i
+	}
+	for i, ff := range a.FFs {
+		j, ok := bQ[a.Nets[ff.Q].Name]
+		if !ok {
+			return fmt.Errorf("sim: flop output %q missing in %s", a.Nets[ff.Q].Name, b.Name)
+		}
+		ffMap[i] = j
+	}
+
+	sa, sb := New(a), New(b)
+	pi := make([]bool, len(a.PIs))
+	ppi := make([]bool, len(a.FFs))
+	piB := make([]bool, len(b.PIs))
+	ppiB := make([]bool, len(b.FFs))
+	for trial := 0; trial < trials; trial++ {
+		RandomVector(rng, pi)
+		RandomVector(rng, ppi)
+		for i, j := range piMap {
+			piB[j] = pi[i]
+		}
+		for i, j := range ffMap {
+			ppiB[j] = ppi[i]
+		}
+		stA := sa.Eval(pi, ppi)
+		stB := sb.Eval(piB, ppiB)
+		for i, poA := range a.POs {
+			if stA[poA] != stB[b.POs[poMap[i]]] {
+				return fmt.Errorf("sim: trial %d: output %q differs (%v vs %v)",
+					trial, a.Nets[poA].Name, stA[poA], stB[b.POs[poMap[i]]])
+			}
+		}
+		for i, ffA := range a.FFs {
+			if stA[ffA.D] != stB[b.FFs[ffMap[i]].D] {
+				return fmt.Errorf("sim: trial %d: next-state of flop %q differs",
+					trial, a.Nets[ffA.Q].Name)
+			}
+		}
+	}
+	return nil
+}
+
+func matchByName(a, b *netlist.Circuit, netsA []netlist.NetID, kind string) ([]int, error) {
+	// Positional index of each name in b's corresponding list.
+	var listB []netlist.NetID
+	if kind == "primary input" {
+		listB = b.PIs
+	} else {
+		listB = b.POs
+	}
+	idx := make(map[string]int, len(listB))
+	for i, n := range listB {
+		idx[b.Nets[n].Name] = i
+	}
+	out := make([]int, len(netsA))
+	for i, n := range netsA {
+		j, ok := idx[a.Nets[n].Name]
+		if !ok {
+			return nil, fmt.Errorf("sim: %s %q missing in %s", kind, a.Nets[n].Name, b.Name)
+		}
+		out[i] = j
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+// Package techmap maps arbitrary gate-level circuits onto the cell
+// library used throughout the paper's evaluation: NAND (2–4 inputs),
+// NOR (2–4 inputs) and inverters. AND, OR, XOR, XNOR and BUF gates are
+// decomposed; NAND/NOR gates wider than the library limit are split into
+// balanced trees.
+//
+// The transformation is function-preserving by construction and covered
+// by random-simulation equivalence tests.
+package techmap
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Options configures the mapper.
+type Options struct {
+	// MaxFanin is the widest NAND/NOR the library offers (default 4).
+	MaxFanin int
+}
+
+// DefaultOptions returns the library limits used by all experiments.
+func DefaultOptions() Options { return Options{MaxFanin: 4} }
+
+type mapper struct {
+	src  *netlist.Circuit
+	dst  *netlist.Circuit
+	opts Options
+	tmp  int // fresh-net counter
+}
+
+// Map returns a new circuit computing the same functions as c using only
+// NAND, NOR and NOT gates of fanin <= opts.MaxFanin. The input circuit is
+// not modified. MUX2 gates (scan-mode DFT cells) pass through unchanged:
+// they are a dedicated library cell, not subject to decomposition.
+func Map(c *netlist.Circuit, opts Options) (*netlist.Circuit, error) {
+	if opts.MaxFanin < 2 {
+		return nil, fmt.Errorf("techmap: MaxFanin %d < 2", opts.MaxFanin)
+	}
+	if !c.Frozen() {
+		if err := c.Freeze(); err != nil {
+			return nil, err
+		}
+	}
+	m := &mapper{src: c, dst: netlist.New(c.Name), opts: opts}
+	for _, pi := range c.PIs {
+		m.dst.AddPI(c.Nets[pi].Name)
+	}
+	for _, ff := range c.FFs {
+		m.dst.AddFF(ff.Name, c.Nets[ff.Q].Name, c.Nets[ff.D].Name)
+	}
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		ins := make([]string, len(g.Inputs))
+		for i, in := range g.Inputs {
+			ins[i] = c.Nets[in].Name
+		}
+		out := c.Nets[g.Output].Name
+		if err := m.emit(g.Type, out, ins); err != nil {
+			return nil, err
+		}
+	}
+	for _, po := range c.POs {
+		m.dst.MarkPO(c.Nets[po].Name)
+	}
+	if err := m.dst.Freeze(); err != nil {
+		return nil, fmt.Errorf("techmap: result malformed: %w", err)
+	}
+	return m.dst, nil
+}
+
+// fresh returns a new internal net name that collides with nothing in the
+// source circuit (every non-fresh name in dst comes from src, so checking
+// src suffices).
+func (m *mapper) fresh() string {
+	for {
+		m.tmp++
+		name := fmt.Sprintf("_tm%d", m.tmp)
+		if _, ok := m.src.NetByName(name); !ok {
+			return name
+		}
+	}
+}
+
+// emit writes gates computing out = type(ins) into dst using library cells.
+func (m *mapper) emit(t logic.GateType, out string, ins []string) error {
+	switch t {
+	case logic.Not:
+		m.dst.AddGate(logic.Not, out, ins[0])
+	case logic.Buf:
+		// BUF has no library cell: two inverters.
+		n := m.fresh()
+		m.dst.AddGate(logic.Not, n, ins[0])
+		m.dst.AddGate(logic.Not, out, n)
+	case logic.Nand:
+		m.emitNary(logic.Nand, out, ins)
+	case logic.Nor:
+		m.emitNary(logic.Nor, out, ins)
+	case logic.And:
+		n := m.fresh()
+		m.emitNary(logic.Nand, n, ins)
+		m.dst.AddGate(logic.Not, out, n)
+	case logic.Or:
+		n := m.fresh()
+		m.emitNary(logic.Nor, n, ins)
+		m.dst.AddGate(logic.Not, out, n)
+	case logic.Xor:
+		m.emitXorChain(out, ins, false)
+	case logic.Xnor:
+		m.emitXorChain(out, ins, true)
+	case logic.Mux2:
+		m.dst.AddGate(logic.Mux2, out, ins...)
+	default:
+		return fmt.Errorf("techmap: unsupported gate type %v", t)
+	}
+	return nil
+}
+
+// emitNary emits out = t(ins) where t is NAND or NOR, splitting wide gates
+// into trees. For a wide NAND: NAND(a1..an) = NAND(AND(first half),
+// AND(second half)); each half's AND is NAND+INV. Symmetrically for NOR.
+func (m *mapper) emitNary(t logic.GateType, out string, ins []string) {
+	if len(ins) == 1 {
+		// Degenerate single-input NAND/NOR is an inverter.
+		m.dst.AddGate(logic.Not, out, ins[0])
+		return
+	}
+	if len(ins) <= m.opts.MaxFanin {
+		m.dst.AddGate(t, out, ins...)
+		return
+	}
+	// Split into up to MaxFanin groups, reduce each group to its
+	// non-inverted sub-result (AND for NAND, OR for NOR), then apply one
+	// final library gate across the group results.
+	groups := splitGroups(ins, m.opts.MaxFanin)
+	tops := make([]string, len(groups))
+	for i, grp := range groups {
+		if len(grp) == 1 {
+			tops[i] = grp[0]
+			continue
+		}
+		inv := m.fresh() // t(grp)
+		m.emitNary(t, inv, grp)
+		pos := m.fresh() // AND(grp) or OR(grp)
+		m.dst.AddGate(logic.Not, pos, inv)
+		tops[i] = pos
+	}
+	m.emitNary(t, out, tops)
+}
+
+// splitGroups partitions ins into at most maxFanin groups as evenly as
+// possible, each of size >= 1.
+func splitGroups(ins []string, maxFanin int) [][]string {
+	n := len(ins)
+	k := maxFanin
+	if k > n {
+		k = n
+	}
+	groups := make([][]string, 0, k)
+	base := n / k
+	extra := n % k
+	idx := 0
+	for g := 0; g < k; g++ {
+		size := base
+		if g < extra {
+			size++
+		}
+		groups = append(groups, ins[idx:idx+size])
+		idx += size
+	}
+	return groups
+}
+
+// emitXorChain reduces a multi-input XOR/XNOR pairwise. Each 2-input XOR
+// uses the classic four-NAND network; a trailing inverter turns the final
+// stage into XNOR when invert is true.
+func (m *mapper) emitXorChain(out string, ins []string, invert bool) {
+	acc := ins[0]
+	for i := 1; i < len(ins); i++ {
+		last := i == len(ins)-1
+		var target string
+		if last && !invert {
+			target = out
+		} else {
+			target = m.fresh()
+		}
+		m.emitXor2(target, acc, ins[i])
+		acc = target
+	}
+	if invert {
+		m.dst.AddGate(logic.Not, out, acc)
+	}
+	if len(ins) == 1 {
+		// Degenerate 1-input XOR is a buffer (or inverter for XNOR);
+		// handled here for completeness.
+		if invert {
+			// already emitted NOT(acc) above — nothing more to do.
+			return
+		}
+		n := m.fresh()
+		m.dst.AddGate(logic.Not, n, acc)
+		m.dst.AddGate(logic.Not, out, n)
+	}
+}
+
+// emitXor2 emits out = a XOR b as four NAND2 gates.
+func (m *mapper) emitXor2(out, a, b string) {
+	n1 := m.fresh()
+	n2 := m.fresh()
+	n3 := m.fresh()
+	m.dst.AddGate(logic.Nand, n1, a, b)
+	m.dst.AddGate(logic.Nand, n2, a, n1)
+	m.dst.AddGate(logic.Nand, n3, b, n1)
+	m.dst.AddGate(logic.Nand, out, n2, n3)
+}
+
+// IsMapped reports whether the circuit uses only library cells: NAND/NOR
+// with fanin within maxFanin, inverters, and MUX2 DFT cells.
+func IsMapped(c *netlist.Circuit, maxFanin int) bool {
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		switch g.Type {
+		case logic.Not, logic.Mux2:
+		case logic.Nand, logic.Nor:
+			if len(g.Inputs) > maxFanin {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package techmap
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+const s27 = `INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func TestMapS27(t *testing.T) {
+	c, err := bench.ParseString(s27, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(c, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if !IsMapped(m, 4) {
+		t.Fatal("result is not library-only")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := sim.Equivalent(c, m, 500, rng); err != nil {
+		t.Fatalf("mapped circuit not equivalent: %v", err)
+	}
+	// Mapping must preserve the interface exactly.
+	if len(m.PIs) != 4 || len(m.POs) != 1 || len(m.FFs) != 3 {
+		t.Fatalf("interface changed: %v", m.ComputeStats())
+	}
+}
+
+// buildOneGate builds a circuit with a single gate of type t and arity n.
+func buildOneGate(t *testing.T, gt logic.GateType, n int) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New(fmt.Sprintf("%v%d", gt, n))
+	ins := make([]string, n)
+	for i := range ins {
+		ins[i] = fmt.Sprintf("i%d", i)
+		c.AddPI(ins[i])
+	}
+	c.AddGate(gt, "o", ins...)
+	c.MarkPO("o")
+	c.MustFreeze()
+	return c
+}
+
+func TestMapEveryGateTypeAndArity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, gt := range []logic.GateType{logic.And, logic.Or, logic.Nand,
+		logic.Nor, logic.Xor, logic.Xnor} {
+		for n := 2; n <= 9; n++ {
+			c := buildOneGate(t, gt, n)
+			m, err := Map(c, DefaultOptions())
+			if err != nil {
+				t.Fatalf("Map(%v/%d): %v", gt, n, err)
+			}
+			if !IsMapped(m, 4) {
+				t.Fatalf("%v/%d not mapped to library", gt, n)
+			}
+			// Exhaustive equivalence for n <= 9 via full enumeration.
+			if err := exhaustiveEquiv(c, m); err != nil {
+				t.Fatalf("%v/%d: %v", gt, n, err)
+			}
+			_ = rng
+		}
+	}
+	for _, gt := range []logic.GateType{logic.Not, logic.Buf} {
+		c := buildOneGate(t, gt, 1)
+		m, err := Map(c, DefaultOptions())
+		if err != nil {
+			t.Fatalf("Map(%v): %v", gt, err)
+		}
+		if err := exhaustiveEquiv(c, m); err != nil {
+			t.Fatalf("%v: %v", gt, err)
+		}
+	}
+}
+
+// exhaustiveEquiv compares two pure-combinational circuits with identical
+// PI name sets over the full input space (use only for small PI counts).
+func exhaustiveEquiv(a, b *netlist.Circuit) error {
+	sa, sb := sim.New(a), sim.New(b)
+	n := len(a.PIs)
+	pia := make([]bool, n)
+	pib := make([]bool, n)
+	// b's PI order may differ; build map by name.
+	idx := make(map[string]int)
+	for i, p := range b.PIs {
+		idx[b.Nets[p].Name] = i
+	}
+	for bits := 0; bits < 1<<n; bits++ {
+		for i := 0; i < n; i++ {
+			v := bits>>i&1 == 1
+			pia[i] = v
+			pib[idx[a.Nets[a.PIs[i]].Name]] = v
+		}
+		sta := sa.Eval(pia, nil)
+		stb := sb.Eval(pib, nil)
+		for _, po := range a.POs {
+			name := a.Nets[po].Name
+			pob, ok := b.NetByName(name)
+			if !ok {
+				return fmt.Errorf("output %s missing in mapped circuit", name)
+			}
+			if sta[po] != stb[pob] {
+				return fmt.Errorf("input %0*b: output %s differs", n, bits, name)
+			}
+		}
+	}
+	return nil
+}
+
+func TestMapMux2Passthrough(t *testing.T) {
+	c := netlist.New("mux")
+	c.AddPI("d0")
+	c.AddPI("d1")
+	c.AddPI("se")
+	c.AddGate(logic.Mux2, "y", "d0", "d1", "se")
+	c.MarkPO("y")
+	c.MustFreeze()
+	m, err := Map(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGates() != 1 || m.Gates[0].Type != logic.Mux2 {
+		t.Fatalf("MUX2 was not passed through: %v", m.ComputeStats())
+	}
+}
+
+func TestMapWideFaninTree(t *testing.T) {
+	c := buildOneGate(t, logic.Nand, 16)
+	m, err := Map(c, Options{MaxFanin: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMapped(m, 4) {
+		t.Fatal("wide NAND not split to fanin<=4")
+	}
+	rng := rand.New(rand.NewSource(3))
+	if err := sim.Equivalent(c, m, 2000, rng); err != nil {
+		t.Fatalf("wide NAND tree wrong: %v", err)
+	}
+	// The all-ones corner (only vector where NAND output is 0) must work.
+	ones := make([]bool, 16)
+	for i := range ones {
+		ones[i] = true
+	}
+	if out := sim.New(m).Eval(ones, nil); out[m.POs[0]] {
+		t.Error("NAND16(1...1) != 0 after mapping")
+	}
+}
+
+func TestMapMaxFanin2(t *testing.T) {
+	c := buildOneGate(t, logic.Nor, 7)
+	m, err := Map(c, Options{MaxFanin: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMapped(m, 2) {
+		t.Fatal("not mapped to fanin<=2")
+	}
+	if err := exhaustiveEquiv(c, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapRejectsBadOptions(t *testing.T) {
+	c := buildOneGate(t, logic.Nand, 2)
+	if _, err := Map(c, Options{MaxFanin: 1}); err == nil {
+		t.Fatal("Map accepted MaxFanin=1")
+	}
+}
+
+func TestIsMapped(t *testing.T) {
+	c := buildOneGate(t, logic.And, 2)
+	if IsMapped(c, 4) {
+		t.Error("AND reported as mapped")
+	}
+	w := buildOneGate(t, logic.Nand, 6)
+	if IsMapped(w, 4) {
+		t.Error("NAND6 reported as mapped at fanin limit 4")
+	}
+	if !IsMapped(buildOneGate(t, logic.Nand, 4), 4) {
+		t.Error("NAND4 not accepted")
+	}
+}
+
+func TestFreshNetsDoNotCollide(t *testing.T) {
+	// A source circuit that already uses _tm-style names must not collide
+	// with mapper-generated nets: mapper names are unique per instance, and
+	// ensureNet would silently merge. Guard: mapped circuit must freeze and
+	// stay equivalent.
+	src := `INPUT(a)
+INPUT(b)
+OUTPUT(_tm1)
+_tm1 = AND(a, b)
+`
+	c, err := bench.ParseString(src, "collide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Map(c, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if err := exhaustiveEquiv(c, m); err != nil {
+		t.Fatalf("collision broke equivalence: %v", err)
+	}
+}
+
+func TestMapGrowthBounded(t *testing.T) {
+	c, _ := bench.ParseString(s27, "s27")
+	m, err := Map(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGates() > 4*c.NumGates() {
+		t.Errorf("mapping grew s27 from %d to %d gates", c.NumGates(), m.NumGates())
+	}
+	if !strings.Contains(m.Name, "s27") {
+		t.Error("mapped circuit lost its name")
+	}
+}

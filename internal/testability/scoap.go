@@ -1,0 +1,203 @@
+// Package testability implements SCOAP (Sandia Controllability /
+// Observability Analysis Program) metrics, the classic static testability
+// measures: CC0(n)/CC1(n) estimate how many input assignments it takes to
+// drive net n to 0/1, CO(n) how hard it is to observe n at an output.
+// PODEM uses the controllability numbers to steer its backtrace toward
+// the cheapest input assignments; DFT engineers use the observability
+// numbers to spot hard-to-test regions.
+package testability
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Analysis holds the SCOAP measures of one circuit, indexed by NetID.
+// For full-scan circuits, primary inputs and scan-cell outputs are
+// directly controllable (cost 1) and flop data inputs directly observable
+// (cost 0).
+type Analysis struct {
+	CC0, CC1 []int
+	CO       []int
+}
+
+// inf is a saturating "uncontrollable/unobservable" sentinel; additions
+// clamp to it so arithmetic never overflows.
+const inf = 1 << 28
+
+func addSat(a, b int) int {
+	s := a + b
+	if s >= inf {
+		return inf
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Compute runs the SCOAP passes over a frozen circuit: controllabilities
+// forward in topological order, observabilities backward.
+func Compute(c *netlist.Circuit) *Analysis {
+	a := &Analysis{
+		CC0: make([]int, c.NumNets()),
+		CC1: make([]int, c.NumNets()),
+		CO:  make([]int, c.NumNets()),
+	}
+	for n := range a.CC0 {
+		a.CC0[n], a.CC1[n], a.CO[n] = inf, inf, inf
+	}
+	for _, pi := range c.PIs {
+		a.CC0[pi], a.CC1[pi] = 1, 1
+	}
+	for _, q := range c.PseudoInputs() {
+		a.CC0[q], a.CC1[q] = 1, 1
+	}
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		a.CC0[g.Output], a.CC1[g.Output] = gateControllability(a, g)
+	}
+	// Observability: endpoints first, then backward through the gates.
+	for _, po := range c.POs {
+		a.CO[po] = 0
+	}
+	for _, d := range c.PseudoOutputs() {
+		a.CO[d] = 0
+	}
+	topo := c.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := &c.Gates[topo[i]]
+		for pin, in := range g.Inputs {
+			if co := inputObservability(a, g, pin); co < a.CO[in] {
+				a.CO[in] = co
+			}
+		}
+	}
+	return a
+}
+
+// gateControllability returns (CC0, CC1) of a gate's output.
+func gateControllability(a *Analysis, g *netlist.Gate) (int, int) {
+	switch g.Type {
+	case logic.Buf:
+		return addSat(a.CC0[g.Inputs[0]], 1), addSat(a.CC1[g.Inputs[0]], 1)
+	case logic.Not:
+		return addSat(a.CC1[g.Inputs[0]], 1), addSat(a.CC0[g.Inputs[0]], 1)
+	case logic.And, logic.Nand:
+		// Output of the AND core is 0 via any single 0 input, 1 via all 1s.
+		min0 := inf
+		sum1 := 1
+		for _, in := range g.Inputs {
+			min0 = minInt(min0, a.CC0[in])
+			sum1 = addSat(sum1, a.CC1[in])
+		}
+		c0, c1 := addSat(min0, 1), sum1
+		if g.Type == logic.Nand {
+			return c1, c0
+		}
+		return c0, c1
+	case logic.Or, logic.Nor:
+		min1 := inf
+		sum0 := 1
+		for _, in := range g.Inputs {
+			min1 = minInt(min1, a.CC1[in])
+			sum0 = addSat(sum0, a.CC0[in])
+		}
+		c0, c1 := sum0, addSat(min1, 1)
+		if g.Type == logic.Nor {
+			return c1, c0
+		}
+		return c0, c1
+	case logic.Xor, logic.Xnor:
+		// Pairwise reduction: cost of producing even/odd parity.
+		c0, c1 := a.CC0[g.Inputs[0]], a.CC1[g.Inputs[0]]
+		for _, in := range g.Inputs[1:] {
+			b0, b1 := a.CC0[in], a.CC1[in]
+			n0 := minInt(addSat(c0, b0), addSat(c1, b1))
+			n1 := minInt(addSat(c0, b1), addSat(c1, b0))
+			c0, c1 = addSat(n0, 1), addSat(n1, 1)
+		}
+		if g.Type == logic.Xnor {
+			return c1, c0
+		}
+		return c0, c1
+	case logic.Mux2:
+		d0, d1, s := g.Inputs[0], g.Inputs[1], g.Inputs[2]
+		c0 := minInt(addSat(a.CC0[d0], a.CC0[s]), addSat(a.CC0[d1], a.CC1[s]))
+		c1 := minInt(addSat(a.CC1[d0], a.CC0[s]), addSat(a.CC1[d1], a.CC1[s]))
+		return addSat(c0, 1), addSat(c1, 1)
+	}
+	return inf, inf
+}
+
+// inputObservability returns the SCOAP observability of gate input pin:
+// the gate output's observability plus the cost of setting every other
+// input to the value that makes the pin visible.
+func inputObservability(a *Analysis, g *netlist.Gate, pin int) int {
+	out := a.CO[g.Output]
+	if out >= inf {
+		return inf
+	}
+	switch g.Type {
+	case logic.Buf, logic.Not:
+		return addSat(out, 1)
+	case logic.And, logic.Nand:
+		cost := addSat(out, 1)
+		for i, in := range g.Inputs {
+			if i != pin {
+				cost = addSat(cost, a.CC1[in])
+			}
+		}
+		return cost
+	case logic.Or, logic.Nor:
+		cost := addSat(out, 1)
+		for i, in := range g.Inputs {
+			if i != pin {
+				cost = addSat(cost, a.CC0[in])
+			}
+		}
+		return cost
+	case logic.Xor, logic.Xnor:
+		// Side inputs may take either value; pay the cheaper
+		// controllability of each.
+		cost := addSat(out, 1)
+		for i, in := range g.Inputs {
+			if i != pin {
+				cost = addSat(cost, minInt(a.CC0[in], a.CC1[in]))
+			}
+		}
+		return cost
+	case logic.Mux2:
+		d0, d1, s := g.Inputs[0], g.Inputs[1], g.Inputs[2]
+		switch pin {
+		case 0:
+			return addSat(addSat(out, 1), a.CC0[s])
+		case 1:
+			return addSat(addSat(out, 1), a.CC1[s])
+		default:
+			// Select observable when the data inputs differ; cheapest
+			// differing assignment.
+			d := minInt(addSat(a.CC0[d0], a.CC1[d1]), addSat(a.CC1[d0], a.CC0[d1]))
+			return addSat(addSat(out, 1), d)
+		}
+	}
+	return inf
+}
+
+// Controllability returns the cost of setting net n to v.
+func (a *Analysis) Controllability(n netlist.NetID, v bool) int {
+	if v {
+		return a.CC1[n]
+	}
+	return a.CC0[n]
+}
+
+// Uncontrollable reports whether no input assignment can produce v on n
+// (per the SCOAP approximation).
+func (a *Analysis) Uncontrollable(n netlist.NetID, v bool) bool {
+	return a.Controllability(n, v) >= inf
+}

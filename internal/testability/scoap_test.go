@@ -1,0 +1,168 @@
+package testability
+
+import (
+	"testing"
+
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func TestInverterChain(t *testing.T) {
+	c := netlist.New("chain")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "x", "a")
+	c.AddGate(logic.Not, "y", "x")
+	c.MarkPO("y")
+	c.MustFreeze()
+	a := Compute(c)
+	aID, _ := c.NetByName("a")
+	xID, _ := c.NetByName("x")
+	yID, _ := c.NetByName("y")
+	if a.CC0[aID] != 1 || a.CC1[aID] != 1 {
+		t.Errorf("PI controllability should be 1/1, got %d/%d", a.CC0[aID], a.CC1[aID])
+	}
+	// x = NOT(a): CC0(x) = CC1(a)+1 = 2; y: 3.
+	if a.CC0[xID] != 2 || a.CC1[xID] != 2 {
+		t.Errorf("CC(x) = %d/%d, want 2/2", a.CC0[xID], a.CC1[xID])
+	}
+	if a.CC0[yID] != 3 {
+		t.Errorf("CC0(y) = %d, want 3", a.CC0[yID])
+	}
+	// Observability grows toward the inputs: CO(y)=0, CO(x)=1, CO(a)=2.
+	if a.CO[yID] != 0 || a.CO[xID] != 1 || a.CO[aID] != 2 {
+		t.Errorf("CO = %d/%d/%d, want 2/1/0 toward output", a.CO[aID], a.CO[xID], a.CO[yID])
+	}
+}
+
+func TestNandControllabilityAsymmetry(t *testing.T) {
+	// x = NAND(a, b): 1 is cheap (any input 0), 0 needs both at 1.
+	c := netlist.New("nand")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddGate(logic.Nand, "x", "a", "b")
+	c.MarkPO("x")
+	c.MustFreeze()
+	a := Compute(c)
+	xID, _ := c.NetByName("x")
+	if a.CC1[xID] != 2 { // min CC0 input + 1
+		t.Errorf("CC1(NAND) = %d, want 2", a.CC1[xID])
+	}
+	if a.CC0[xID] != 3 { // 1 + CC1(a) + CC1(b)
+		t.Errorf("CC0(NAND) = %d, want 3", a.CC0[xID])
+	}
+	// Observing a requires b=1: CO(a) = CO(x)+1+CC1(b) = 0+1+1 = 2.
+	aID, _ := c.NetByName("a")
+	if a.CO[aID] != 2 {
+		t.Errorf("CO(a) = %d, want 2", a.CO[aID])
+	}
+}
+
+func TestUncontrollableConstant(t *testing.T) {
+	// y = AND(a, NOT(a)) is constant 0: SCOAP can't prove that (it is an
+	// approximation ignoring reconvergence), but an undriven-from-inputs
+	// region must saturate. Build a truly uncontrollable case: a gate fed
+	// only through XOR of a net with itself is still "controllable" per
+	// SCOAP, so instead check saturation arithmetic directly.
+	if addSat(inf, 5) != inf || addSat(inf-1, inf) != inf {
+		t.Error("saturating addition broken")
+	}
+	c := netlist.New("c")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "x", "a")
+	c.MarkPO("x")
+	c.MustFreeze()
+	a := Compute(c)
+	xID, _ := c.NetByName("x")
+	if a.Uncontrollable(xID, true) || a.Uncontrollable(xID, false) {
+		t.Error("inverter output wrongly uncontrollable")
+	}
+}
+
+func TestXorControllability(t *testing.T) {
+	c := netlist.New("xor")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddGate(logic.Xor, "x", "a", "b")
+	c.MarkPO("x")
+	c.MustFreeze()
+	a := Compute(c)
+	xID, _ := c.NetByName("x")
+	// CC0 = min(0+0, 1+1 costs) + 1 = 1+1+1 = 3 with unit inputs.
+	if a.CC0[xID] != 3 || a.CC1[xID] != 3 {
+		t.Errorf("CC(XOR) = %d/%d, want 3/3", a.CC0[xID], a.CC1[xID])
+	}
+}
+
+func TestMuxControllability(t *testing.T) {
+	c := netlist.New("mux")
+	c.AddPI("d0")
+	c.AddPI("d1")
+	c.AddPI("s")
+	c.AddGate(logic.Mux2, "y", "d0", "d1", "s")
+	c.MarkPO("y")
+	c.MustFreeze()
+	a := Compute(c)
+	yID, _ := c.NetByName("y")
+	// Cheapest way to any value: pick a side (1+1) + 1.
+	if a.CC0[yID] != 3 || a.CC1[yID] != 3 {
+		t.Errorf("CC(MUX) = %d/%d, want 3/3", a.CC0[yID], a.CC1[yID])
+	}
+	sID, _ := c.NetByName("s")
+	// CO(select) = 1 + cheapest differing data assignment (1+1) = 3.
+	if a.CO[sID] != 3 {
+		t.Errorf("CO(select) = %d, want 3", a.CO[sID])
+	}
+}
+
+func TestScanCellsAreControllablePoints(t *testing.T) {
+	c := iscas.S27()
+	a := Compute(c)
+	for _, q := range c.PseudoInputs() {
+		if a.CC0[q] != 1 || a.CC1[q] != 1 {
+			t.Errorf("scan cell output %s not unit-controllable", c.Nets[q].Name)
+		}
+	}
+	for _, d := range c.PseudoOutputs() {
+		if a.CO[d] != 0 {
+			t.Errorf("scan cell input %s not directly observable", c.Nets[d].Name)
+		}
+	}
+	// Every net of s27 should be both controllable and observable.
+	for ni := range c.Nets {
+		if a.CC0[ni] >= inf || a.CC1[ni] >= inf {
+			t.Errorf("net %s uncontrollable", c.Nets[ni].Name)
+		}
+		if a.CO[ni] >= inf {
+			t.Errorf("net %s unobservable", c.Nets[ni].Name)
+		}
+	}
+}
+
+func TestDeepNetsCostMore(t *testing.T) {
+	p, _ := iscas.ByName("s344")
+	c, err := iscas.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Compute(c)
+	// Controllability must be weakly monotone along any driver chain:
+	// an output costs at least as much as its cheapest needed input.
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		minIn := inf
+		for _, in := range g.Inputs {
+			if v := minInt(a.CC0[in], a.CC1[in]); v < minIn {
+				minIn = v
+			}
+		}
+		out := minInt(a.CC0[g.Output], a.CC1[g.Output])
+		if out <= minIn && out < inf {
+			// Output strictly cheaper than every input is impossible:
+			// each gate adds at least 1.
+			if out < addSat(minIn, 1) {
+				t.Fatalf("gate %d: output cost %d below input floor %d", gi, out, minIn)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/iscas"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+)
+
+func TestIDCodeUniqueAndPrintable(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 20000; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, ch := range id {
+			if ch < 33 || ch > 126 {
+				t.Fatalf("non-printable id byte %d at %d", ch, i)
+			}
+		}
+	}
+	if idCode(0) != "!" {
+		t.Errorf("idCode(0) = %q", idCode(0))
+	}
+}
+
+func TestDumpScanProducesValidVCD(t *testing.T) {
+	c := iscas.S27()
+	ch := scan.New(c)
+	pats := []scan.Pattern{
+		{PI: []bool{true, false, true, false}, State: []bool{true, false, true}},
+		{PI: []bool{false, true, false, true}, State: []bool{false, true, false}},
+	}
+	var sb strings.Builder
+	if err := DumpScan(&sb, ch, pats, scan.Traditional(c), nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"$timescale", "$scope module s27", "$enddefinitions", "#0", "$var wire 1 ! ",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("VCD missing %q", frag)
+		}
+	}
+	// One tick per shift (2*3 + 3 flush) + 2 captures = 11, plus final
+	// timestamp -> "#11" must appear.
+	if !strings.Contains(out, "#11") {
+		t.Errorf("expected final timestamp #11:\n%s", out)
+	}
+	// Time 0 dumps every selected net.
+	lines := strings.Split(out, "\n")
+	count0 := 0
+	in0 := false
+	for _, l := range lines {
+		if l == "#0" {
+			in0 = true
+			continue
+		}
+		if in0 && strings.HasPrefix(l, "#") {
+			break
+		}
+		if in0 && l != "" {
+			count0++
+		}
+	}
+	if count0 != c.NumNets() {
+		t.Errorf("time-0 dump has %d signals, want %d", count0, c.NumNets())
+	}
+}
+
+func TestDumpScanSelectedNets(t *testing.T) {
+	c := iscas.S27()
+	ch := scan.New(c)
+	pats := []scan.Pattern{{PI: make([]bool, 4), State: make([]bool, 3)}}
+	sel := []netlist.NetID{c.PIs[0], c.POs[0]}
+	var sb strings.Builder
+	if err := DumpScan(&sb, ch, pats, scan.Traditional(c), sel); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "$var wire"); n != 2 {
+		t.Errorf("declared %d vars, want 2", n)
+	}
+}
+
+func TestTickAfterClose(t *testing.T) {
+	c := iscas.S27()
+	var sb strings.Builder
+	d, err := NewDumper(&sb, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Tick(make([]bool, c.NumNets())); err == nil {
+		t.Error("Tick after Close accepted")
+	}
+	if err := d.Close(); err != nil {
+		t.Error("double Close should be a no-op")
+	}
+}

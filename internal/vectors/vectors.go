@@ -1,0 +1,130 @@
+// Package vectors reads and writes scan test-pattern sets in a simple,
+// diffable text format, so ATPG runs and power measurements can be
+// decoupled (generate once with cmd/atpggen, replay anywhere):
+//
+//	# scanpower patterns v1
+//	# circuit s344 pis 9 ffs 15
+//	010010110 101011100100011
+//	...
+//
+// Each line is the primary-input bits followed by the scan state bits in
+// flop order.
+package vectors
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/netlist"
+	"repro/internal/scan"
+)
+
+// Set is a pattern file's contents.
+type Set struct {
+	Circuit  string
+	NPI, NFF int
+	Patterns []scan.Pattern
+}
+
+// Write emits the set.
+func Write(w io.Writer, s Set) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# scanpower patterns v1")
+	fmt.Fprintf(bw, "# circuit %s pis %d ffs %d\n", s.Circuit, s.NPI, s.NFF)
+	for i, p := range s.Patterns {
+		if len(p.PI) != s.NPI || len(p.State) != s.NFF {
+			return fmt.Errorf("vectors: pattern %d sized %d/%d, want %d/%d",
+				i, len(p.PI), len(p.State), s.NPI, s.NFF)
+		}
+		fmt.Fprintf(bw, "%s %s\n", bits(p.PI), bits(p.State))
+	}
+	return bw.Flush()
+}
+
+func bits(v []bool) string {
+	b := make([]byte, len(v))
+	for i, x := range v {
+		b[i] = '0'
+		if x {
+			b[i] = '1'
+		}
+	}
+	return string(b)
+}
+
+// Read parses a pattern file.
+func Read(r io.Reader) (Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var s Set
+	headerSeen := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# circuit ") {
+				if _, err := fmt.Sscanf(line, "# circuit %s pis %d ffs %d",
+					&s.Circuit, &s.NPI, &s.NFF); err != nil {
+					return Set{}, fmt.Errorf("vectors: line %d: bad header: %w", lineNo, err)
+				}
+				headerSeen = true
+			}
+			continue
+		}
+		if !headerSeen {
+			return Set{}, fmt.Errorf("vectors: line %d: pattern before '# circuit' header", lineNo)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return Set{}, fmt.Errorf("vectors: line %d: want 'PIBITS STATEBITS', got %q", lineNo, line)
+		}
+		pi, err := parseBits(fields[0], s.NPI)
+		if err != nil {
+			return Set{}, fmt.Errorf("vectors: line %d: PI bits: %w", lineNo, err)
+		}
+		st, err := parseBits(fields[1], s.NFF)
+		if err != nil {
+			return Set{}, fmt.Errorf("vectors: line %d: state bits: %w", lineNo, err)
+		}
+		s.Patterns = append(s.Patterns, scan.Pattern{PI: pi, State: st})
+	}
+	if err := sc.Err(); err != nil {
+		return Set{}, fmt.Errorf("vectors: read: %w", err)
+	}
+	if !headerSeen {
+		return Set{}, fmt.Errorf("vectors: missing '# circuit' header")
+	}
+	return s, nil
+}
+
+func parseBits(s string, want int) ([]bool, error) {
+	if len(s) != want {
+		return nil, fmt.Errorf("got %d bits, want %d", len(s), want)
+	}
+	out := make([]bool, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			out[i] = true
+		default:
+			return nil, fmt.Errorf("bad bit %q at position %d", s[i], i)
+		}
+	}
+	return out, nil
+}
+
+// Validate checks the set against a circuit's interface.
+func (s Set) Validate(c *netlist.Circuit) error {
+	if s.NPI != len(c.PIs) || s.NFF != c.NumFFs() {
+		return fmt.Errorf("vectors: set for %d PIs / %d flops, circuit %s has %d / %d",
+			s.NPI, s.NFF, c.Name, len(c.PIs), c.NumFFs())
+	}
+	return nil
+}

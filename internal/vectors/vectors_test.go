@@ -1,0 +1,105 @@
+package vectors
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+)
+
+func sampleSet() Set {
+	return Set{
+		Circuit: "s27",
+		NPI:     4,
+		NFF:     3,
+		Patterns: []scan.Pattern{
+			{PI: []bool{true, false, true, false}, State: []bool{true, true, false}},
+			{PI: []bool{false, false, false, false}, State: []bool{false, false, false}},
+			{PI: []bool{true, true, true, true}, State: []bool{true, false, true}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sampleSet()
+	var sb strings.Builder
+	if err := Write(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Read: %v\n%s", err, sb.String())
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("round trip changed set:\n%+v\nvs\n%+v", s, got)
+	}
+}
+
+func TestWriteRejectsWrongSizes(t *testing.T) {
+	s := sampleSet()
+	s.Patterns[1].PI = s.Patterns[1].PI[:2]
+	var sb strings.Builder
+	if err := Write(&sb, s); err == nil {
+		t.Error("accepted short PI vector")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no header", "0101 110\n"},
+		{"bad header", "# circuit oops\n"},
+		{"bad bit", "# circuit x pis 2 ffs 1\n0a 1\n"},
+		{"wrong width", "# circuit x pis 2 ffs 1\n010 1\n"},
+		{"one field", "# circuit x pis 2 ffs 1\n01\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(c.src)); err == nil {
+				t.Errorf("accepted %q", c.src)
+			}
+		})
+	}
+}
+
+func TestReadSkipsBlanksAndComments(t *testing.T) {
+	src := `
+# scanpower patterns v1
+# circuit x pis 1 ffs 1
+
+# a comment
+1 0
+
+0 1
+`
+	s, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Patterns) != 2 {
+		t.Errorf("got %d patterns, want 2", len(s.Patterns))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := netlist.New("v")
+	c.AddPI("a")
+	c.AddFF("f", "q", "d")
+	c.AddGate(logic.Not, "d", "q")
+	c.AddGate(logic.Nand, "o", "a", "q")
+	c.MarkPO("o")
+	c.MustFreeze()
+	ok := Set{Circuit: "v", NPI: 1, NFF: 1}
+	if err := ok.Validate(c); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	bad := Set{Circuit: "v", NPI: 2, NFF: 1}
+	if err := bad.Validate(c); err == nil {
+		t.Error("mismatched set accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package verilog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+const sample = `// small sequential design
+module demo (a, b, y);
+  input a, b;
+  output y;
+  wire n1, n2, q, d;
+  /* the flop */
+  dff u0 (q, d);
+  nand u1 (n1, a, q);
+  nor  u2 (n2, n1, b);
+  not  u3 (d, n2);
+  nand u4 (y, n1, n2);
+endmodule
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := ParseString(sample, "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "demo" {
+		t.Errorf("module name %q", c.Name)
+	}
+	st := c.ComputeStats()
+	if st.PIs != 2 || st.POs != 1 || st.FFs != 1 || st.Gates != 4 {
+		t.Errorf("stats %v", st)
+	}
+	if st.ByType[logic.Nand] != 2 || st.ByType[logic.Nor] != 1 || st.ByType[logic.Not] != 1 {
+		t.Errorf("type histogram %v", st.ByType)
+	}
+}
+
+func TestRoundTripEquivalence(t *testing.T) {
+	orig, err := ParseString(sample, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(sb.String(), "x")
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := sim.Equivalent(orig, back, 300, rng); err != nil {
+		t.Fatalf("round trip not equivalent: %v", err)
+	}
+}
+
+// TestBenchToVerilogBridge: a circuit parsed from .bench survives a trip
+// through Verilog with function intact — the two formats interoperate.
+func TestBenchToVerilogBridge(t *testing.T) {
+	c := iscas.S27()
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(sb.String(), "s27")
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if err := sim.Equivalent(c, back, 500, rng); err != nil {
+		t.Fatalf("bench->verilog->parse broke s27: %v", err)
+	}
+	// And back out to .bench for good measure.
+	var bb strings.Builder
+	if err := bench.Write(&bb, back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedBenchmarkRoundTrip(t *testing.T) {
+	p, _ := iscas.ByName("s344")
+	c, err := iscas.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(sb.String(), "s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumGates() != c.NumGates() || back.NumFFs() != c.NumFFs() {
+		t.Errorf("size changed: %d/%d -> %d/%d",
+			c.NumGates(), c.NumFFs(), back.NumGates(), back.NumFFs())
+	}
+	rng := rand.New(rand.NewSource(3))
+	if err := sim.Equivalent(c, back, 200, rng); err != nil {
+		t.Fatalf("not equivalent: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no module", "input a;\n"},
+		{"two modules", "module a (x); input x; endmodule\nmodule b (y); input y; endmodule\n"},
+		{"unknown stmt", "module m (a); input a; assign b = a; endmodule\n"},
+		{"bad instance", "module m (a); input a; nand u1 a; endmodule\n"},
+		{"one port", "module m (a); input a; nand u1 (a); endmodule\n"},
+		{"dff arity", "module m (a); input a; wire q; dff u1 (q, a, a); endmodule\n"},
+		{"empty port", "module m (a); input a; wire x; nand u1 (x, a, ); endmodule\n"},
+		{"undriven", "module m (a, y); input a; output y; wire z; nand u1 (y, a, z); endmodule\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseString(c.src, "m"); err == nil {
+				t.Errorf("accepted %q", c.src)
+			}
+		})
+	}
+}
+
+func TestCommentStripping(t *testing.T) {
+	src := "module m (a, y); // ports\ninput a; /* multi\nline */ output y;\nnot u1 (y, a);\nendmodule\n"
+	c, err := ParseString(src, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 1 {
+		t.Errorf("gates = %d", c.NumGates())
+	}
+	// Unterminated block comment swallows the rest (no crash).
+	if _, err := ParseString("module m (a); /* oops", "m"); err == nil {
+		t.Error("accepted module lost in comment")
+	}
+}
+
+func TestSanitizedModuleName(t *testing.T) {
+	c, err := ParseString("module m (a, y); input a; output y; not u1 (y, a); endmodule", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Name = "9bad name!"
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "module _bad_name_ ") {
+		t.Errorf("module name not sanitized:\n%s", sb.String())
+	}
+}

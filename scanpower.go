@@ -1,0 +1,291 @@
+// Package scanpower is the public API of this repository: a complete
+// reproduction of "Simultaneous Reduction of Dynamic and Static Power in
+// Scan Structures" (Sharifi, Jaffari, Hosseinabady, Afzali-Kusha, Navabi —
+// DATE 2005).
+//
+// The package glues the substrates together into the paper's experiment:
+//
+//	circuit (parsed .bench or generated ISCAS89 profile)
+//	  → technology mapping to the NAND/NOR/INV 45 nm library
+//	  → ATPG (stuck-at PODEM + fault simulation + compaction)
+//	  → three scan structures:
+//	      traditional scan,
+//	      input control (Huang & Lee, TCAD 2001),
+//	      the proposed MUX + leakage-observability-directed blocking
+//	  → per-structure dynamic (µW/Hz) and static (µW) scan-mode power
+//
+// Compare produces one row of the paper's Table I; see cmd/tableone for
+// the whole table and EXPERIMENTS.md for measured-vs-paper results.
+package scanpower
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/iscas"
+	"repro/internal/leakage"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/scan"
+	"repro/internal/techmap"
+	"repro/internal/timing"
+)
+
+// Config bundles every model and tuning knob of the experiment. The zero
+// value is not usable; start from DefaultConfig.
+type Config struct {
+	// ATPG tunes pattern generation. Generate's effort is scaled down
+	// automatically for very large circuits unless ScaleATPG is false.
+	ATPG      atpg.Options
+	ScaleATPG bool
+	// Proposed and InputControl configure the two engineered structures.
+	Proposed     core.Options
+	InputControl core.Options
+	// Leak, Cap and Delay are the shared electrical models.
+	Leak  *leakage.Model
+	Cap   power.CapModel
+	Delay timing.DelayModel
+}
+
+// DefaultConfig returns the configuration used for all reported
+// experiments.
+func DefaultConfig() Config {
+	leak := leakage.Default()
+	cap := power.DefaultCapModel()
+	delay := timing.Default()
+	prop := core.ProposedOptions()
+	prop.Leak, prop.Cap, prop.Delay = leak, cap, delay
+	ic := core.InputControlOptions()
+	ic.Leak, ic.Cap, ic.Delay = leak, cap, delay
+	return Config{
+		ATPG:         atpg.DefaultOptions(),
+		ScaleATPG:    true,
+		Proposed:     prop,
+		InputControl: ic,
+		Leak:         leak,
+		Cap:          cap,
+		Delay:        delay,
+	}
+}
+
+// Comparison is one row of Table I: the three structures measured on one
+// circuit with the same test set.
+type Comparison struct {
+	Circuit  string
+	Stats    netlist.Stats
+	Patterns int
+	// FaultCoverage of the generated test set (identical across the three
+	// structures: the modification never touches capture behaviour).
+	FaultCoverage float64
+
+	Traditional  power.Report
+	InputControl power.Report
+	Proposed     power.Report
+
+	ProposedStats     core.Stats
+	InputControlStats core.Stats
+
+	// MuxOverheadUW is the scan-mode leakage of the inserted MUX cells
+	// themselves (reported separately; Table I counts the combinational
+	// part).
+	MuxOverheadUW float64
+}
+
+// DynImprovementVsTraditional returns the Table I "Improvement Compared
+// with Traditional Scan (%) / Dynamic" entry.
+func (c *Comparison) DynImprovementVsTraditional() float64 {
+	return power.Improvement(c.Traditional.DynamicPerHz, c.Proposed.DynamicPerHz)
+}
+
+// StaticImprovementVsTraditional returns the static counterpart.
+func (c *Comparison) StaticImprovementVsTraditional() float64 {
+	return power.Improvement(c.Traditional.StaticUW, c.Proposed.StaticUW)
+}
+
+// DynImprovementVsInputControl returns the Table I "Improvement Compared
+// With Input Control (%) / Dynamic" entry.
+func (c *Comparison) DynImprovementVsInputControl() float64 {
+	return power.Improvement(c.InputControl.DynamicPerHz, c.Proposed.DynamicPerHz)
+}
+
+// StaticImprovementVsInputControl returns the static counterpart.
+func (c *Comparison) StaticImprovementVsInputControl() float64 {
+	return power.Improvement(c.InputControl.StaticUW, c.Proposed.StaticUW)
+}
+
+// Compare runs the full Table I experiment on the frozen circuit c, which
+// must already be mapped to the library (use Prepare).
+func Compare(c *netlist.Circuit, cfg Config) (*Comparison, error) {
+	if !techmap.IsMapped(c, 4) {
+		return nil, fmt.Errorf("scanpower: circuit %s is not mapped to the NAND/NOR/INV library; call Prepare", c.Name)
+	}
+	// scaledATPG keeps the deterministic phase affordable on the big
+	// circuits: lean on random patterns, cap PODEM effort per fault and
+	// in total (PODEM re-implies the full cone per decision).
+	res, err := atpg.Generate(c, scaledATPG(c, cfg))
+	if err != nil {
+		return nil, fmt.Errorf("scanpower: ATPG: %w", err)
+	}
+
+	cmp := &Comparison{
+		Circuit:       c.Name,
+		Stats:         c.ComputeStats(),
+		Patterns:      len(res.Patterns),
+		FaultCoverage: res.Coverage(),
+	}
+
+	// Traditional scan.
+	chT := scan.New(c)
+	cmp.Traditional, err = power.MeasureScanFast(chT, res.Patterns, scan.Traditional(c), cfg.Leak, cfg.Cap)
+	if err != nil {
+		return nil, err
+	}
+
+	// Input-control baseline.
+	icSol, err := core.Build(c, cfg.InputControl)
+	if err != nil {
+		return nil, fmt.Errorf("scanpower: input-control build: %w", err)
+	}
+	cmp.InputControlStats = icSol.Stats
+	cmp.InputControl, err = power.MeasureScanFast(scan.New(icSol.Circuit), res.Patterns, icSol.Cfg, cfg.Leak, cfg.Cap)
+	if err != nil {
+		return nil, err
+	}
+
+	// Proposed structure.
+	sol, err := core.Build(c, cfg.Proposed)
+	if err != nil {
+		return nil, fmt.Errorf("scanpower: proposed build: %w", err)
+	}
+	cmp.ProposedStats = sol.Stats
+	cmp.Proposed, err = power.MeasureScanFast(scan.New(sol.Circuit), res.Patterns, sol.Cfg, cfg.Leak, cfg.Cap)
+	if err != nil {
+		return nil, err
+	}
+	cmp.MuxOverheadUW = cfg.Leak.PowerUW(sol.MuxScanLeakNA(cfg.Leak))
+	return cmp, nil
+}
+
+// Prepare maps an arbitrary parsed circuit onto the NAND/NOR/INV library
+// used by the experiments.
+func Prepare(c *netlist.Circuit) (*netlist.Circuit, error) {
+	return techmap.Map(c, techmap.DefaultOptions())
+}
+
+// LoadBench parses an ISCAS89 .bench file from disk.
+func LoadBench(path string) (*netlist.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimSuffix(name, ".bench")
+	return bench.Parse(f, name)
+}
+
+// ParseBench parses .bench source text.
+func ParseBench(src, name string) (*netlist.Circuit, error) {
+	return bench.ParseString(src, name)
+}
+
+// Benchmark generates (deterministically) the synthetic stand-in for one
+// of the twelve Table I ISCAS89 circuits, already library-mapped.
+func Benchmark(name string) (*netlist.Circuit, error) {
+	p, ok := iscas.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("scanpower: unknown benchmark %q", name)
+	}
+	return iscas.Generate(p)
+}
+
+// BenchmarkNames lists the Table I circuits in the paper's order.
+func BenchmarkNames() []string {
+	names := make([]string, len(iscas.Profiles))
+	for i, p := range iscas.Profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// TableHeader returns the Table I column header for WriteRow output.
+func TableHeader() string {
+	return fmt.Sprintf("%-8s %12s %10s %12s %10s %12s %10s %8s %8s %8s %8s",
+		"Circuit",
+		"Trad dyn/f", "Trad stat",
+		"IC dyn/f", "IC stat",
+		"Prop dyn/f", "Prop stat",
+		"dyn%T", "stat%T", "dyn%IC", "stat%IC")
+}
+
+// Row renders the comparison as one Table I row.
+func (c *Comparison) Row() string {
+	return fmt.Sprintf("%-8s %12.3e %10.2f %12.3e %10.2f %12.3e %10.2f %8.2f %8.2f %8.2f %8.2f",
+		c.Circuit,
+		c.Traditional.DynamicPerHz, c.Traditional.StaticUW,
+		c.InputControl.DynamicPerHz, c.InputControl.StaticUW,
+		c.Proposed.DynamicPerHz, c.Proposed.StaticUW,
+		c.DynImprovementVsTraditional(), c.StaticImprovementVsTraditional(),
+		c.DynImprovementVsInputControl(), c.StaticImprovementVsInputControl())
+}
+
+// WriteTable runs Compare over the named benchmarks and streams rows to w.
+func WriteTable(w io.Writer, names []string, cfg Config) error {
+	if _, err := fmt.Fprintln(w, TableHeader()); err != nil {
+		return err
+	}
+	for _, name := range names {
+		c, err := Benchmark(name)
+		if err != nil {
+			return err
+		}
+		cmp, err := Compare(c, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if _, err := fmt.Fprintln(w, cmp.Row()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableColumns lists the Table I column headers used by NewTable.
+func TableColumns() []string {
+	return []string{"Circuit",
+		"Trad dyn (uW/Hz)", "Trad static (uW)",
+		"IC dyn (uW/Hz)", "IC static (uW)",
+		"Prop dyn (uW/Hz)", "Prop static (uW)",
+		"dyn% vs Trad", "stat% vs Trad", "dyn% vs IC", "stat% vs IC"}
+}
+
+// Cells renders the comparison as Table I cells (matching TableColumns).
+func (c *Comparison) Cells() []string {
+	f := func(v float64) string { return fmt.Sprintf("%.3e", v) }
+	p := func(v float64) string { return fmt.Sprintf("%.2f", v) }
+	return []string{c.Circuit,
+		f(c.Traditional.DynamicPerHz), p(c.Traditional.StaticUW),
+		f(c.InputControl.DynamicPerHz), p(c.InputControl.StaticUW),
+		f(c.Proposed.DynamicPerHz), p(c.Proposed.StaticUW),
+		p(c.DynImprovementVsTraditional()), p(c.StaticImprovementVsTraditional()),
+		p(c.DynImprovementVsInputControl()), p(c.StaticImprovementVsInputControl())}
+}
+
+// NewTable assembles comparisons into a report.Table ready for text,
+// Markdown or CSV rendering.
+func NewTable(title string, cmps []*Comparison) *report.Table {
+	t := report.New(title, TableColumns()...)
+	for _, c := range cmps {
+		t.MustAddRow(c.Cells()...)
+	}
+	return t
+}
