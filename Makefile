@@ -1,0 +1,25 @@
+# Tier-1 gate for this repository. `make check` is what CI runs on every
+# change; `make race` is required for anything touching the Engine's
+# worker pool or pattern cache.
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Engine acceptance benchmark: sequential vs GOMAXPROCS Table I.
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkTableOne -benchtime=1x .

@@ -3,21 +3,25 @@
 // the technology-scaling motivation, and the extension studies. This is
 // the "rebuild EXPERIMENTS.md's data" entry point.
 //
+// Table I and the extension studies run on the scanpower Engine, so the
+// circuits fan out across -j workers and every study of the same circuit
+// shares one ATPG run. -timeout aborts the whole report cleanly.
+//
 // Usage:
 //
 //	reproduce                  # full report to stdout (minutes)
 //	reproduce -quick           # small circuits only (seconds)
-//	reproduce -o report.md -j 8
+//	reproduce -o report.md -j 8 -timeout 30m -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"repro"
@@ -27,7 +31,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "only circuits up to ~700 gates")
 	out := flag.String("o", "", "write the report to this file (default stdout)")
-	workers := flag.Int("j", runtime.NumCPU(), "parallel circuits for Table I")
+	workers := flag.Int("j", runtime.NumCPU(), "parallel circuits for Table I (worker pool size)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+	progress := flag.Bool("progress", false, "stream per-stage progress to stderr")
 	flag.Parse()
 
 	w := io.Writer(os.Stdout)
@@ -39,8 +45,23 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
 	cfg := scanpower.DefaultConfig()
+	eng := scanpower.NewEngine(cfg)
+	eng.Workers = *workers
+	if *progress {
+		eng.Hooks = scanpower.Hooks{
+			OnProgress: func(circuit string, done, total int) {
+				fmt.Fprintf(os.Stderr, "reproduce: %d/%d done (%s)\n", done, total, circuit)
+			},
+		}
+	}
 	fmt.Fprintln(w, "# scanpower reproduction report")
 	fmt.Fprintln(w)
 
@@ -73,7 +94,10 @@ func main() {
 		names = small
 	}
 	fmt.Fprintf(w, "## Table I — scan-mode power (%s)\n\n", strings.Join(names, ", "))
-	cmps := compareAll(names, cfg, *workers)
+	cmps, err := eng.RunAll(ctx, names)
+	if err != nil {
+		fatal(err)
+	}
 	must(scanpower.NewTable("", cmps).Markdown(w))
 	fmt.Fprintln(w)
 
@@ -97,20 +121,21 @@ func main() {
 	must(ts.Markdown(w))
 	fmt.Fprintln(w)
 
-	// Extensions on a small circuit.
+	// Extensions on a small circuit. Running them through the Engine
+	// shares one ATPG run with the Table I row of the same circuit.
 	small, err := scanpower.Benchmark(names[0])
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(w, "## Extensions (%s)\n\n", names[0])
-	enh, err := scanpower.CompareEnhanced(small, cfg)
+	enh, err := eng.CompareEnhanced(ctx, small)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(w, "- Enhanced scan (full isolation): dynamic %.3e µW/Hz vs proposed %.3e, at +%.1f ps clock period.\n",
 		enh.Enhanced.DynamicPerHz, enh.Proposed.DynamicPerHz, enh.DelayPenaltyPS)
 	for _, structure := range []string{"traditional", "proposed"} {
-		st, err := scanpower.StudyReordering(small, cfg, structure)
+		st, err := eng.StudyReordering(ctx, small, structure)
 		if err != nil {
 			fatal(err)
 		}
@@ -132,40 +157,9 @@ func main() {
 	fmt.Fprintf(w, "- Multi-chain: %d → %d chains cuts shift cycles %d → %d.\n",
 		firstCy.Chains, lastCy.Chains, firstCy.ShiftCycles, lastCy.ShiftCycles)
 
-	fmt.Fprintf(w, "\n_Total runtime %v; fully deterministic for DefaultConfig seeds._\n",
-		time.Since(start).Round(time.Millisecond))
-}
-
-func compareAll(names []string, cfg scanpower.Config, workers int) []*scanpower.Comparison {
-	if workers < 1 {
-		workers = 1
-	}
-	out := make([]*scanpower.Comparison, len(names))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				c, err := scanpower.Benchmark(names[i])
-				if err != nil {
-					fatal(err)
-				}
-				cmp, err := scanpower.Compare(c, cfg)
-				if err != nil {
-					fatal(err)
-				}
-				out[i] = cmp
-			}
-		}()
-	}
-	for i := range names {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return out
+	hits, misses := eng.CacheStats()
+	fmt.Fprintf(w, "\n_Total runtime %v (%d ATPG runs, %d served from cache); fully deterministic for DefaultConfig seeds._\n",
+		time.Since(start).Round(time.Millisecond), misses, hits)
 }
 
 func minReport(st *scanpower.ReorderingStudy) float64 {

@@ -2,13 +2,19 @@
 // prints a detailed report: timing, MUX selection, transition blocking,
 // leakage vector, and the three-structure power comparison.
 //
+// The comparison and the -extensions studies run on the scanpower Engine,
+// so the expensive ATPG stage executes once and is shared across every
+// study of the circuit. -timeout aborts a stuck or oversized run cleanly.
+//
 // Usage:
 //
 //	scanpower -circuit s344          # synthetic Table I benchmark
 //	scanpower -bench path/to/x.bench # real netlist (mapped automatically)
+//	scanpower -circuit s9234 -timeout 2m -extensions
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +36,15 @@ func main() {
 	extensions := flag.Bool("extensions", false, "also run the enhanced-scan and reordering extension studies")
 	vcdPath := flag.String("vcd", "", "dump the proposed structure's scan-mode waveforms to this VCD file")
 	patFile := flag.String("patterns", "", "replay patterns from this vectors file instead of running ATPG (power section only)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var (
 		c   *netlist.Circuit
@@ -55,10 +69,11 @@ func main() {
 	}
 
 	cfg := scanpower.DefaultConfig()
+	eng := scanpower.NewEngine(cfg)
 	st := c.ComputeStats()
 	fmt.Printf("circuit      %s\n", st)
 
-	sol, err := core.Build(c, cfg.Proposed)
+	sol, err := core.BuildContext(ctx, c, cfg.Proposed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scanpower:", err)
 		os.Exit(1)
@@ -90,7 +105,7 @@ func main() {
 		return
 	}
 
-	cmp, err := scanpower.Compare(c, cfg)
+	cmp, err := eng.Compare(ctx, c)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scanpower:", err)
 		os.Exit(1)
@@ -109,7 +124,7 @@ func main() {
 		return
 	}
 	fmt.Println("\n--- extensions ---")
-	enh, err := scanpower.CompareEnhanced(c, cfg)
+	enh, err := eng.CompareEnhanced(ctx, c)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scanpower:", err)
 		os.Exit(1)
@@ -117,7 +132,7 @@ func main() {
 	fmt.Printf("enhanced scan (full isolation): dynamic %.3e µW/Hz, but +%.1f ps on the clock period\n",
 		enh.Enhanced.DynamicPerHz, enh.DelayPenaltyPS)
 	for _, structure := range []string{"traditional", "proposed"} {
-		st, err := scanpower.StudyReordering(c, cfg, structure)
+		st, err := eng.StudyReordering(ctx, c, structure)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanpower:", err)
 			os.Exit(1)

@@ -3,34 +3,33 @@
 // input-control baseline, and the proposed structure, for the twelve
 // ISCAS89 benchmark profiles.
 //
+// The experiments run on the scanpower Engine: -j bounds the worker pool
+// (default GOMAXPROCS), -timeout aborts the whole run cleanly after the
+// given duration, and -progress streams per-stage timings to stderr.
+//
 // Usage:
 //
-//	tableone [-circuits s344,s382,...] [-markdown] [-j N]
+//	tableone [-circuits s344,s382,...] [-markdown] [-j N] [-timeout 5m] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"repro"
 )
 
-type row struct {
-	idx  int
-	cmp  *scanpower.Comparison
-	note string
-	err  error
-}
-
 func main() {
 	circuits := flag.String("circuits", "", "comma-separated circuit names (default: all twelve)")
 	markdown := flag.Bool("markdown", false, "emit a Markdown table (for EXPERIMENTS.md)")
-	workers := flag.Int("j", runtime.NumCPU(), "circuits to process in parallel")
+	workers := flag.Int("j", runtime.NumCPU(), "circuits to process in parallel (worker pool size)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+	progress := flag.Bool("progress", false, "stream per-stage progress to stderr")
 	flag.Parse()
 
 	names := scanpower.BenchmarkNames()
@@ -40,49 +39,25 @@ func main() {
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
-	cfg := scanpower.DefaultConfig()
 
-	if *workers < 1 {
-		*workers = 1
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	jobs := make(chan int)
-	results := make([]row, len(names))
-	var wg sync.WaitGroup
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				start := time.Now()
-				r := row{idx: i}
-				c, err := scanpower.Benchmark(names[i])
-				if err != nil {
-					r.err = err
-					results[i] = r
-					continue
-				}
-				cmp, err := scanpower.Compare(c, cfg)
-				if err != nil {
-					r.err = err
-					results[i] = r
-					continue
-				}
-				r.cmp = cmp
-				r.note = fmt.Sprintf("# %s: %d patterns, %.1f%% coverage, %d/%d flops muxed, %v",
-					cmp.Circuit, cmp.Patterns, cmp.FaultCoverage*100,
-					cmp.ProposedStats.MuxCount, cmp.Stats.FFs,
-					time.Since(start).Round(time.Millisecond))
-				results[i] = r
-			}
-		}()
+
+	eng := scanpower.NewEngine(scanpower.DefaultConfig())
+	eng.Workers = *workers
+	if *progress {
+		eng.Hooks = progressHooks("tableone")
 	}
-	go func() {
-		for i := range names {
-			jobs <- i
-		}
-		close(jobs)
-	}()
-	wg.Wait()
+
+	cmps, err := eng.RunAll(ctx, names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tableone:", err)
+		os.Exit(1)
+	}
 
 	if *markdown {
 		fmt.Println("| Circuit | Trad dyn (µW/Hz) | Trad static (µW) | IC dyn (µW/Hz) | IC static (µW) | Prop dyn (µW/Hz) | Prop static (µW) | dyn% vs Trad | stat% vs Trad | dyn% vs IC | stat% vs IC |")
@@ -90,14 +65,7 @@ func main() {
 	} else {
 		fmt.Println(scanpower.TableHeader())
 	}
-	failed := false
-	for _, r := range results {
-		if r.err != nil {
-			fmt.Fprintf(os.Stderr, "tableone: %s: %v\n", names[r.idx], r.err)
-			failed = true
-			continue
-		}
-		cmp := r.cmp
+	for _, cmp := range cmps {
 		if *markdown {
 			fmt.Printf("| %s | %.3e | %.2f | %.3e | %.2f | %.3e | %.2f | %.2f | %.2f | %.2f | %.2f |\n",
 				cmp.Circuit,
@@ -109,9 +77,29 @@ func main() {
 		} else {
 			fmt.Println(cmp.Row())
 		}
-		fmt.Fprintln(os.Stderr, r.note)
+		fmt.Fprintf(os.Stderr, "# %s: %d patterns, %.1f%% coverage, %d/%d flops muxed\n",
+			cmp.Circuit, cmp.Patterns, cmp.FaultCoverage*100,
+			cmp.ProposedStats.MuxCount, cmp.Stats.FFs)
 	}
-	if failed {
-		os.Exit(1)
+}
+
+// progressHooks reports Engine stages and completions on stderr.
+func progressHooks(tool string) scanpower.Hooks {
+	return scanpower.Hooks{
+		OnStageDone: func(circuit, stage string, elapsed time.Duration, info scanpower.StageInfo) {
+			extra := ""
+			if stage == scanpower.StageATPG {
+				if info.CacheHit {
+					extra = " (cached)"
+				} else {
+					extra = fmt.Sprintf(" (%d patterns, %d backtracks)", info.Patterns, info.Backtracks)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "%s: %s %s %v%s\n", tool, circuit, stage,
+				elapsed.Round(time.Millisecond), extra)
+		},
+		OnProgress: func(circuit string, done, total int) {
+			fmt.Fprintf(os.Stderr, "%s: %d/%d done (%s)\n", tool, done, total, circuit)
+		},
 	}
 }

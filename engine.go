@@ -1,0 +1,383 @@
+package scanpower
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/netlist"
+)
+
+// Stage names reported through Hooks.
+const (
+	// StageATPG is pattern generation (PODEM + fault simulation) — the
+	// dominant cost and the stage the Engine memoizes.
+	StageATPG = "atpg"
+	// StageTraditional, StageInputControl and StageProposed are the three
+	// structure build+measure stages of one Table I row.
+	StageTraditional  = "traditional"
+	StageInputControl = "input-control"
+	StageProposed     = "proposed"
+)
+
+// StageInfo carries per-stage counters to Hooks.OnStageDone.
+type StageInfo struct {
+	// Patterns is the test-set size after the stage (ATPG: generated or
+	// cache-served; measurement stages: applied).
+	Patterns int
+	// Backtracks is the total PODEM backtrack count (ATPG stage only;
+	// zero when the stage was served from the cache).
+	Backtracks int
+	// CacheHit is true when the ATPG stage performed no generation work
+	// because the pattern cache already held the result.
+	CacheHit bool
+}
+
+// Hooks observes an Engine (or a context-first package function) as it
+// works. Any field may be nil; callbacks must be safe for concurrent use
+// when the Engine runs with more than one worker.
+type Hooks struct {
+	// OnStageStart fires when a stage begins on a circuit. It is not
+	// called for cache-served ATPG stages (no work starts).
+	OnStageStart func(circuit, stage string)
+	// OnStageDone fires when a stage completes, with its wall time and
+	// counters. Cache-served ATPG stages report ~zero elapsed time and
+	// CacheHit set.
+	OnStageDone func(circuit, stage string, elapsed time.Duration, info StageInfo)
+	// OnProgress fires after each circuit of an Engine run completes
+	// (successfully or not), with the running done count.
+	OnProgress func(circuit string, done, total int)
+}
+
+func (h Hooks) stageStart(circuit, stage string) {
+	if h.OnStageStart != nil {
+		h.OnStageStart(circuit, stage)
+	}
+}
+
+func (h Hooks) stageDone(circuit, stage string, elapsed time.Duration, info StageInfo) {
+	if h.OnStageDone != nil {
+		h.OnStageDone(circuit, stage, elapsed, info)
+	}
+}
+
+func (h Hooks) progress(circuit string, done, total int) {
+	if h.OnProgress != nil {
+		h.OnProgress(circuit, done, total)
+	}
+}
+
+// patternSource supplies the ATPG result for a circuit: the Engine plugs
+// in its memoized layer, plain package functions the direct generator.
+type patternSource func(ctx context.Context, c *netlist.Circuit) (*atpg.Result, error)
+
+// directPatterns generates without caching, reporting through hooks.
+func directPatterns(cfg Config, hooks Hooks) patternSource {
+	return func(ctx context.Context, c *netlist.Circuit) (*atpg.Result, error) {
+		hooks.stageStart(c.Name, StageATPG)
+		start := time.Now()
+		res, err := atpg.GenerateContext(ctx, c, scaledATPG(c, cfg))
+		if err != nil {
+			return nil, err
+		}
+		hooks.stageDone(c.Name, StageATPG, time.Since(start),
+			StageInfo{Patterns: len(res.Patterns), Backtracks: res.Backtracks})
+		return res, nil
+	}
+}
+
+// patternKey identifies one memoized ATPG run: the frozen circuit's
+// structural fingerprint plus the exact generation options (which the
+// large-circuit scaling may vary per circuit).
+type patternKey struct {
+	fp   uint64
+	opts atpg.Options
+}
+
+// patternEntry is one cache slot. done is closed when res/err are final.
+type patternEntry struct {
+	done chan struct{}
+	res  *atpg.Result
+	err  error
+}
+
+// patternCache memoizes ATPG results with in-flight coalescing: when two
+// workers need the same circuit's patterns, one generates and the other
+// waits. Failed runs (including cancellations) are evicted so a later
+// caller with a healthy context retries instead of inheriting the error.
+type patternCache struct {
+	mu sync.Mutex
+	m  map[patternKey]*patternEntry
+}
+
+// get returns the cached result for key, generating it via gen on a miss.
+// hit reports whether this caller avoided generation work (a prior result
+// or another in-flight caller's).
+func (pc *patternCache) get(ctx context.Context, key patternKey,
+	gen func() (*atpg.Result, error)) (res *atpg.Result, hit bool, err error) {
+
+	for {
+		pc.mu.Lock()
+		if pc.m == nil {
+			pc.m = make(map[patternKey]*patternEntry)
+		}
+		e, ok := pc.m[key]
+		if !ok {
+			e = &patternEntry{done: make(chan struct{})}
+			pc.m[key] = e
+			pc.mu.Unlock()
+			e.res, e.err = gen()
+			if e.err != nil {
+				pc.mu.Lock()
+				delete(pc.m, key)
+				pc.mu.Unlock()
+			}
+			close(e.done)
+			return e.res, false, e.err
+		}
+		pc.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err != nil {
+				// The generating caller failed; retry under our context.
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, false, cerr
+				}
+				continue
+			}
+			return e.res, true, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// Engine runs Table I-style experiments across a bounded worker pool with
+// a shared, memoized ATPG layer: every experiment on the same frozen
+// circuit (Compare, CompareEnhanced, StudyReordering, repeated runs)
+// generates patterns exactly once. The zero value is not usable; use
+// NewEngine. An Engine is safe for concurrent use.
+type Engine struct {
+	// Cfg is the experiment configuration, fixed at construction.
+	Cfg Config
+	// Workers bounds the worker pool of Run; values < 1 mean
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Hooks observes stages and progress. Set before calling Run.
+	Hooks Hooks
+
+	cache  patternCache
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewEngine returns an Engine over cfg with GOMAXPROCS workers.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{Cfg: cfg}
+}
+
+// CacheStats reports how many pattern lookups were served from the cache
+// (hits — including waits on an in-flight generation) versus generated
+// (misses).
+func (e *Engine) CacheStats() (hits, misses int64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// patterns is the Engine's memoized pattern source.
+func (e *Engine) patterns(ctx context.Context, c *netlist.Circuit) (*atpg.Result, error) {
+	opts := scaledATPG(c, e.Cfg)
+	key := patternKey{fp: c.Fingerprint(), opts: opts}
+	gen := func() (*atpg.Result, error) {
+		e.Hooks.stageStart(c.Name, StageATPG)
+		start := time.Now()
+		res, err := atpg.GenerateContext(ctx, c, opts)
+		if err != nil {
+			return nil, err
+		}
+		e.Hooks.stageDone(c.Name, StageATPG, time.Since(start),
+			StageInfo{Patterns: len(res.Patterns), Backtracks: res.Backtracks})
+		return res, nil
+	}
+	res, hit, err := e.cache.get(ctx, key, gen)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		e.hits.Add(1)
+		e.Hooks.stageDone(c.Name, StageATPG, 0,
+			StageInfo{Patterns: len(res.Patterns), CacheHit: true})
+	} else {
+		e.misses.Add(1)
+	}
+	return res, nil
+}
+
+// Compare runs the Table I experiment on c through the Engine's pattern
+// cache; repeated calls (or CompareEnhanced/StudyReordering on the same
+// circuit) reuse the generated patterns.
+func (e *Engine) Compare(ctx context.Context, c *netlist.Circuit) (*Comparison, error) {
+	return compareWith(ctx, c, e.Cfg, e.patterns, e.Hooks)
+}
+
+// CompareEnhanced runs the enhanced-scan extension through the cache.
+func (e *Engine) CompareEnhanced(ctx context.Context, c *netlist.Circuit) (*EnhancedComparison, error) {
+	return compareEnhancedWith(ctx, c, e.Cfg, e.patterns)
+}
+
+// StudyReordering runs the reordering extension through the cache.
+func (e *Engine) StudyReordering(ctx context.Context, c *netlist.Circuit, structure string) (*ReorderingStudy, error) {
+	return studyReorderingWith(ctx, c, e.Cfg, structure, e.patterns)
+}
+
+// Result is one streamed outcome of Engine.Run: the comparison for
+// names[Index], or the error that stopped it.
+type Result struct {
+	// Index is the circuit's position in the Run names slice.
+	Index int
+	// Name is names[Index].
+	Name string
+	// Comparison is the Table I row; nil when Err is set.
+	Comparison *Comparison
+	// Err is the per-circuit failure, ctx.Err() for circuits abandoned
+	// by cancellation.
+	Err error
+}
+
+// Run fans the named benchmarks out across the worker pool and streams
+// per-circuit results as they complete, in completion order (Result.Index
+// restores input order). The returned channel is buffered for the whole
+// run — readers may abandon it at any time — and closes when every worker
+// has finished. On cancellation, queued circuits are dropped and in-flight
+// ones return promptly with ctx's error.
+func (e *Engine) Run(ctx context.Context, names []string) (<-chan Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := e.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make(chan Result, len(names))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var done atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := Result{Index: i, Name: names[i]}
+				if err := ctx.Err(); err != nil {
+					r.Err = err
+				} else if c, err := Benchmark(names[i]); err != nil {
+					r.Err = err
+				} else {
+					r.Comparison, r.Err = e.Compare(ctx, c)
+				}
+				out <- r
+				e.Hooks.progress(r.Name, int(done.Add(1)), len(names))
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range names {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out, nil
+}
+
+// RunAll is the blocking form of Run: it returns the comparisons in input
+// order, or the first error (decorated with its circuit name). On
+// cancellation it returns ctx's error.
+func (e *Engine) RunAll(ctx context.Context, names []string) ([]*Comparison, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ch, err := e.Run(ctx, names)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Comparison, len(names))
+	var firstErr error
+	got := 0
+	for r := range ch {
+		got++
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", r.Name, r.Err)
+			}
+			continue
+		}
+		out[r.Index] = r.Comparison
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if got < len(names) {
+		return nil, ctx.Err()
+	}
+	return out, nil
+}
+
+// WriteTable renders the Table I rows for names to w in input order,
+// streaming each row as soon as every earlier row is available. With
+// Workers > 1 the output is byte-identical to the sequential WriteTable —
+// the experiments are independent and individually deterministic.
+func (e *Engine) WriteTable(ctx context.Context, w io.Writer, names []string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, err := fmt.Fprintln(w, TableHeader()); err != nil {
+		return err
+	}
+	ch, err := e.Run(ctx, names)
+	if err != nil {
+		return err
+	}
+	pending := make(map[int]Result, len(names))
+	next := 0
+	for r := range ch {
+		pending[r.Index] = r
+		for {
+			rr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if rr.Err != nil {
+				// The out channel is buffered for the whole run, so the
+				// remaining workers finish without a reader.
+				return fmt.Errorf("%s: %w", rr.Name, rr.Err)
+			}
+			if _, err := fmt.Fprintln(w, rr.Comparison.Row()); err != nil {
+				return err
+			}
+			next++
+		}
+	}
+	if next < len(names) {
+		return ctx.Err()
+	}
+	return nil
+}

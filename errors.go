@@ -1,0 +1,14 @@
+package scanpower
+
+import "errors"
+
+// Sentinel errors of the public API. They are always returned wrapped
+// (with circuit or benchmark context), so match with errors.Is.
+var (
+	// ErrNotMapped reports a circuit that has not been mapped to the
+	// NAND/NOR/INV library; call Prepare first.
+	ErrNotMapped = errors.New("circuit is not mapped to the NAND/NOR/INV library")
+	// ErrUnknownBenchmark reports a name outside the twelve Table I
+	// profiles; see BenchmarkNames.
+	ErrUnknownBenchmark = errors.New("unknown benchmark")
+)

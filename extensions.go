@@ -1,6 +1,7 @@
 package scanpower
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/atpg"
@@ -41,15 +42,24 @@ type EnhancedComparison struct {
 
 // CompareEnhanced runs the enhanced-scan extension experiment.
 func CompareEnhanced(c *netlist.Circuit, cfg Config) (*EnhancedComparison, error) {
-	res, err := atpg.Generate(c, scaledATPG(c, cfg))
+	return compareEnhancedWith(context.Background(), c, cfg, directPatterns(cfg, Hooks{}))
+}
+
+// compareEnhancedWith is CompareEnhanced over an explicit pattern source
+// (the Engine plugs in its memoized layer).
+func compareEnhancedWith(ctx context.Context, c *netlist.Circuit, cfg Config,
+	gen patternSource) (*EnhancedComparison, error) {
+
+	res, err := gen(ctx, c)
 	if err != nil {
 		return nil, err
 	}
-	prop, err := core.Build(c, cfg.Proposed)
+	mopts := power.MeasureOptions{Ctx: ctx}
+	prop, err := core.BuildContext(ctx, c, cfg.Proposed)
 	if err != nil {
 		return nil, err
 	}
-	propRep, err := power.MeasureScanFast(scan.New(prop.Circuit), res.Patterns, prop.Cfg, cfg.Leak, cfg.Cap)
+	propRep, err := power.MeasureScanFastOpts(scan.New(prop.Circuit), res.Patterns, prop.Cfg, cfg.Leak, cfg.Cap, mopts)
 	if err != nil {
 		return nil, err
 	}
@@ -57,7 +67,7 @@ func CompareEnhanced(c *netlist.Circuit, cfg Config) (*EnhancedComparison, error
 	if err != nil {
 		return nil, err
 	}
-	enhRep, err := power.MeasureScanFast(scan.New(enh.Circuit), res.Patterns, enh.Cfg, cfg.Leak, cfg.Cap)
+	enhRep, err := power.MeasureScanFastOpts(scan.New(enh.Circuit), res.Patterns, enh.Cfg, cfg.Leak, cfg.Cap, mopts)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +111,15 @@ func (r *ReorderingStudy) BestDynamicGain() float64 {
 // StudyReordering runs the deferred-reordering extension experiment on
 // the given structure ("traditional" or "proposed").
 func StudyReordering(c *netlist.Circuit, cfg Config, structure string) (*ReorderingStudy, error) {
-	res, err := atpg.Generate(c, scaledATPG(c, cfg))
+	return studyReorderingWith(context.Background(), c, cfg, structure, directPatterns(cfg, Hooks{}))
+}
+
+// studyReorderingWith is StudyReordering over an explicit pattern source
+// (the Engine plugs in its memoized layer).
+func studyReorderingWith(ctx context.Context, c *netlist.Circuit, cfg Config,
+	structure string, gen patternSource) (*ReorderingStudy, error) {
+
+	res, err := gen(ctx, c)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +131,7 @@ func StudyReordering(c *netlist.Circuit, cfg Config, structure string) (*Reorder
 	case "traditional":
 		circ, sCfg = c, scan.Traditional(c)
 	case "proposed":
-		sol, err := core.Build(c, cfg.Proposed)
+		sol, err := core.BuildContext(ctx, c, cfg.Proposed)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +151,7 @@ func StudyReordering(c *netlist.Circuit, cfg Config, structure string) (*Reorder
 				return power.Report{}, err
 			}
 		}
-		return power.MeasureScanFast(ch, pats, sCfg, cfg.Leak, cfg.Cap)
+		return power.MeasureScanFastOpts(ch, pats, sCfg, cfg.Leak, cfg.Cap, power.MeasureOptions{Ctx: ctx})
 	}
 
 	st := &ReorderingStudy{Circuit: c.Name, Structure: structure}

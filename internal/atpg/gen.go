@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -89,6 +90,10 @@ type Result struct {
 	// which PODEM hit its backtrack limit.
 	Untestable int
 	Aborted    int
+	// Backtracks is the total PODEM backtrack count across all
+	// deterministic runs — the search-effort figure observability hooks
+	// report.
+	Backtracks int
 }
 
 // DetectedCount returns the number of detected faults.
@@ -114,6 +119,17 @@ func (r *Result) Coverage() float64 {
 
 // Generate produces a stuck-at test set for the frozen circuit c.
 func Generate(c *netlist.Circuit, opts Options) (*Result, error) {
+	return GenerateContext(context.Background(), c, opts)
+}
+
+// GenerateContext is Generate with cancellation: the random-pattern phase
+// checks ctx between 64-lane batches and the deterministic phase between
+// PODEM fault targets, so an oversized run can be aborted promptly. The
+// returned error is ctx.Err() when the context ends the run.
+func GenerateContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !c.Frozen() {
 		return nil, fmt.Errorf("atpg: circuit %s must be frozen", c.Name)
 	}
@@ -145,6 +161,9 @@ func Generate(c *netlist.Circuit, opts Options) (*Result, error) {
 	stall := 0
 	batch := make([]scan.Pattern, 0, 64)
 	for tries := 0; tries < opts.MaxRandomPatterns && stall < opts.RandomStall; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bsize := opts.MaxRandomPatterns - tries
 		if bsize > 64 {
 			bsize = 64
@@ -218,6 +237,9 @@ func Generate(c *netlist.Circuit, opts Options) (*Result, error) {
 		if detCount[i] >= opts.NDetect {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if opts.MaxPodemFaults > 0 && attempted >= opts.MaxPodemFaults {
 			if !detected[i] {
 				res.Aborted++
@@ -226,7 +248,9 @@ func Generate(c *netlist.Circuit, opts Options) (*Result, error) {
 		}
 		attempted++
 		p := newPodem(c, f, opts.MaxBacktracks, scoap)
-		switch p.run() {
+		status := p.run()
+		res.Backtracks += p.backtracks
+		switch status {
 		case podemSuccess:
 			for detCount[i] < opts.NDetect {
 				pat := extractPattern(c, p, rng, opts.Fill)

@@ -39,6 +39,8 @@ type podem struct {
 	inBufF []logic.Value
 
 	maxBacktracks int
+	// backtracks is the number of decision flips the last run performed.
+	backtracks int
 }
 
 type podemDecision struct {
@@ -223,7 +225,7 @@ func (p *podem) run() podemStatus {
 		p.assign[i] = logic.X
 	}
 	var stack []podemDecision
-	backtracks := 0
+	p.backtracks = 0
 	for {
 		p.imply()
 		if p.detected() {
@@ -259,8 +261,8 @@ func (p *podem) run() podemStatus {
 		if !flipped {
 			return podemUntestable
 		}
-		backtracks++
-		if backtracks > p.maxBacktracks {
+		p.backtracks++
+		if p.backtracks > p.maxBacktracks {
 			return podemAborted
 		}
 	}

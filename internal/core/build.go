@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -40,6 +41,17 @@ type Solution struct {
 // baseline, depending on opts) on the frozen circuit c. The input circuit
 // is never mutated.
 func Build(c *netlist.Circuit, opts Options) (*Solution, error) {
+	return BuildContext(context.Background(), c, opts)
+}
+
+// BuildContext is Build with cancellation: the justification search
+// checks ctx between decisions and the main blocking loop between target
+// gates, so a pathological circuit can be abandoned mid-flow. The
+// returned error is ctx.Err() when the context ends the run.
+func BuildContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !c.Frozen() {
 		return nil, fmt.Errorf("core: circuit %s must be frozen", c.Name)
 	}
@@ -95,7 +107,11 @@ func Build(c *netlist.Circuit, opts Options) (*Solution, error) {
 
 	// Step 2: FindControlledInputPattern.
 	f := newFinder(work, &opts, muxable, ob, rng)
+	f.ctx = ctx
 	f.run()
+	if f.err != nil {
+		return nil, f.err
+	}
 	sol.Stats.BlockedGates = f.blockedGates
 	sol.Stats.FailedGates = f.failedGates
 	assignedBeforeFill := 0
@@ -114,6 +130,9 @@ func Build(c *netlist.Circuit, opts Options) (*Solution, error) {
 		sol.Stats.ReorderedGates = ReorderInputs(work, f.val, opts.Leak)
 		f.imply() // values are unchanged, but recompute for cleanliness
 		f.classify()
+	}
+	if f.err != nil {
+		return nil, f.err
 	}
 
 	sol.Assign = append([]logic.Value(nil), f.assign...)

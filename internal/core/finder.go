@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -32,6 +33,26 @@ type finder struct {
 
 	blockedGates int
 	failedGates  int
+
+	// ctx, when non-nil, lets the search be cancelled between decisions;
+	// err records the context error that stopped it.
+	ctx context.Context
+	err error
+}
+
+// cancelled checks the optional context and latches its error.
+func (f *finder) cancelled() bool {
+	if f.err != nil {
+		return true
+	}
+	if f.ctx == nil {
+		return false
+	}
+	if err := f.ctx.Err(); err != nil {
+		f.err = err
+		return true
+	}
+	return false
 }
 
 func newFinder(c *netlist.Circuit, opts *Options, muxable []bool,
@@ -187,6 +208,9 @@ func (f *finder) run() {
 	f.imply()
 	f.classify()
 	for len(f.pending) > 0 {
+		if f.cancelled() {
+			return
+		}
 		// mc_tg: largest output capacitance.
 		best := 0
 		for i := 1; i < len(f.pending); i++ {
@@ -243,6 +267,9 @@ func (f *finder) fill() (filled int) {
 	best := make([]logic.Value, len(unassigned))
 	cur := make([]logic.Value, len(unassigned))
 	for trial := 0; trial < trials; trial++ {
+		if f.cancelled() {
+			break
+		}
 		for i, n := range unassigned {
 			if trial == 0 && f.ob != nil {
 				cur[i] = logic.FromBool(f.ob.PreferredValue(n))

@@ -26,6 +26,10 @@ func (f *finder) justify(target netlist.NetID, want logic.Value) bool {
 	}
 	backtracks := 0
 	for {
+		if f.cancelled() {
+			rollback()
+			return false
+		}
 		f.imply()
 		switch f.val[target] {
 		case want:

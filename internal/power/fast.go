@@ -90,6 +90,7 @@ func MeasureScanFastOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.Shift
 
 	hooks := scan.Hooks{
 		ShiftCycle: observe,
+		Stop:       opts.stopHook(),
 		Capture: func(pi, ppi []bool) []bool {
 			var vals []bool
 			if opts.IncludeCapture {

@@ -11,6 +11,7 @@
 package power
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/leakage"
@@ -120,6 +121,17 @@ type MeasureOptions struct {
 	// boundary transition from the last shift state of one pattern to the
 	// first of the next is always counted once.
 	IncludeCapture bool
+	// Ctx, when non-nil, is checked between patterns; a done context
+	// aborts the measurement with its error.
+	Ctx context.Context
+}
+
+// stopHook converts the optional context into a scan.Hooks Stop check.
+func (o MeasureOptions) stopHook() func() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err
 }
 
 // MeasureScan applies the pattern set through the chain under cfg and
@@ -172,6 +184,7 @@ func MeasureScanOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.ShiftConf
 			}
 			return next
 		},
+		Stop: opts.stopHook(),
 	}
 	if err := ch.Run(patterns, cfg, hooks); err != nil {
 		return Report{}, err

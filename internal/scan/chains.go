@@ -151,6 +151,11 @@ func (cs *Chains) Run(patterns []Pattern, cfg ShiftConfig, hooks Hooks) error {
 	}
 	inBits := make([]bool, cs.NumChains())
 	for _, pat := range patterns {
+		if hooks.Stop != nil {
+			if err := hooks.Stop(); err != nil {
+				return err
+			}
+		}
 		for t := 0; t < L; t++ {
 			for k, g := range cs.Groups {
 				lk := len(g)

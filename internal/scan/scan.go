@@ -134,6 +134,10 @@ type Hooks struct {
 	// simulator's job); Run loads it into the chain so the following
 	// shift-out carries realistic response data.
 	Capture func(pi, ppi []bool) []bool
+	// Stop, when non-nil, is consulted before each pattern; a non-nil
+	// return aborts Run with that error. Power measurement wires a
+	// context's Err here so long runs stay cancellable.
+	Stop func() error
 }
 
 // Run applies the patterns through the chain: for each pattern, Length()
@@ -194,6 +198,11 @@ func (ch *Chain) Run(patterns []Pattern, cfg ShiftConfig, hooks Hooks) error {
 	}
 
 	for _, pat := range patterns {
+		if hooks.Stop != nil {
+			if err := hooks.Stop(); err != nil {
+				return err
+			}
+		}
 		// Shift in the new state (old content — previous response —
 		// shifts out). The bit destined for the flop at chain position
 		// L-1-t enters at shift t.

@@ -16,13 +16,34 @@
 //
 // Compare produces one row of the paper's Table I; see cmd/tableone for
 // the whole table and EXPERIMENTS.md for measured-vs-paper results.
+//
+// # Context-first API
+//
+// Every long-running entry point has a context-first form — CompareContext
+// and WriteTableContext here, plus the Engine methods — whose cancellation
+// and deadlines reach down into the hot loops (ATPG's random-pattern and
+// PODEM phases, the justification search, scan-mode measurement), so a
+// hung or oversized circuit aborts cleanly with ctx's error. Compare and
+// WriteTable remain as context.Background() wrappers for existing callers.
+//
+// # Engine
+//
+// Engine is the scalable way to run many experiments: a GOMAXPROCS-bounded
+// worker pool (Run / RunAll / Engine.WriteTable) with a shared, memoized
+// ATPG layer keyed by frozen-circuit fingerprint, so Compare,
+// CompareEnhanced and StudyReordering on the same circuit generate
+// patterns exactly once. Hooks expose per-stage wall time, pattern counts
+// and PODEM backtrack counters.
 package scanpower
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/bench"
@@ -122,13 +143,30 @@ func (c *Comparison) StaticImprovementVsInputControl() float64 {
 // Compare runs the full Table I experiment on the frozen circuit c, which
 // must already be mapped to the library (use Prepare).
 func Compare(c *netlist.Circuit, cfg Config) (*Comparison, error) {
+	return CompareContext(context.Background(), c, cfg)
+}
+
+// CompareContext is Compare with cancellation: ctx reaches the ATPG
+// phases, the structure builds and the power measurement, so the
+// experiment aborts promptly with ctx's error when cancelled. Matching
+// failures wrap ErrNotMapped.
+func CompareContext(ctx context.Context, c *netlist.Circuit, cfg Config) (*Comparison, error) {
+	return compareWith(ctx, c, cfg, directPatterns(cfg, Hooks{}), Hooks{})
+}
+
+// compareWith is the shared Table I pipeline: gen supplies the patterns
+// (the Engine's memoized layer, or the direct generator), hooks observe
+// the measurement stages.
+func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
+	gen patternSource, hooks Hooks) (*Comparison, error) {
+
 	if !techmap.IsMapped(c, 4) {
-		return nil, fmt.Errorf("scanpower: circuit %s is not mapped to the NAND/NOR/INV library; call Prepare", c.Name)
+		return nil, fmt.Errorf("scanpower: circuit %s: %w; call Prepare", c.Name, ErrNotMapped)
 	}
 	// scaledATPG keeps the deterministic phase affordable on the big
 	// circuits: lean on random patterns, cap PODEM effort per fault and
 	// in total (PODEM re-implies the full cone per decision).
-	res, err := atpg.Generate(c, scaledATPG(c, cfg))
+	res, err := gen(ctx, c)
 	if err != nil {
 		return nil, fmt.Errorf("scanpower: ATPG: %w", err)
 	}
@@ -139,35 +177,49 @@ func Compare(c *netlist.Circuit, cfg Config) (*Comparison, error) {
 		Patterns:      len(res.Patterns),
 		FaultCoverage: res.Coverage(),
 	}
+	mopts := power.MeasureOptions{Ctx: ctx}
+	stage := func(name string) func() {
+		hooks.stageStart(c.Name, name)
+		start := time.Now()
+		return func() {
+			hooks.stageDone(c.Name, name, time.Since(start),
+				StageInfo{Patterns: len(res.Patterns)})
+		}
+	}
 
 	// Traditional scan.
-	chT := scan.New(c)
-	cmp.Traditional, err = power.MeasureScanFast(chT, res.Patterns, scan.Traditional(c), cfg.Leak, cfg.Cap)
+	doneT := stage(StageTraditional)
+	cmp.Traditional, err = power.MeasureScanFastOpts(scan.New(c), res.Patterns, scan.Traditional(c), cfg.Leak, cfg.Cap, mopts)
 	if err != nil {
 		return nil, err
 	}
+	doneT()
 
 	// Input-control baseline.
-	icSol, err := core.Build(c, cfg.InputControl)
+	doneIC := stage(StageInputControl)
+	icSol, err := core.BuildContext(ctx, c, cfg.InputControl)
 	if err != nil {
 		return nil, fmt.Errorf("scanpower: input-control build: %w", err)
 	}
 	cmp.InputControlStats = icSol.Stats
-	cmp.InputControl, err = power.MeasureScanFast(scan.New(icSol.Circuit), res.Patterns, icSol.Cfg, cfg.Leak, cfg.Cap)
+	cmp.InputControl, err = power.MeasureScanFastOpts(scan.New(icSol.Circuit), res.Patterns, icSol.Cfg, cfg.Leak, cfg.Cap, mopts)
 	if err != nil {
 		return nil, err
 	}
+	doneIC()
 
 	// Proposed structure.
-	sol, err := core.Build(c, cfg.Proposed)
+	doneP := stage(StageProposed)
+	sol, err := core.BuildContext(ctx, c, cfg.Proposed)
 	if err != nil {
 		return nil, fmt.Errorf("scanpower: proposed build: %w", err)
 	}
 	cmp.ProposedStats = sol.Stats
-	cmp.Proposed, err = power.MeasureScanFast(scan.New(sol.Circuit), res.Patterns, sol.Cfg, cfg.Leak, cfg.Cap)
+	cmp.Proposed, err = power.MeasureScanFastOpts(scan.New(sol.Circuit), res.Patterns, sol.Cfg, cfg.Leak, cfg.Cap, mopts)
 	if err != nil {
 		return nil, err
 	}
+	doneP()
 	cmp.MuxOverheadUW = cfg.Leak.PowerUW(sol.MuxScanLeakNA(cfg.Leak))
 	return cmp, nil
 }
@@ -185,11 +237,7 @@ func LoadBench(path string) (*netlist.Circuit, error) {
 		return nil, err
 	}
 	defer f.Close()
-	name := path
-	if i := strings.LastIndexByte(name, '/'); i >= 0 {
-		name = name[i+1:]
-	}
-	name = strings.TrimSuffix(name, ".bench")
+	name := strings.TrimSuffix(filepath.Base(path), ".bench")
 	return bench.Parse(f, name)
 }
 
@@ -203,7 +251,7 @@ func ParseBench(src, name string) (*netlist.Circuit, error) {
 func Benchmark(name string) (*netlist.Circuit, error) {
 	p, ok := iscas.ByName(name)
 	if !ok {
-		return nil, fmt.Errorf("scanpower: unknown benchmark %q", name)
+		return nil, fmt.Errorf("scanpower: %w: %q", ErrUnknownBenchmark, name)
 	}
 	return iscas.Generate(p)
 }
@@ -238,8 +286,16 @@ func (c *Comparison) Row() string {
 		c.DynImprovementVsInputControl(), c.StaticImprovementVsInputControl())
 }
 
-// WriteTable runs Compare over the named benchmarks and streams rows to w.
+// WriteTable runs Compare over the named benchmarks and streams rows to w,
+// strictly sequentially. Engine.WriteTable is the parallel equivalent and
+// emits byte-identical output.
 func WriteTable(w io.Writer, names []string, cfg Config) error {
+	return WriteTableContext(context.Background(), w, names, cfg)
+}
+
+// WriteTableContext is WriteTable with cancellation; it stops at the first
+// circuit whose experiment returns ctx's error.
+func WriteTableContext(ctx context.Context, w io.Writer, names []string, cfg Config) error {
 	if _, err := fmt.Fprintln(w, TableHeader()); err != nil {
 		return err
 	}
@@ -248,7 +304,7 @@ func WriteTable(w io.Writer, names []string, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		cmp, err := Compare(c, cfg)
+		cmp, err := CompareContext(ctx, c, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
