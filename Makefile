@@ -3,10 +3,11 @@
 # worker pool or pattern cache.
 
 GO ?= go
+DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-json telemetry-race
 
-check: vet build test race
+check: vet build test race telemetry-race bench-json
 
 build:
 	$(GO) build ./...
@@ -23,3 +24,14 @@ race:
 # Engine acceptance benchmark: sequential vs GOMAXPROCS Table I.
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkTableOne -benchtime=1x .
+
+# Machine-readable perf trajectory: a small Table I run whose manifest
+# (environment, per-stage wall times, counters, results) lands in
+# BENCH_<date>.json for cross-commit comparison.
+bench-json:
+	$(GO) run ./cmd/tableone -circuits s344,s382,s444 -manifest BENCH_$(DATE).json >/dev/null
+
+# The telemetry path under the race detector: concurrent Engine workers
+# feeding one Recorder, registry, and trace writer.
+telemetry-race:
+	$(GO) test -race -run 'Telemetry|Recorder|Trace|Registry' . ./internal/telemetry/

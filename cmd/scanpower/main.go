@@ -6,11 +6,16 @@
 // so the expensive ATPG stage executes once and is shared across every
 // study of the circuit. -timeout aborts a stuck or oversized run cleanly.
 //
+// Telemetry: -listen serves /metrics, /debug/vars and /debug/pprof while
+// the run executes; -trace writes the span tree as JSON Lines; -manifest
+// writes the machine-readable run manifest.
+//
 // Usage:
 //
 //	scanpower -circuit s344          # synthetic Table I benchmark
 //	scanpower -bench path/to/x.bench # real netlist (mapped automatically)
 //	scanpower -circuit s9234 -timeout 2m -extensions
+//	scanpower -circuit s344 -listen :8080 -trace s344.jsonl -manifest s344.json
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/scan"
 	"repro/internal/techmap"
+	"repro/internal/telemetry"
 	"repro/internal/vcd"
 	"repro/internal/vectors"
 )
@@ -37,6 +43,9 @@ func main() {
 	vcdPath := flag.String("vcd", "", "dump the proposed structure's scan-mode waveforms to this VCD file")
 	patFile := flag.String("patterns", "", "replay patterns from this vectors file instead of running ATPG (power section only)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	listen := flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+	tracePath := flag.String("trace", "", "write the span trace as JSON Lines to this file")
+	manifestPath := flag.String("manifest", "", "write the run manifest JSON to this file")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -68,8 +77,39 @@ func main() {
 		os.Exit(1)
 	}
 
+	reg := telemetry.NewRegistry()
+	if *listen != "" {
+		srv, err := telemetry.ListenAndServe(*listen, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scanpower:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "scanpower: telemetry on http://%s/metrics\n", srv.Addr)
+	}
+	var tw *telemetry.TraceWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scanpower:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tw = telemetry.NewTraceWriter(f)
+	}
+	rec := scanpower.NewRecorder(reg, tw)
+	defer func() {
+		rec.Close()
+		if *manifestPath != "" {
+			if err := rec.Manifest("scanpower").WriteFile(*manifestPath); err != nil {
+				fmt.Fprintln(os.Stderr, "scanpower:", err)
+			}
+		}
+	}()
+
 	cfg := scanpower.DefaultConfig()
 	eng := scanpower.NewEngine(cfg)
+	eng.Hooks = rec.Hooks()
 	st := c.ComputeStats()
 	fmt.Printf("circuit      %s\n", st)
 

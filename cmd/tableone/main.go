@@ -7,13 +7,23 @@
 // (default GOMAXPROCS), -timeout aborts the whole run cleanly after the
 // given duration, and -progress streams per-stage timings to stderr.
 //
+// Telemetry: -listen serves /metrics (Prometheus text), /debug/vars
+// (expvar) and /debug/pprof on the given address while the run executes;
+// -trace writes the run → circuit → stage span tree as JSON Lines;
+// -manifest writes a machine-readable run manifest (environment, config,
+// per-circuit stage timings, metric snapshot, results) — the payload of
+// `make bench-json`.
+//
 // Usage:
 //
 //	tableone [-circuits s344,s382,...] [-markdown] [-j N] [-timeout 5m] [-progress]
+//	         [-listen :8080] [-trace trace.jsonl] [-manifest run.json]
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +32,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/atpg"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +42,9 @@ func main() {
 	workers := flag.Int("j", runtime.NumCPU(), "circuits to process in parallel (worker pool size)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	progress := flag.Bool("progress", false, "stream per-stage progress to stderr")
+	listen := flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+	tracePath := flag.String("trace", "", "write the span trace as JSON Lines to this file")
+	manifestPath := flag.String("manifest", "", "write the run manifest JSON to this file")
 	flag.Parse()
 
 	names := scanpower.BenchmarkNames()
@@ -47,13 +62,45 @@ func main() {
 		defer cancel()
 	}
 
+	reg := telemetry.NewRegistry()
+	if *listen != "" {
+		srv, err := telemetry.ListenAndServe(*listen, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tableone:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "tableone: telemetry on http://%s/metrics\n", srv.Addr)
+	}
+	var tw *telemetry.TraceWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tableone:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tw = telemetry.NewTraceWriter(f)
+	}
+	rec := scanpower.NewRecorder(reg, tw)
+
 	eng := scanpower.NewEngine(scanpower.DefaultConfig())
 	eng.Workers = *workers
+	eng.Hooks = rec.Hooks()
 	if *progress {
-		eng.Hooks = progressHooks("tableone")
+		eng.Hooks = scanpower.MergeHooks(progressHooks("tableone"), rec.Hooks())
 	}
 
 	cmps, err := eng.RunAll(ctx, names)
+	rec.Close()
+	if *manifestPath != "" {
+		if werr := writeManifest(*manifestPath, rec, names, *workers, cmps); werr != nil {
+			fmt.Fprintln(os.Stderr, "tableone:", werr)
+			if err == nil {
+				os.Exit(1)
+			}
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tableone:", err)
 		os.Exit(1)
@@ -81,6 +128,31 @@ func main() {
 			cmp.Circuit, cmp.Patterns, cmp.FaultCoverage*100,
 			cmp.ProposedStats.MuxCount, cmp.Stats.FFs)
 	}
+}
+
+// writeManifest assembles and writes the run manifest: the Recorder's
+// stage record plus the run configuration and the rendered result table.
+func writeManifest(path string, rec *scanpower.Recorder, names []string,
+	workers int, cmps []*scanpower.Comparison) error {
+
+	m := rec.Manifest("tableone")
+	m.Workers = workers
+	cfgJSON, err := json.Marshal(struct {
+		Circuits []string     `json:"circuits"`
+		ATPG     atpg.Options `json:"atpg"`
+	}{names, scanpower.DefaultConfig().ATPG})
+	if err != nil {
+		return err
+	}
+	m.Config = cfgJSON
+	if len(cmps) > 0 {
+		var buf bytes.Buffer
+		if err := scanpower.NewTable("Table I", cmps).WriteJSON(&buf); err != nil {
+			return err
+		}
+		m.Results = buf.Bytes()
+	}
+	return m.WriteFile(path)
 }
 
 // progressHooks reports Engine stages and completions on stderr.

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"repro/internal/atpg"
+	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/power"
 )
 
 // Stage names reported through Hooks.
@@ -38,12 +40,37 @@ type StageInfo struct {
 	CacheHit bool
 }
 
+// PodemFaultInfo describes one deterministic PODEM attempt to
+// Hooks.OnPodemFault.
+type PodemFaultInfo struct {
+	// Fault names the target stuck-at fault, e.g. "G17/SA0".
+	Fault string
+	// Outcome is "detected", "untestable", "aborted" or "skipped" (the
+	// MaxPodemFaults cap left the fault unattempted).
+	Outcome string
+	// Backtracks is the search effort this fault cost.
+	Backtracks int
+}
+
+// JustifyInfo describes one justification attempt of the transition
+// blocking search to Hooks.OnJustify.
+type JustifyInfo struct {
+	// Success reports whether a blocking assignment was committed.
+	Success bool
+	// Backtracks is the branch-and-bound effort spent.
+	Backtracks int
+}
+
 // Hooks observes an Engine (or a context-first package function) as it
 // works. Any field may be nil; callbacks must be safe for concurrent use
-// when the Engine runs with more than one worker.
+// when the Engine runs with more than one worker. The stage callbacks are
+// coarse (four per circuit); the remaining callbacks are the deep
+// instrumentation feed of the telemetry layer (see Recorder) and fire at
+// per-fault / per-pattern granularity, so keep them cheap.
 type Hooks struct {
-	// OnStageStart fires when a stage begins on a circuit. It is not
-	// called for cache-served ATPG stages (no work starts).
+	// OnStageStart fires when a stage begins on a circuit. Cache-served
+	// ATPG stages fire it too, immediately followed by their OnStageDone
+	// with CacheHit set, so start/done pairs always balance.
 	OnStageStart func(circuit, stage string)
 	// OnStageDone fires when a stage completes, with its wall time and
 	// counters. Cache-served ATPG stages report ~zero elapsed time and
@@ -52,6 +79,31 @@ type Hooks struct {
 	// OnProgress fires after each circuit of an Engine run completes
 	// (successfully or not), with the running done count.
 	OnProgress func(circuit string, done, total int)
+
+	// OnSubStage fires when an instrumented sub-stage completes: ATPG's
+	// "random"/"podem"/"compact" phases and the structure builds'
+	// "observability"/"blocking"/"fill"/"reorder" phases.
+	OnSubStage func(circuit, stage, sub string, elapsed time.Duration, info StageInfo)
+	// OnPodemFault fires after every deterministic-phase PODEM fault
+	// during generation (never for cache-served stages).
+	OnPodemFault func(circuit string, info PodemFaultInfo)
+	// OnJustify fires after every justification attempt of the
+	// input-control and proposed structure builds.
+	OnJustify func(circuit string, info JustifyInfo)
+	// OnObsSamples fires as the Monte-Carlo leakage-observability estimate
+	// progresses, with the vectors simulated since the previous call.
+	OnObsSamples func(circuit string, samples int)
+	// OnPattern fires after each pattern measured during a measurement
+	// stage, with the zero-based pattern index.
+	OnPattern func(circuit, stage string, index int)
+}
+
+// empty reports whether no callback is set (func fields make Hooks
+// non-comparable, so this stands in for == Hooks{}).
+func (h Hooks) empty() bool {
+	return h.OnStageStart == nil && h.OnStageDone == nil && h.OnProgress == nil &&
+		h.OnSubStage == nil && h.OnPodemFault == nil && h.OnJustify == nil &&
+		h.OnObsSamples == nil && h.OnPattern == nil
 }
 
 func (h Hooks) stageStart(circuit, stage string) {
@@ -72,6 +124,164 @@ func (h Hooks) progress(circuit string, done, total int) {
 	}
 }
 
+// atpgObserver adapts the deep hooks to an atpg.Observer bound to one
+// circuit. With none of the relevant hooks set it returns the zero
+// Observer, which adds no work to generation.
+func (h Hooks) atpgObserver(c *netlist.Circuit) atpg.Observer {
+	var ob atpg.Observer
+	if h.OnPodemFault != nil {
+		hook := h.OnPodemFault
+		ob.OnPodemFault = func(f atpg.Fault, outcome atpg.PodemOutcome, backtracks int) {
+			hook(c.Name, PodemFaultInfo{
+				Fault:      f.Name(c),
+				Outcome:    outcome.String(),
+				Backtracks: backtracks,
+			})
+		}
+	}
+	if h.OnSubStage != nil {
+		hook := h.OnSubStage
+		ob.OnPhase = func(phase string, elapsed time.Duration, patterns int) {
+			hook(c.Name, StageATPG, phase, elapsed, StageInfo{Patterns: patterns})
+		}
+	}
+	return ob
+}
+
+// coreObserver adapts the deep hooks to a core.Observer bound to one
+// circuit's structure-build stage.
+func (h Hooks) coreObserver(circuit, stage string) core.Observer {
+	var ob core.Observer
+	if h.OnJustify != nil {
+		hook := h.OnJustify
+		ob.OnJustify = func(_ netlist.NetID, success bool, backtracks int) {
+			hook(circuit, JustifyInfo{Success: success, Backtracks: backtracks})
+		}
+	}
+	if h.OnObsSamples != nil {
+		hook := h.OnObsSamples
+		ob.OnObsSamples = func(n int) { hook(circuit, n) }
+	}
+	if h.OnSubStage != nil {
+		hook := h.OnSubStage
+		ob.OnPhase = func(phase string, elapsed time.Duration) {
+			hook(circuit, stage, phase, elapsed, StageInfo{})
+		}
+	}
+	return ob
+}
+
+// measureOptions returns the per-stage measurement options, wiring the
+// per-pattern hook when set.
+func (h Hooks) measureOptions(ctx context.Context, circuit, stage string) power.MeasureOptions {
+	m := power.MeasureOptions{Ctx: ctx}
+	if h.OnPattern != nil {
+		hook := h.OnPattern
+		m.OnPattern = func(index int) { hook(circuit, stage, index) }
+	}
+	return m
+}
+
+// MergeHooks chains any number of hook sets: every non-nil callback of
+// every set fires, in argument order. Use it to combine a progress printer
+// with a telemetry Recorder.
+func MergeHooks(hs ...Hooks) Hooks {
+	var live []Hooks
+	for _, h := range hs {
+		if !h.empty() {
+			live = append(live, h)
+		}
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	var out Hooks
+	for _, h := range live {
+		h := h
+		if h.OnStageStart != nil {
+			prev := out.OnStageStart
+			next := h.OnStageStart
+			out.OnStageStart = func(circuit, stage string) {
+				if prev != nil {
+					prev(circuit, stage)
+				}
+				next(circuit, stage)
+			}
+		}
+		if h.OnStageDone != nil {
+			prev := out.OnStageDone
+			next := h.OnStageDone
+			out.OnStageDone = func(circuit, stage string, elapsed time.Duration, info StageInfo) {
+				if prev != nil {
+					prev(circuit, stage, elapsed, info)
+				}
+				next(circuit, stage, elapsed, info)
+			}
+		}
+		if h.OnProgress != nil {
+			prev := out.OnProgress
+			next := h.OnProgress
+			out.OnProgress = func(circuit string, done, total int) {
+				if prev != nil {
+					prev(circuit, done, total)
+				}
+				next(circuit, done, total)
+			}
+		}
+		if h.OnSubStage != nil {
+			prev := out.OnSubStage
+			next := h.OnSubStage
+			out.OnSubStage = func(circuit, stage, sub string, elapsed time.Duration, info StageInfo) {
+				if prev != nil {
+					prev(circuit, stage, sub, elapsed, info)
+				}
+				next(circuit, stage, sub, elapsed, info)
+			}
+		}
+		if h.OnPodemFault != nil {
+			prev := out.OnPodemFault
+			next := h.OnPodemFault
+			out.OnPodemFault = func(circuit string, info PodemFaultInfo) {
+				if prev != nil {
+					prev(circuit, info)
+				}
+				next(circuit, info)
+			}
+		}
+		if h.OnJustify != nil {
+			prev := out.OnJustify
+			next := h.OnJustify
+			out.OnJustify = func(circuit string, info JustifyInfo) {
+				if prev != nil {
+					prev(circuit, info)
+				}
+				next(circuit, info)
+			}
+		}
+		if h.OnObsSamples != nil {
+			prev := out.OnObsSamples
+			next := h.OnObsSamples
+			out.OnObsSamples = func(circuit string, samples int) {
+				if prev != nil {
+					prev(circuit, samples)
+				}
+				next(circuit, samples)
+			}
+		}
+		if h.OnPattern != nil {
+			prev := out.OnPattern
+			next := h.OnPattern
+			out.OnPattern = func(circuit, stage string, index int) {
+				if prev != nil {
+					prev(circuit, stage, index)
+				}
+				next(circuit, stage, index)
+			}
+		}
+	}
+	return out
+}
+
 // patternSource supplies the ATPG result for a circuit: the Engine plugs
 // in its memoized layer, plain package functions the direct generator.
 type patternSource func(ctx context.Context, c *netlist.Circuit) (*atpg.Result, error)
@@ -81,7 +291,7 @@ func directPatterns(cfg Config, hooks Hooks) patternSource {
 	return func(ctx context.Context, c *netlist.Circuit) (*atpg.Result, error) {
 		hooks.stageStart(c.Name, StageATPG)
 		start := time.Now()
-		res, err := atpg.GenerateContext(ctx, c, scaledATPG(c, cfg))
+		res, err := atpg.GenerateObserved(ctx, c, scaledATPG(c, cfg), hooks.atpgObserver(c))
 		if err != nil {
 			return nil, err
 		}
@@ -195,7 +405,7 @@ func (e *Engine) patterns(ctx context.Context, c *netlist.Circuit) (*atpg.Result
 	gen := func() (*atpg.Result, error) {
 		e.Hooks.stageStart(c.Name, StageATPG)
 		start := time.Now()
-		res, err := atpg.GenerateContext(ctx, c, opts)
+		res, err := atpg.GenerateObserved(ctx, c, opts, e.Hooks.atpgObserver(c))
 		if err != nil {
 			return nil, err
 		}
@@ -209,6 +419,10 @@ func (e *Engine) patterns(ctx context.Context, c *netlist.Circuit) (*atpg.Result
 	}
 	if hit {
 		e.hits.Add(1)
+		// Cache-served stages still emit a paired start/done (with
+		// CacheHit set) so span accounting never sees an unbalanced
+		// close.
+		e.Hooks.stageStart(c.Name, StageATPG)
 		e.Hooks.stageDone(c.Name, StageATPG, 0,
 			StageInfo{Patterns: len(res.Patterns), CacheHit: true})
 	} else {

@@ -171,8 +171,11 @@ func TestEngineCacheHit(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if atpgStarts != 1 {
-		t.Errorf("ATPG started %d times for one circuit, want 1", atpgStarts)
+	// Start/done pairs must balance even for cache-served stages: every
+	// OnStageDone (one generation + three hits) had a matching
+	// OnStageStart.
+	if atpgStarts != 4 {
+		t.Errorf("ATPG start events = %d, want 4 (one per done event)", atpgStarts)
 	}
 	if len(atpgInfos) != 4 {
 		t.Fatalf("got %d ATPG stage reports, want 4", len(atpgInfos))

@@ -127,6 +127,14 @@ func Generate(c *netlist.Circuit, opts Options) (*Result, error) {
 // PODEM fault targets, so an oversized run can be aborted promptly. The
 // returned error is ctx.Err() when the context ends the run.
 func GenerateContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Result, error) {
+	return GenerateObserved(ctx, c, opts, Observer{})
+}
+
+// GenerateObserved is GenerateContext with a telemetry Observer: per-fault
+// PODEM outcomes, random-phase batches, and phase wall times flow to ob's
+// callbacks as they happen. A zero Observer adds no work and no
+// allocations to the generation hot paths.
+func GenerateObserved(ctx context.Context, c *netlist.Circuit, opts Options, ob Observer) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -157,6 +165,7 @@ func GenerateContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Re
 	// Phase 1: random patterns, 64 lanes at a time on the bit-parallel
 	// fault simulator. A fault's detection is credited to the
 	// lowest-indexed detecting lane, and only credited patterns are kept.
+	stopRandom := ob.phaseTimer("random")
 	fs64 := NewFaultSim64(c)
 	stall := 0
 	batch := make([]scan.Pattern, 0, 64)
@@ -207,7 +216,11 @@ func GenerateContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Re
 		} else {
 			stall += bsize
 		}
+		if ob.OnRandomBatch != nil {
+			ob.OnRandomBatch(bsize, newDet)
+		}
 	}
+	stopRandom(len(patterns))
 
 	// Phase 2: deterministic PODEM for the residue. For NDetect > 1 each
 	// remaining fault gets one PODEM run per missing detection; the
@@ -232,6 +245,7 @@ func GenerateContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Re
 	if opts.UseSCOAP {
 		scoap = testability.Compute(c)
 	}
+	stopPodem := ob.phaseTimer("podem")
 	attempted := 0
 	for i, f := range faults {
 		if detCount[i] >= opts.NDetect {
@@ -244,12 +258,18 @@ func GenerateContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Re
 			if !detected[i] {
 				res.Aborted++
 			}
+			if ob.OnPodemFault != nil {
+				ob.OnPodemFault(f, PodemSkipped, 0)
+			}
 			continue
 		}
 		attempted++
 		p := newPodem(c, f, opts.MaxBacktracks, scoap)
 		status := p.run()
 		res.Backtracks += p.backtracks
+		if ob.OnPodemFault != nil {
+			ob.OnPodemFault(f, podemOutcomeOf(status), p.backtracks)
+		}
 		switch status {
 		case podemSuccess:
 			for detCount[i] < opts.NDetect {
@@ -277,12 +297,28 @@ func GenerateContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Re
 		}
 	}
 
+	stopPodem(len(patterns))
+
 	// Phase 3: reverse-order static compaction (quota-aware for NDetect).
+	stopCompact := ob.phaseTimer("compact")
 	if opts.Compact && len(patterns) > 1 {
 		patterns = compact(c, patterns, faults, opts.NDetect)
 	}
+	stopCompact(len(patterns))
 	res.Patterns = patterns
 	return res, nil
+}
+
+// podemOutcomeOf maps the internal search status to the observer enum.
+func podemOutcomeOf(s podemStatus) PodemOutcome {
+	switch s {
+	case podemSuccess:
+		return PodemDetected
+	case podemUntestable:
+		return PodemUntestableFault
+	default:
+		return PodemAbortedFault
+	}
 }
 
 func randFill(rng *rand.Rand, dst []bool) {

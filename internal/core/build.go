@@ -102,13 +102,17 @@ func BuildContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Solut
 	// Leakage observability directive.
 	var ob *obs.Observability
 	if opts.ObsDirected {
-		ob = obs.Estimate(work, opts.Leak, opts.ObsSamples, rng)
+		doneObs := opts.Observe.phaseTimer("observability")
+		ob = obs.EstimateObserved(work, opts.Leak, opts.ObsSamples, rng, opts.Observe.OnObsSamples)
+		doneObs()
 	}
 
 	// Step 2: FindControlledInputPattern.
 	f := newFinder(work, &opts, muxable, ob, rng)
 	f.ctx = ctx
+	doneBlock := opts.Observe.phaseTimer("blocking")
 	f.run()
+	doneBlock()
 	if f.err != nil {
 		return nil, f.err
 	}
@@ -121,15 +125,19 @@ func BuildContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Solut
 		}
 	}
 	sol.Stats.AssignedInputs = assignedBeforeFill
+	doneFill := opts.Observe.phaseTimer("fill")
 	sol.Stats.FilledInputs = f.fill()
+	doneFill()
 	f.classify()
 	sol.Stats.TransitionNets = f.transitionNetCount()
 
 	// Step 3: gate input reordering under the scan-mode state.
 	if opts.ReorderInputs {
+		doneReorder := opts.Observe.phaseTimer("reorder")
 		sol.Stats.ReorderedGates = ReorderInputs(work, f.val, opts.Leak)
 		f.imply() // values are unchanged, but recompute for cleanliness
 		f.classify()
+		doneReorder()
 	}
 	if f.err != nil {
 		return nil, f.err

@@ -18,22 +18,28 @@ func (f *finder) justify(target netlist.NetID, want logic.Value) bool {
 	}
 	var stack []decision
 	var touched []netlist.NetID
+	backtracks := 0
+	done := func(ok bool) bool {
+		if f.opts.Observe.OnJustify != nil {
+			f.opts.Observe.OnJustify(target, ok, backtracks)
+		}
+		return ok
+	}
 	rollback := func() {
 		for _, n := range touched {
 			f.assign[n] = logic.X
 		}
 		f.imply()
 	}
-	backtracks := 0
 	for {
 		if f.cancelled() {
 			rollback()
-			return false
+			return done(false)
 		}
 		f.imply()
 		switch f.val[target] {
 		case want:
-			return true
+			return done(true)
 		case logic.X:
 			n, v, ok := f.backtrace(target, want)
 			if ok {
@@ -60,12 +66,12 @@ func (f *finder) justify(target netlist.NetID, want logic.Value) bool {
 		}
 		if !flipped {
 			rollback()
-			return false
+			return done(false)
 		}
 		backtracks++
 		if backtracks > f.opts.JustifyBacktracks {
 			rollback()
-			return false
+			return done(false)
 		}
 	}
 }

@@ -44,6 +44,20 @@ type Observability struct {
 // Estimate computes observabilities for the frozen circuit c with the
 // given leakage model, using `samples` random vectors from rng.
 func Estimate(c *netlist.Circuit, lm *leakage.Model, samples int, rng *rand.Rand) *Observability {
+	return EstimateObserved(c, lm, samples, rng, nil)
+}
+
+// obsBatch is how many Monte-Carlo vectors run between onSamples calls —
+// frequent enough for a live samples/sec gauge, rare enough to be free.
+const obsBatch = 32
+
+// EstimateObserved is Estimate with progress telemetry: onSamples (when
+// non-nil) receives the number of vectors simulated since its previous
+// call, every obsBatch vectors and once at the end. A nil onSamples adds
+// no work.
+func EstimateObserved(c *netlist.Circuit, lm *leakage.Model, samples int, rng *rand.Rand,
+	onSamples func(n int)) *Observability {
+
 	if samples <= 0 {
 		samples = 128
 	}
@@ -55,6 +69,7 @@ func Estimate(c *netlist.Circuit, lm *leakage.Model, samples int, rng *rand.Rand
 
 	pi := make([]bool, len(c.PIs))
 	ppi := make([]bool, c.NumFFs())
+	unreported := 0
 	for it := 0; it < samples; it++ {
 		sim.RandomVector(rng, pi)
 		sim.RandomVector(rng, ppi)
@@ -67,6 +82,15 @@ func Estimate(c *netlist.Circuit, lm *leakage.Model, samples int, rng *rand.Rand
 				cnt1[n]++
 			}
 		}
+		if onSamples != nil {
+			if unreported++; unreported == obsBatch {
+				onSamples(unreported)
+				unreported = 0
+			}
+		}
+	}
+	if onSamples != nil && unreported > 0 {
+		onSamples(unreported)
 	}
 	o := &Observability{
 		Lobs:    make([]float64, nNets),

@@ -113,6 +113,101 @@ func TestConstantLikeNetFallsBackToMean(t *testing.T) {
 	}
 }
 
+// TestEstimateDeterministic: the estimator is a pure function of the seed
+// — two runs from identical sources agree bit-for-bit on every field, so
+// experiments are reproducible.
+func TestEstimateDeterministic(t *testing.T) {
+	c := netlist.New("det")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddFF("f", "q", "d")
+	c.AddGate(logic.Nand, "x", "a", "q")
+	c.AddGate(logic.Nor, "d", "x", "b")
+	c.AddGate(logic.Not, "o", "x")
+	c.MarkPO("o")
+	c.MustFreeze()
+	lm := leakage.Default()
+	o1 := Estimate(c, lm, 512, rand.New(rand.NewSource(42)))
+	o2 := Estimate(c, lm, 512, rand.New(rand.NewSource(42)))
+	if o1.Mean != o2.Mean || o1.Samples != o2.Samples {
+		t.Fatalf("summary differs: (%v,%d) vs (%v,%d)", o1.Mean, o1.Samples, o2.Mean, o2.Samples)
+	}
+	for ni := range o1.Lobs {
+		if o1.Lobs[ni] != o2.Lobs[ni] || o1.Ones[ni] != o2.Ones[ni] {
+			t.Fatalf("net %d differs across identically-seeded runs", ni)
+		}
+	}
+	// A different seed must actually change the sample set (Ones shifts).
+	o3 := Estimate(c, lm, 512, rand.New(rand.NewSource(43)))
+	same := true
+	for ni := range o1.Ones {
+		if o1.Ones[ni] != o3.Ones[ni] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed 43 reproduced seed 42's sample counts exactly")
+	}
+}
+
+// TestNeverObservedUsesMean: a net stuck at 1 has no v=0 samples, so
+// Lavg(·,0) falls back to the overall mean and Lobs = Lavg(·,1) − Mean.
+func TestNeverObservedUsesMean(t *testing.T) {
+	// y = OR(a, NOT(a)) is constant 1: cnt0(y) = 0 for every sample.
+	c := netlist.New("const1")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "na", "a")
+	c.AddGate(logic.Or, "y", "a", "na")
+	c.MarkPO("y")
+	c.MustFreeze()
+	o := Estimate(c, leakage.Default(), 400, rand.New(rand.NewSource(5)))
+	yID, _ := c.NetByName("y")
+	if o.Ones[yID] != o.Samples {
+		t.Fatalf("constant-1 net observed at 1 %d/%d times", o.Ones[yID], o.Samples)
+	}
+	// avg0 == Mean ⇒ Lobs = avg1 − Mean = Mean − Mean = 0 (avg1 over all
+	// samples IS the mean when every sample has y=1).
+	if math.Abs(o.At(yID)) > 1e-9 {
+		t.Errorf("Lobs(constant-1 net) = %v, want 0 (mean fallback)", o.At(yID))
+	}
+}
+
+// TestEstimateObservedBatches: the progress callback must account for
+// every vector exactly once (batches of obsBatch plus one remainder call)
+// and must not perturb the estimate.
+func TestEstimateObservedBatches(t *testing.T) {
+	c := netlist.New("batch")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "o", "a")
+	c.MarkPO("o")
+	c.MustFreeze()
+	lm := leakage.Default()
+	const samples = 100 // 3 full batches of 32 + remainder 4
+	var got []int
+	total := 0
+	o := EstimateObserved(c, lm, samples, rand.New(rand.NewSource(7)), func(n int) {
+		got = append(got, n)
+		total += n
+	})
+	if total != samples {
+		t.Errorf("callback accounted %d vectors, want %d", total, samples)
+	}
+	want := []int{32, 32, 32, 4}
+	if len(got) != len(want) {
+		t.Fatalf("callback fired %d times (%v), want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch sizes %v, want %v", got, want)
+		}
+	}
+	plain := Estimate(c, lm, samples, rand.New(rand.NewSource(7)))
+	if o.Mean != plain.Mean {
+		t.Errorf("observed estimate diverged from plain: %v vs %v", o.Mean, plain.Mean)
+	}
+}
+
 // exactObservability computes Lobs by full enumeration of the input space
 // — the ground truth the Monte-Carlo estimator must converge to.
 func exactObservability(c *netlist.Circuit, lm *leakage.Model) []float64 {

@@ -91,7 +91,7 @@ func MeasureScanFastOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.Shift
 	hooks := scan.Hooks{
 		ShiftCycle: observe,
 		Stop:       opts.stopHook(),
-		Capture: func(pi, ppi []bool) []bool {
+		Capture: opts.patternHook(func(pi, ppi []bool) []bool {
 			var vals []bool
 			if opts.IncludeCapture {
 				observe(pi, ppi)
@@ -108,7 +108,7 @@ func MeasureScanFastOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.Shift
 				next[i] = vals[ff.D]
 			}
 			return next
-		},
+		}),
 	}
 	if err := ch.Run(patterns, cfg, hooks); err != nil {
 		return Report{}, err

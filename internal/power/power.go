@@ -123,7 +123,27 @@ type MeasureOptions struct {
 	IncludeCapture bool
 	// Ctx, when non-nil, is checked between patterns; a done context
 	// aborts the measurement with its error.
-	Ctx context.Context
+	Ctx context.Context `json:"-"`
+	// OnPattern, when non-nil, fires after each pattern's capture with the
+	// zero-based pattern index — the per-pattern progress feed of the
+	// telemetry layer. A nil OnPattern adds no work.
+	OnPattern func(index int) `json:"-"`
+}
+
+// patternHook wraps a capture function so OnPattern fires once per
+// applied pattern; with OnPattern unset the capture function is returned
+// untouched.
+func (o MeasureOptions) patternHook(capture func(pi, ppi []bool) []bool) func(pi, ppi []bool) []bool {
+	if o.OnPattern == nil {
+		return capture
+	}
+	idx := 0
+	return func(pi, ppi []bool) []bool {
+		next := capture(pi, ppi)
+		o.OnPattern(idx)
+		idx++
+		return next
+	}
 }
 
 // stopHook converts the optional context into a scan.Hooks Stop check.
@@ -171,7 +191,7 @@ func MeasureScanOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.ShiftConf
 
 	hooks := scan.Hooks{
 		ShiftCycle: func(pi, ppi []bool) { observe(pi, ppi) },
-		Capture: func(pi, ppi []bool) []bool {
+		Capture: opts.patternHook(func(pi, ppi []bool) []bool {
 			var st []bool
 			if opts.IncludeCapture {
 				st = observe(pi, ppi)
@@ -183,7 +203,7 @@ func MeasureScanOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.ShiftConf
 				next[i] = st[ff.D]
 			}
 			return next
-		},
+		}),
 		Stop: opts.stopHook(),
 	}
 	if err := ch.Run(patterns, cfg, hooks); err != nil {

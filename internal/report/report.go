@@ -1,10 +1,11 @@
-// Package report renders experiment results as aligned text, Markdown, or
-// CSV — one Table type, three writers, so every command emits consistent,
-// diffable output.
+// Package report renders experiment results as aligned text, Markdown,
+// CSV, or JSON — one Table type, four writers, so every command emits
+// consistent, diffable output.
 package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -78,6 +79,31 @@ func (t *Table) CSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// jsonTable is the serialized form of a Table: rows become objects keyed
+// by column header, so consumers need no positional knowledge.
+type jsonTable struct {
+	Title   string              `json:"title,omitempty"`
+	Columns []string            `json:"columns"`
+	Rows    []map[string]string `json:"rows"`
+}
+
+// WriteJSON writes the table as indented JSON with one object per row,
+// keyed by column header — the machine-readable sibling of Text/CSV and
+// the form run manifests embed as Results.
+func (t *Table) WriteJSON(w io.Writer) error {
+	jt := jsonTable{Title: t.Title, Columns: t.Columns, Rows: make([]map[string]string, 0, len(t.Rows))}
+	for _, row := range t.Rows {
+		m := make(map[string]string, len(row))
+		for i, cell := range row {
+			m[t.Columns[i]] = cell
+		}
+		jt.Rows = append(jt.Rows, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
+}
+
 // Text writes a column-aligned plain-text rendering.
 func (t *Table) Text(w io.Writer) error {
 	widths := make([]int, len(t.Columns))
@@ -130,6 +156,7 @@ const (
 	FormatText     Format = "text"
 	FormatMarkdown Format = "markdown"
 	FormatCSV      Format = "csv"
+	FormatJSON     Format = "json"
 )
 
 // Write renders the table in the named format.
@@ -141,6 +168,8 @@ func (t *Table) Write(w io.Writer, f Format) error {
 		return t.Markdown(w)
 	case FormatCSV:
 		return t.CSV(w)
+	case FormatJSON:
+		return t.WriteJSON(w)
 	}
 	return fmt.Errorf("report: unknown format %q", f)
 }

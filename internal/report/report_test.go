@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -55,6 +56,37 @@ s9234    8.1e-09  849.9
 	}
 }
 
+func TestJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string              `json:"title"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if got.Title != "Power" || len(got.Columns) != 3 || len(got.Rows) != 2 {
+		t.Errorf("round-trip = %+v", got)
+	}
+	if got.Rows[1]["Circuit"] != "s9234" || got.Rows[1]["Static"] != "849.9" {
+		t.Errorf("row keyed by column header wrong: %+v", got.Rows[1])
+	}
+}
+
+func TestJSONEmptyRows(t *testing.T) {
+	var sb strings.Builder
+	if err := New("t", "a").WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"rows": []`) {
+		t.Errorf("empty table must serialize rows as [], got %s", sb.String())
+	}
+}
+
 func TestAddRowValidates(t *testing.T) {
 	tb := New("x", "a", "b")
 	if err := tb.AddRow("only one"); err == nil {
@@ -69,7 +101,7 @@ func TestAddRowValidates(t *testing.T) {
 }
 
 func TestWriteFormats(t *testing.T) {
-	for _, f := range []Format{FormatText, FormatMarkdown, FormatCSV, ""} {
+	for _, f := range []Format{FormatText, FormatMarkdown, FormatCSV, FormatJSON, ""} {
 		var sb strings.Builder
 		if err := sample().Write(&sb, f); err != nil {
 			t.Errorf("format %q: %v", f, err)

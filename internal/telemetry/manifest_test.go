@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func sampleManifest() *Manifest {
+	m := NewManifest("test-run")
+	m.Workers = 4
+	m.Config = json.RawMessage(`{"seed":1}`)
+	m.WallNS = 123456789
+	m.Circuits = []CircuitManifest{
+		{
+			Name: "s344",
+			Stages: []StageManifest{
+				{Stage: "atpg", WallNS: 1000, Patterns: 17, Backtracks: 3},
+				{Stage: "traditional", WallNS: 2000, Patterns: 17},
+				{Stage: "proposed", WallNS: 3000, Patterns: 17},
+			},
+		},
+		{
+			Name: "s382",
+			Stages: []StageManifest{
+				{Stage: "atpg", WallNS: 0, Patterns: 17, CacheHit: true},
+			},
+		},
+		{Name: "s999", Err: "unknown benchmark"},
+	}
+	m.Counters = map[string]float64{"scanpower_cache_hits_total": 1}
+	m.Results = json.RawMessage(`{"columns":["Circuit"],"rows":[["s344"]]}`)
+	return m
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ManifestSchema {
+		t.Fatalf("schema = %q", got.Schema)
+	}
+	if got.GoVersion != runtime.Version() || got.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("environment not recorded: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Circuits, m.Circuits) {
+		t.Fatalf("circuits round-trip mismatch:\n got %+v\nwant %+v", got.Circuits, m.Circuits)
+	}
+	if got.Counters["scanpower_cache_hits_total"] != 1 {
+		t.Fatalf("counters = %v", got.Counters)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(got.Results, &res); err != nil {
+		t.Fatalf("results not JSON: %v", err)
+	}
+}
+
+func TestManifestFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := sampleManifest().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Re-read through the file to prove the on-disk form parses.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bytes.NewReader(b)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManifestRejectsUnknownSchema(t *testing.T) {
+	if _, err := ReadManifest(bytes.NewReader([]byte(`{"schema":"other/v9"}`))); err == nil {
+		t.Fatal("expected schema error")
+	}
+}

@@ -1,0 +1,422 @@
+// Package telemetry is the measurement layer of the repository: a
+// lock-cheap metrics registry with Prometheus-style text exposition and an
+// expvar bridge, hierarchical trace spans emitted as JSONL, an optional
+// debug HTTP server (metrics + expvar + pprof), and machine-readable run
+// manifests that record what an experiment run did and how long each piece
+// took.
+//
+// The registry is designed for hot paths: metric handles are looked up (or
+// created) once, then updated with a single atomic operation. A nil
+// *Counter, *Gauge or *Histogram is a valid no-op sink, so callers may
+// keep optional handles without nil checks at every update site.
+//
+// Series names follow the Prometheus data model. A name is either a bare
+// family ("scanpower_cache_hits_total") or a family with an inline label
+// set ("scanpower_stage_seconds{stage=\"atpg\"}"); each distinct full name
+// is one independent series.
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 gauge.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d to the gauge with a CAS loop. Safe on a nil receiver.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: counts per upper bound plus a
+// +Inf overflow bucket, with a running sum and total count. Buckets are
+// fixed at creation; Observe is wait-free except for the sum's CAS.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+// DefLatencyBuckets are the default latency buckets in seconds, spanning
+// sub-millisecond PODEM runs to multi-minute circuit stages.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// DefCountBuckets are default buckets for small work counts (backtracks,
+// decisions per fault).
+var DefCountBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Observe records v. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket slices are short (≤ ~20) and the scan is
+	// branch-predictable; a binary search buys nothing here.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry holds named metric series. The zero value is ready to use; a
+// nil *Registry is a valid no-op registry (every lookup returns a nil
+// handle, and nil handles discard updates).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// splitName separates "family{labels}" into its parts; labels is "" for a
+// bare family name.
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+func validName(name string) error {
+	family, _ := splitName(name)
+	if family == "" {
+		return fmt.Errorf("telemetry: empty metric name %q", name)
+	}
+	for i, r := range family {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("telemetry: invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+// Counter returns the named counter series, creating it on first use.
+// Returns nil (a no-op counter) on a nil registry. Panics on a malformed
+// name — metric names are compile-time constants, not data.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if err := validName(name); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge series, creating it on first use. Returns
+// nil (a no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if err := validName(name); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram series with the given bucket upper
+// bounds (nil = DefLatencyBuckets), creating it on first use. The bounds
+// of an existing series are kept; they must match across call sites.
+// Returns nil (a no-op histogram) on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if err := validName(name); err != nil {
+		panic(err)
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// seriesWithLabel splices an extra label (e.g. le="0.1") into a series
+// name that may already carry a label set.
+func seriesWithLabel(family, labels, extra string) string {
+	if labels == "" {
+		return family + "{" + extra + "}"
+	}
+	return family + "{" + labels + "," + extra + "}"
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus writes every series in the Prometheus text exposition
+// format (version 0.0.4), sorted by series name so output is diffable.
+// Histograms expand to cumulative _bucket series plus _sum and _count. A
+// nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type hsnap struct {
+		bounds []float64
+		counts []int64
+		sum    float64
+		count  int64
+	}
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]hsnap, len(r.hists))
+	for name, h := range r.hists {
+		s := hsnap{bounds: h.bounds, sum: h.Sum(), count: h.Count()}
+		s.counts = make([]int64, len(h.counts))
+		for i := range h.counts {
+			s.counts[i] = h.counts[i].Load()
+		}
+		hists[name] = s
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	typedFamilies := make(map[string]bool)
+	writeType := func(family, kind string) {
+		if !typedFamilies[family] {
+			typedFamilies[family] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", family, kind)
+		}
+	}
+	for _, name := range sortedKeys(counters) {
+		family, _ := splitName(name)
+		writeType(family, "counter")
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		family, _ := splitName(name)
+		writeType(family, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", name, formatValue(gauges[name]))
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		family, labels := splitName(name)
+		writeType(family, "histogram")
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			le := seriesWithLabel(family+"_bucket", labels, fmt.Sprintf("le=%q", formatValue(bound)))
+			fmt.Fprintf(&b, "%s %d\n", le, cum)
+		}
+		inf := seriesWithLabel(family+"_bucket", labels, `le="+Inf"`)
+		fmt.Fprintf(&b, "%s %d\n", inf, h.count)
+		if labels != "" {
+			fmt.Fprintf(&b, "%s{%s} %s\n", family+"_sum", labels, formatValue(h.sum))
+			fmt.Fprintf(&b, "%s{%s} %d\n", family+"_count", labels, h.count)
+		} else {
+			fmt.Fprintf(&b, "%s %s\n", family+"_sum", formatValue(h.sum))
+			fmt.Fprintf(&b, "%s %d\n", family+"_count", h.count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot returns every series as a flat name → value map: counters and
+// gauges directly, histograms as _sum and _count entries. The snapshot is
+// what run manifests embed. A nil registry returns nil.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+2*len(r.hists))
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		family, labels := splitName(name)
+		sum, count := family+"_sum", family+"_count"
+		if labels != "" {
+			sum += "{" + labels + "}"
+			count += "{" + labels + "}"
+		}
+		out[sum] = h.Sum()
+		out[count] = float64(h.Count())
+	}
+	return out
+}
+
+// ExpvarFunc returns an expvar.Func exposing the registry snapshot, for
+// mounting under /debug/vars.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return expvar.Func(func() any { return r.Snapshot() })
+}
+
+// Publish publishes the registry under the given expvar name. The expvar
+// namespace is global and write-once; repeated Publish calls (including
+// from tests constructing several registries) rebind the name to this
+// registry instead of panicking.
+func (r *Registry) Publish(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if v, ok := published[name]; ok {
+		v.mu.Lock()
+		v.r = r
+		v.mu.Unlock()
+		return
+	}
+	v := &publishedVar{r: r}
+	published[name] = v
+	expvar.Publish(name, v)
+}
+
+var (
+	publishMu sync.Mutex
+	published = map[string]*publishedVar{}
+)
+
+// publishedVar is the rebindable expvar slot Publish installs.
+type publishedVar struct {
+	mu sync.Mutex
+	r  *Registry
+}
+
+func (p *publishedVar) String() string {
+	p.mu.Lock()
+	r := p.r
+	p.mu.Unlock()
+	return r.ExpvarFunc().String()
+}

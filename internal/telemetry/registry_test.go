@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("runs_total") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("workers")
+	g.Set(8)
+	g.Add(-2)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %g, want 6", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x_seconds", nil).Observe(1)
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var h *Histogram
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram should stay empty")
+	}
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid metric name")
+		}
+	}()
+	NewRegistry().Counter("bad name!")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %g, want 106", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="2"} 3`,
+		`lat_seconds_bucket{le="4"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 106",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`stage_total{stage="atpg"}`).Add(3)
+	r.Counter(`stage_total{stage="proposed"}`).Add(1)
+	r.Histogram(`stage_seconds{stage="atpg"}`, []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`stage_total{stage="atpg"} 3`,
+		`stage_total{stage="proposed"} 1`,
+		`stage_seconds_bucket{stage="atpg",le="1"} 1`,
+		`stage_seconds_bucket{stage="atpg",le="+Inf"} 1`,
+		`stage_seconds_sum{stage="atpg"} 0.5`,
+		`stage_seconds_count{stage="atpg"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE stage_total counter"); n != 1 {
+		t.Errorf("TYPE line for stage_total emitted %d times, want 1", n)
+	}
+}
+
+func TestSnapshotAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(7)
+	r.Gauge("ratio").Set(0.5)
+	r.Histogram("lat_seconds", []float64{1}).Observe(2)
+	snap := r.Snapshot()
+	if snap["hits_total"] != 7 || snap["ratio"] != 0.5 ||
+		snap["lat_seconds_sum"] != 2 || snap["lat_seconds_count"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var decoded map[string]float64
+	if err := json.Unmarshal([]byte(r.ExpvarFunc().String()), &decoded); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	if decoded["hits_total"] != 7 {
+		t.Fatalf("expvar snapshot = %v", decoded)
+	}
+}
+
+func TestPublishRebinds(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("v_total").Add(1)
+	b.Counter("v_total").Add(2)
+	a.Publish("telemetry_test_rebind")
+	b.Publish("telemetry_test_rebind") // must not panic, must rebind
+	v := published["telemetry_test_rebind"]
+	var decoded map[string]float64
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["v_total"] != 2 {
+		t.Fatalf("published var shows %v, want rebound registry (v_total=2)", decoded)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c_total")
+			h := r.Histogram("h_seconds", []float64{1, 2})
+			g := r.Gauge("g")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(1.5)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c_total").Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", r.Counter("c_total").Value())
+	}
+	if r.Histogram("h_seconds", nil).Count() != 8000 {
+		t.Fatalf("hist count = %d, want 8000", r.Histogram("h_seconds", nil).Count())
+	}
+	if r.Gauge("g").Value() != 8000 {
+		t.Fatalf("gauge = %g, want 8000", r.Gauge("g").Value())
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.01)
+	}
+}
+
+func BenchmarkNilHandles(b *testing.B) {
+	var c *Counter
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(1)
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceWriter emits hierarchical spans as JSON Lines. Every span start and
+// end is one self-contained JSON object, so a trace of a crashed or
+// cancelled run is still parseable up to the last flushed line.
+//
+// Event schema (one object per line):
+//
+//	{"ev":"start","id":3,"parent":1,"name":"atpg","t":"2006-01-02T15:04:05.000Z","attrs":{...}}
+//	{"ev":"end","id":3,"name":"atpg","dur_ns":12345,"attrs":{...}}
+//	{"ev":"span","id":7,"parent":3,"name":"podem","dur_ns":99,"attrs":{...}}
+//
+// "span" is a completed span reported after the fact (sub-stages whose
+// timing is only known at the end); it counts as its own start+end pair.
+//
+// A nil *TraceWriter is a valid no-op sink: Start returns a nil *Span, and
+// all *Span methods are safe on nil receivers, so instrumentation sites
+// need no conditionals.
+type TraceWriter struct {
+	mu   sync.Mutex
+	w    io.Writer
+	seq  atomic.Int64
+	open atomic.Int64
+}
+
+// TraceEvent is the parsed form of one trace line (exported for consumers
+// reading traces back, e.g. tests and analysis tools).
+type TraceEvent struct {
+	Ev     string         `json:"ev"`
+	ID     int64          `json:"id"`
+	Parent int64          `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	Time   string         `json:"t,omitempty"`
+	DurNS  int64          `json:"dur_ns,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// NewTraceWriter returns a TraceWriter emitting to w. Writes are
+// serialized internally; w itself need not be safe for concurrent use.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: w}
+}
+
+// Span is one open interval of a trace. Obtain spans from
+// TraceWriter.Start or Span.Start; close them with End.
+type Span struct {
+	tw    *TraceWriter
+	id    int64
+	start time.Time
+	name  string
+}
+
+func (tw *TraceWriter) emit(ev TraceEvent) {
+	if tw == nil {
+		return
+	}
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	tw.w.Write(b)
+}
+
+func (tw *TraceWriter) start(parent int64, name string, attrs map[string]any) *Span {
+	if tw == nil {
+		return nil
+	}
+	s := &Span{tw: tw, id: tw.seq.Add(1), start: time.Now(), name: name}
+	tw.open.Add(1)
+	tw.emit(TraceEvent{
+		Ev: "start", ID: s.id, Parent: parent, Name: name,
+		Time:  s.start.UTC().Format(time.RFC3339Nano),
+		Attrs: attrs,
+	})
+	return s
+}
+
+// Start opens a root span. attrs may be nil.
+func (tw *TraceWriter) Start(name string, attrs map[string]any) *Span {
+	return tw.start(0, name, attrs)
+}
+
+// OpenSpans reports the number of started spans not yet ended — zero after
+// a balanced run. Completed "span" events never contribute.
+func (tw *TraceWriter) OpenSpans() int64 {
+	if tw == nil {
+		return 0
+	}
+	return tw.open.Load()
+}
+
+// Start opens a child span of s. Safe on a nil receiver (returns nil).
+func (s *Span) Start(name string, attrs map[string]any) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tw.start(s.id, name, attrs)
+}
+
+// End closes the span, emitting its duration. attrs may carry counters
+// known only at completion. Safe on a nil receiver.
+func (s *Span) End(attrs map[string]any) {
+	if s == nil {
+		return
+	}
+	s.tw.open.Add(-1)
+	s.tw.emit(TraceEvent{
+		Ev: "end", ID: s.id, Name: s.name,
+		DurNS: time.Since(s.start).Nanoseconds(),
+		Attrs: attrs,
+	})
+}
+
+// Completed reports a sub-span after the fact: a child of s that ran for
+// dur and is already finished. Safe on a nil receiver.
+func (s *Span) Completed(name string, dur time.Duration, attrs map[string]any) {
+	if s == nil {
+		return
+	}
+	s.tw.emit(TraceEvent{
+		Ev: "span", ID: s.tw.seq.Add(1), Parent: s.id, Name: name,
+		DurNS: dur.Nanoseconds(),
+		Attrs: attrs,
+	})
+}

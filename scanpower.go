@@ -177,7 +177,6 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 		Patterns:      len(res.Patterns),
 		FaultCoverage: res.Coverage(),
 	}
-	mopts := power.MeasureOptions{Ctx: ctx}
 	stage := func(name string) func() {
 		hooks.stageStart(c.Name, name)
 		start := time.Now()
@@ -189,7 +188,8 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 
 	// Traditional scan.
 	doneT := stage(StageTraditional)
-	cmp.Traditional, err = power.MeasureScanFastOpts(scan.New(c), res.Patterns, scan.Traditional(c), cfg.Leak, cfg.Cap, mopts)
+	cmp.Traditional, err = power.MeasureScanFastOpts(scan.New(c), res.Patterns, scan.Traditional(c),
+		cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageTraditional))
 	if err != nil {
 		return nil, err
 	}
@@ -197,12 +197,15 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 
 	// Input-control baseline.
 	doneIC := stage(StageInputControl)
-	icSol, err := core.BuildContext(ctx, c, cfg.InputControl)
+	icOpts := cfg.InputControl
+	icOpts.Observe = hooks.coreObserver(c.Name, StageInputControl)
+	icSol, err := core.BuildContext(ctx, c, icOpts)
 	if err != nil {
 		return nil, fmt.Errorf("scanpower: input-control build: %w", err)
 	}
 	cmp.InputControlStats = icSol.Stats
-	cmp.InputControl, err = power.MeasureScanFastOpts(scan.New(icSol.Circuit), res.Patterns, icSol.Cfg, cfg.Leak, cfg.Cap, mopts)
+	cmp.InputControl, err = power.MeasureScanFastOpts(scan.New(icSol.Circuit), res.Patterns, icSol.Cfg,
+		cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageInputControl))
 	if err != nil {
 		return nil, err
 	}
@@ -210,12 +213,15 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 
 	// Proposed structure.
 	doneP := stage(StageProposed)
-	sol, err := core.BuildContext(ctx, c, cfg.Proposed)
+	propOpts := cfg.Proposed
+	propOpts.Observe = hooks.coreObserver(c.Name, StageProposed)
+	sol, err := core.BuildContext(ctx, c, propOpts)
 	if err != nil {
 		return nil, fmt.Errorf("scanpower: proposed build: %w", err)
 	}
 	cmp.ProposedStats = sol.Stats
-	cmp.Proposed, err = power.MeasureScanFastOpts(scan.New(sol.Circuit), res.Patterns, sol.Cfg, cfg.Leak, cfg.Cap, mopts)
+	cmp.Proposed, err = power.MeasureScanFastOpts(scan.New(sol.Circuit), res.Patterns, sol.Cfg,
+		cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageProposed))
 	if err != nil {
 		return nil, err
 	}
