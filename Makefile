@@ -5,9 +5,9 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build vet test race bench bench-json telemetry-race
+.PHONY: check build vet test race bench bench-json telemetry-race fuzz-equiv bench-kernels
 
-check: vet build test race telemetry-race bench-json
+check: vet build test race telemetry-race fuzz-equiv bench-json
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,18 @@ bench-json:
 	$(GO) run ./cmd/tableone -circuits s344,s382,s444 -manifest BENCH_$(DATE).json >/dev/null
 
 # The telemetry path under the race detector: concurrent Engine workers
-# feeding one Recorder, registry, and trace writer.
+# feeding one Recorder, registry, and trace writer. The Packed kernel and
+# hook-pairing tests ride along so the bit-parallel path is raced too.
 telemetry-race:
-	$(GO) test -race -run 'Telemetry|Recorder|Trace|Registry' . ./internal/telemetry/
+	$(GO) test -race -run 'Telemetry|Recorder|Trace|Registry|Packed|StageHooks|PatternCache' . ./internal/telemetry/ ./internal/power/
+
+# Short packed-vs-serial equivalence fuzz: random circuits, pattern sets
+# and shift configs through both measurement kernels, requiring bit-equal
+# reports. The seed corpus also runs on every plain `go test`.
+fuzz-equiv:
+	$(GO) test ./internal/power/ -run '^$$' -fuzz FuzzMeasureScanPackedEquivalence -fuzztime 10s
+
+# Kernel comparison benchmark: dense vs event-driven vs packed on an
+# ISCAS stream with 64 patterns (acceptance: packed >= 5x fast).
+bench-kernels:
+	$(GO) test ./internal/power/ -run '^$$' -bench BenchmarkScanKernels -benchtime 2s

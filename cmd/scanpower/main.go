@@ -46,6 +46,8 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 	tracePath := flag.String("trace", "", "write the span trace as JSON Lines to this file")
 	manifestPath := flag.String("manifest", "", "write the run manifest JSON to this file")
+	measure := flag.String("measure", string(scanpower.MeasurePacked),
+		"measurement kernel: packed (bit-parallel), fast (event-driven) or dense (full re-eval)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -108,6 +110,7 @@ func main() {
 	}()
 
 	cfg := scanpower.DefaultConfig()
+	cfg.Measure = scanpower.MeasureBackend(*measure)
 	eng := scanpower.NewEngine(cfg)
 	eng.Hooks = rec.Hooks()
 	st := c.ComputeStats()

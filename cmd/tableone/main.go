@@ -45,6 +45,8 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 	tracePath := flag.String("trace", "", "write the span trace as JSON Lines to this file")
 	manifestPath := flag.String("manifest", "", "write the run manifest JSON to this file")
+	measure := flag.String("measure", string(scanpower.MeasurePacked),
+		"measurement kernel: packed (bit-parallel), fast (event-driven) or dense (full re-eval)")
 	flag.Parse()
 
 	names := scanpower.BenchmarkNames()
@@ -84,7 +86,9 @@ func main() {
 	}
 	rec := scanpower.NewRecorder(reg, tw)
 
-	eng := scanpower.NewEngine(scanpower.DefaultConfig())
+	cfg := scanpower.DefaultConfig()
+	cfg.Measure = scanpower.MeasureBackend(*measure)
+	eng := scanpower.NewEngine(cfg)
 	eng.Workers = *workers
 	eng.Hooks = rec.Hooks()
 	if *progress {

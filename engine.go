@@ -38,6 +38,10 @@ type StageInfo struct {
 	// CacheHit is true when the ATPG stage performed no generation work
 	// because the pattern cache already held the result.
 	CacheHit bool
+	// Failed is true when the stage ended with an error (including
+	// cancellation). Failed stages still emit OnStageDone so start/done
+	// pairs — and any spans built on them — always balance.
+	Failed bool
 }
 
 // PodemFaultInfo describes one deterministic PODEM attempt to
@@ -96,6 +100,10 @@ type Hooks struct {
 	// OnPattern fires after each pattern measured during a measurement
 	// stage, with the zero-based pattern index.
 	OnPattern func(circuit, stage string, index int)
+	// OnMeasureBatch fires after the packed measurement kernel evaluates
+	// one batch of bit-parallel lanes, with the number of scan cycles the
+	// batch carried and its wall time. Serial backends never fire it.
+	OnMeasureBatch func(circuit, stage string, lanes int, elapsed time.Duration)
 }
 
 // empty reports whether no callback is set (func fields make Hooks
@@ -103,7 +111,7 @@ type Hooks struct {
 func (h Hooks) empty() bool {
 	return h.OnStageStart == nil && h.OnStageDone == nil && h.OnProgress == nil &&
 		h.OnSubStage == nil && h.OnPodemFault == nil && h.OnJustify == nil &&
-		h.OnObsSamples == nil && h.OnPattern == nil
+		h.OnObsSamples == nil && h.OnPattern == nil && h.OnMeasureBatch == nil
 }
 
 func (h Hooks) stageStart(circuit, stage string) {
@@ -178,6 +186,10 @@ func (h Hooks) measureOptions(ctx context.Context, circuit, stage string) power.
 	if h.OnPattern != nil {
 		hook := h.OnPattern
 		m.OnPattern = func(index int) { hook(circuit, stage, index) }
+	}
+	if h.OnMeasureBatch != nil {
+		hook := h.OnMeasureBatch
+		m.OnBatch = func(lanes int, elapsed time.Duration) { hook(circuit, stage, lanes, elapsed) }
 	}
 	return m
 }
@@ -278,6 +290,16 @@ func MergeHooks(hs ...Hooks) Hooks {
 				next(circuit, stage, index)
 			}
 		}
+		if h.OnMeasureBatch != nil {
+			prev := out.OnMeasureBatch
+			next := h.OnMeasureBatch
+			out.OnMeasureBatch = func(circuit, stage string, lanes int, elapsed time.Duration) {
+				if prev != nil {
+					prev(circuit, stage, lanes, elapsed)
+				}
+				next(circuit, stage, lanes, elapsed)
+			}
+		}
 	}
 	return out
 }
@@ -293,6 +315,7 @@ func directPatterns(cfg Config, hooks Hooks) patternSource {
 		start := time.Now()
 		res, err := atpg.GenerateObserved(ctx, c, scaledATPG(c, cfg), hooks.atpgObserver(c))
 		if err != nil {
+			hooks.stageDone(c.Name, StageATPG, time.Since(start), StageInfo{Failed: true})
 			return nil, err
 		}
 		hooks.stageDone(c.Name, StageATPG, time.Since(start),
@@ -407,6 +430,7 @@ func (e *Engine) patterns(ctx context.Context, c *netlist.Circuit) (*atpg.Result
 		start := time.Now()
 		res, err := atpg.GenerateObserved(ctx, c, opts, e.Hooks.atpgObserver(c))
 		if err != nil {
+			e.Hooks.stageDone(c.Name, StageATPG, time.Since(start), StageInfo{Failed: true})
 			return nil, err
 		}
 		e.Hooks.stageDone(c.Name, StageATPG, time.Since(start),

@@ -59,7 +59,7 @@ func compareEnhancedWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 	if err != nil {
 		return nil, err
 	}
-	propRep, err := power.MeasureScanFastOpts(scan.New(prop.Circuit), res.Patterns, prop.Cfg, cfg.Leak, cfg.Cap, mopts)
+	propRep, err := cfg.Measure.measure(scan.New(prop.Circuit), res.Patterns, prop.Cfg, cfg.Leak, cfg.Cap, mopts)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +67,7 @@ func compareEnhancedWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 	if err != nil {
 		return nil, err
 	}
-	enhRep, err := power.MeasureScanFastOpts(scan.New(enh.Circuit), res.Patterns, enh.Cfg, cfg.Leak, cfg.Cap, mopts)
+	enhRep, err := cfg.Measure.measure(scan.New(enh.Circuit), res.Patterns, enh.Cfg, cfg.Leak, cfg.Cap, mopts)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +151,7 @@ func studyReorderingWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 				return power.Report{}, err
 			}
 		}
-		return power.MeasureScanFastOpts(ch, pats, sCfg, cfg.Leak, cfg.Cap, power.MeasureOptions{Ctx: ctx})
+		return cfg.Measure.measure(ch, pats, sCfg, cfg.Leak, cfg.Cap, power.MeasureOptions{Ctx: ctx})
 	}
 
 	st := &ReorderingStudy{Circuit: c.Name, Structure: structure}
@@ -220,7 +220,7 @@ func StudyTechScaling(c *netlist.Circuit, cfg Config, shiftHz float64) ([]TechSc
 		if err != nil {
 			return nil, err
 		}
-		rep, err := power.MeasureScanFast(ch, res.Patterns, tcfg, lm, cm)
+		rep, err := cfg.Measure.measure(ch, res.Patterns, tcfg, lm, cm, power.MeasureOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -262,7 +262,7 @@ func StudyChains(c *netlist.Circuit, cfg Config) ([]ChainStudyPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := power.MeasureScanFast(cs, res.Patterns, sol.Cfg, cfg.Leak, cfg.Cap)
+		rep, err := cfg.Measure.measure(cs, res.Patterns, sol.Cfg, cfg.Leak, cfg.Cap, power.MeasureOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -306,7 +306,7 @@ func StudyTestPoints(c *netlist.Circuit, cfg Config, targetFrac float64) (*TestP
 		return nil, err
 	}
 	tcfg := scan.Traditional(c)
-	base, err := power.MeasureScanFast(scan.New(c), res.Patterns, tcfg, cfg.Leak, cfg.Cap)
+	base, err := cfg.Measure.measure(scan.New(c), res.Patterns, tcfg, cfg.Leak, cfg.Cap, power.MeasureOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -332,8 +332,8 @@ func StudyTestPoints(c *netlist.Circuit, cfg Config, targetFrac float64) (*TestP
 		if err != nil {
 			return nil, power.Report{}, err
 		}
-		rep, err := power.MeasureScanFast(scan.New(plan.Circuit),
-			plan.AdaptPatterns(res.Patterns), plan.AdaptConfig(tcfg), cfg.Leak, cfg.Cap)
+		rep, err := cfg.Measure.measure(scan.New(plan.Circuit),
+			plan.AdaptPatterns(res.Patterns), plan.AdaptConfig(tcfg), cfg.Leak, cfg.Cap, power.MeasureOptions{})
 		return plan, rep, err
 	}
 	if st.BasePeakPerHz <= st.LimitPerHz {

@@ -1,0 +1,55 @@
+package leakage
+
+import "repro/internal/netlist"
+
+// AccumLeakPacked adds every gate's leakage to the per-lane accumulators
+// for a bit-parallel per-net state: words[n] carries net n's value in bit
+// t for lane t (the layout of sim.Packed), and cyc[t] receives the sum of
+// tabs[gi][input bits of gate gi in lane t] over all gates, for t < n.
+//
+// The accumulation order is load-bearing: each cyc[t] is built in
+// ascending gate-index order — exactly the order CircuitLeakBoolTabs sums
+// one scalar state — so a caller that then folds cyc[0..n) in lane order
+// reproduces the serial per-cycle leakage sums bit for bit. That is what
+// lets the packed power kernel stay bit-identical to the serial one
+// despite floating-point addition being non-associative.
+func (m *Model) AccumLeakPacked(c *netlist.Circuit, words []uint64, n int, tabs [][]float64, cyc []float64) {
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		tab := tabs[gi]
+		switch len(g.Inputs) {
+		case 1:
+			a := words[g.Inputs[0]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[a&1]
+				a >>= 1
+			}
+		case 2:
+			a := words[g.Inputs[0]]
+			b := words[g.Inputs[1]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[(a&1)|(b&1)<<1]
+				a >>= 1
+				b >>= 1
+			}
+		case 3:
+			a := words[g.Inputs[0]]
+			b := words[g.Inputs[1]]
+			d := words[g.Inputs[2]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[(a&1)|(b&1)<<1|(d&1)<<2]
+				a >>= 1
+				b >>= 1
+				d >>= 1
+			}
+		default:
+			for t := 0; t < n; t++ {
+				bits := 0
+				for i, in := range g.Inputs {
+					bits |= int(words[in]>>uint(t)&1) << i
+				}
+				cyc[t] += tab[bits]
+			}
+		}
+	}
+}

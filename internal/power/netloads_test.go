@@ -1,0 +1,72 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// TestNetLoadsAccounting audits the per-net load bookkeeping against
+// hand-computed sums on a circuit built to hit every accounting edge:
+// single-input readers (the per-extra-fanin adder must not go negative),
+// a 4-input gate (two extra fanins), a Mux2 whose select pin must be
+// charged like any other input, a net driving two pins of the same gate
+// (one Fanout entry per pin), and flop-D plus primary-output loads.
+func TestNetLoadsAccounting(t *testing.T) {
+	c := netlist.New("loads")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddPI("s")
+	c.AddGate(logic.Not, "ninv", "a")
+	c.AddGate(logic.Buf, "nbuf", "a")
+	c.AddGate(logic.Nand, "n4", "a", "b", "ninv", "nbuf")
+	c.AddGate(logic.Mux2, "m", "n4", "b", "s")
+	c.AddGate(logic.Xor, "dbl", "b", "b")
+	c.AddFF("f", "q", "m")
+	c.MarkPO("n4")
+	c.MarkPO("dbl")
+	c.MustFreeze()
+
+	cm := DefaultCapModel()
+	w := cm.WirePerFanout
+	nand4Pin := cm.PinCap[logic.Nand] + 2*cm.PinCapPerFanin
+	mux2Pin := cm.PinCap[logic.Mux2] + cm.PinCapPerFanin
+	loads := cm.NetLoads(c)
+
+	cases := []struct {
+		net  string
+		want float64
+		why  string
+	}{
+		{"a", cm.PinCap[logic.Not] + w + cm.PinCap[logic.Buf] + w + nand4Pin + w,
+			"NOT and BUF pins must not get a negative wide-gate adjustment"},
+		{"b", nand4Pin + w + mux2Pin + w + 2*(cm.PinCap[logic.Xor]+w),
+			"both XOR pins of the same gate count, as does the MUX data pin"},
+		{"s", mux2Pin + w,
+			"the Mux2 select pin is a load like any data pin"},
+		{"m", cm.FFDCap + w,
+			"a flop D input contributes FFDCap plus wire"},
+		{"n4", mux2Pin + w + cm.POCap,
+			"a PO net adds the pad load on top of its gate sinks"},
+		{"dbl", cm.POCap,
+			"a PO with no gate readers carries just the pad load"},
+	}
+	for _, tc := range cases {
+		id, ok := c.NetByName(tc.net)
+		if !ok {
+			t.Fatalf("net %s missing", tc.net)
+		}
+		if math.Abs(loads[id]-tc.want) > 1e-12 {
+			t.Errorf("load(%s) = %v, want %v (%s)", tc.net, loads[id], tc.want, tc.why)
+		}
+	}
+
+	// Anchor one absolute value so a silent change to the default model
+	// constants fails loudly too: a = 0.7+0.4 + 0.7+0.4 + 1.2+0.4.
+	aID, _ := c.NetByName("a")
+	if math.Abs(loads[aID]-3.8) > 1e-9 {
+		t.Errorf("load(a) = %v, want 3.8 under the default model", loads[aID])
+	}
+}

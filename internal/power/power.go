@@ -13,6 +13,7 @@ package power
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/leakage"
 	"repro/internal/logic"
@@ -128,6 +129,11 @@ type MeasureOptions struct {
 	// zero-based pattern index — the per-pattern progress feed of the
 	// telemetry layer. A nil OnPattern adds no work.
 	OnPattern func(index int) `json:"-"`
+	// OnBatch, when non-nil, fires after each packed batch of lanes is
+	// evaluated, with the number of cycles packed into the batch and the
+	// wall time the batch took. Only MeasureScanPacked emits it; the
+	// serial kernels never call it.
+	OnBatch func(lanes int, elapsed time.Duration) `json:"-"`
 }
 
 // patternHook wraps a capture function so OnPattern fires once per

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// PackedLanes is the lane width of the bit-parallel simulator: one uint64
+// word per net carries 64 independent evaluations.
+const PackedLanes = 64
+
+// Packed evaluates the combinational core of a frozen circuit 64 lanes at
+// a time: every net carries one uint64 whose bit t is the net's boolean
+// value in lane t. A lane is an independent evaluation — callers pack 64
+// patterns, or 64 consecutive shift cycles of a scan stream, into the
+// input words and get all 64 per-net states from a single topological
+// pass of word-wide boolean operations.
+//
+// Bit t of every output word equals exactly what Simulator.Eval would
+// compute for the scalar inputs at bit t of every input word (the packed
+// gate operations are the word-wide forms of logic.EvalBool). It is not
+// safe for concurrent use; create one per goroutine.
+type Packed struct {
+	c     *netlist.Circuit
+	words []uint64 // per-net lane words, indexed by NetID
+}
+
+// NewPacked returns a packed simulator bound to the frozen circuit c.
+func NewPacked(c *netlist.Circuit) *Packed {
+	if !c.Frozen() {
+		panic("sim: circuit must be frozen")
+	}
+	return &Packed{c: c, words: make([]uint64, c.NumNets())}
+}
+
+// Circuit returns the simulated circuit.
+func (p *Packed) Circuit() *netlist.Circuit { return p.c }
+
+// Eval evaluates the combinational core across all 64 lanes. pi holds the
+// primary-input lane words in netlist.Circuit.PIs order, ppi the
+// flip-flop output lane words in FF order. The returned slice is the
+// per-net lane word, indexed by NetID; it is owned by the simulator and
+// overwritten by the next Eval call.
+func (p *Packed) Eval(pi, ppi []uint64) []uint64 {
+	c := p.c
+	if len(pi) != len(c.PIs) || len(ppi) != len(c.FFs) {
+		panic("sim: packed Eval input length mismatch")
+	}
+	v := p.words
+	for i, n := range c.PIs {
+		v[n] = pi[i]
+	}
+	for i, ff := range c.FFs {
+		v[ff.Q] = ppi[i]
+	}
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		ins := g.Inputs
+		var w uint64
+		switch g.Type {
+		case logic.Buf:
+			w = v[ins[0]]
+		case logic.Not:
+			w = ^v[ins[0]]
+		case logic.And, logic.Nand:
+			w = v[ins[0]]
+			for _, in := range ins[1:] {
+				w &= v[in]
+			}
+			if g.Type == logic.Nand {
+				w = ^w
+			}
+		case logic.Or, logic.Nor:
+			w = v[ins[0]]
+			for _, in := range ins[1:] {
+				w |= v[in]
+			}
+			if g.Type == logic.Nor {
+				w = ^w
+			}
+		case logic.Xor, logic.Xnor:
+			w = v[ins[0]]
+			for _, in := range ins[1:] {
+				w ^= v[in]
+			}
+			if g.Type == logic.Xnor {
+				w = ^w
+			}
+		case logic.Mux2:
+			sel := v[ins[2]]
+			w = (v[ins[0]] &^ sel) | (v[ins[1]] & sel)
+		default:
+			panic("sim: packed Eval on unknown gate type " + g.Type.String())
+		}
+		v[g.Output] = w
+	}
+	return v
+}

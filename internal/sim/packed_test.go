@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// buildAllGates covers every gate type and arity the library emits.
+func buildAllGates(t testing.TB) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("allgates")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddPI("s")
+	c.AddFF("f0", "q0", "d0")
+	c.AddGate(logic.Buf, "n_buf", "a")
+	c.AddGate(logic.Not, "n_not", "b")
+	c.AddGate(logic.And, "n_and", "a", "b", "q0")
+	c.AddGate(logic.Nand, "n_nand", "a", "n_buf", "n_not")
+	c.AddGate(logic.Or, "n_or", "n_and", "b")
+	c.AddGate(logic.Nor, "n_nor", "n_or", "q0")
+	c.AddGate(logic.Xor, "n_xor", "a", "b", "s")
+	c.AddGate(logic.Xnor, "n_xnor", "n_xor", "n_nand")
+	c.AddGate(logic.Mux2, "d0", "n_nor", "n_xnor", "s")
+	c.MarkPO("d0")
+	c.MustFreeze()
+	return c
+}
+
+// TestPackedMatchesScalar: each lane of a packed evaluation must equal the
+// scalar simulator's result for that lane's inputs, on every net.
+func TestPackedMatchesScalar(t *testing.T) {
+	circuits := []*netlist.Circuit{buildAllGates(t)}
+	if p, ok := iscas.ByName("s344"); ok {
+		c, err := iscas.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circuits = append(circuits, c)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range circuits {
+		ps := NewPacked(c)
+		ss := New(c)
+		piW := make([]uint64, len(c.PIs))
+		ppiW := make([]uint64, c.NumFFs())
+		for i := range piW {
+			piW[i] = rng.Uint64()
+		}
+		for i := range ppiW {
+			ppiW[i] = rng.Uint64()
+		}
+		words := ps.Eval(piW, ppiW)
+		pi := make([]bool, len(c.PIs))
+		ppi := make([]bool, c.NumFFs())
+		for lane := 0; lane < PackedLanes; lane++ {
+			for i := range pi {
+				pi[i] = piW[i]>>uint(lane)&1 == 1
+			}
+			for i := range ppi {
+				ppi[i] = ppiW[i]>>uint(lane)&1 == 1
+			}
+			st := ss.Eval(pi, ppi)
+			for ni, v := range st {
+				if got := words[ni]>>uint(lane)&1 == 1; got != v {
+					t.Fatalf("%s: lane %d net %s: packed %v, scalar %v",
+						c.Name, lane, c.Nets[ni].Name, got, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedInputLengthPanics pins the misuse contract shared with the
+// scalar simulator.
+func TestPackedInputLengthPanics(t *testing.T) {
+	c := buildAllGates(t)
+	ps := NewPacked(c)
+	defer func() {
+		if recover() == nil {
+			t.Error("short input slice accepted")
+		}
+	}()
+	ps.Eval(make([]uint64, 1), make([]uint64, c.NumFFs()))
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBoundaryInclusive pins the Prometheus `le` semantics: a
+// value exactly equal to a bucket's upper bound belongs in that bucket
+// (the bound is inclusive), never in the next one. Each DefLatencyBuckets
+// boundary is observed exactly once, so in the rendered exposition the
+// cumulative count of bucket i must be i+1.
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bound_seconds", DefLatencyBuckets)
+	for _, b := range DefLatencyBuckets {
+		h.Observe(b)
+	}
+	h.Observe(DefLatencyBuckets[len(DefLatencyBuckets)-1] * 10) // +Inf only
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	var cums []int64
+	var infCum int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "bound_seconds_bucket{le=") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket count in %q: %v", line, err)
+		}
+		if strings.Contains(fields[0], `le="+Inf"`) {
+			infCum = n
+		} else {
+			cums = append(cums, n)
+		}
+	}
+	if len(cums) != len(DefLatencyBuckets) {
+		t.Fatalf("rendered %d finite buckets, want %d:\n%s", len(cums), len(DefLatencyBuckets), out)
+	}
+	for i, cum := range cums {
+		if cum != int64(i)+1 {
+			t.Errorf("bucket %d (le=%v): cumulative count %d, want %d — the bound must be inclusive",
+				i, DefLatencyBuckets[i], cum, i+1)
+		}
+	}
+	if want := int64(len(DefLatencyBuckets)) + 1; infCum != want {
+		t.Errorf(`le="+Inf" count = %d, want %d`, infCum, want)
+	}
+	if want := fmt.Sprintf("bound_seconds_count %d", len(DefLatencyBuckets)+1); !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q:\n%s", want, out)
+	}
+}

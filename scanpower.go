@@ -58,6 +58,44 @@ import (
 	"repro/internal/timing"
 )
 
+// MeasureBackend selects the scan-power measurement kernel used for the
+// three per-structure measurement stages.
+type MeasureBackend string
+
+const (
+	// MeasurePacked is the 64-way bit-parallel kernel
+	// (power.MeasureScanPacked) — the default, bit-identical to the serial
+	// kernels and typically an order of magnitude faster.
+	MeasurePacked MeasureBackend = "packed"
+	// MeasureFast is the event-driven serial kernel
+	// (power.MeasureScanFast).
+	MeasureFast MeasureBackend = "fast"
+	// MeasureDense is the full per-cycle re-evaluation kernel
+	// (power.MeasureScan) — the reference the others are tested against.
+	MeasureDense MeasureBackend = "dense"
+)
+
+// measure dispatches to the selected kernel; the zero value means
+// MeasurePacked so existing literal Configs keep working.
+func (b MeasureBackend) measure(ch scan.Runner, pats []scan.Pattern, cfg scan.ShiftConfig,
+	lm *leakage.Model, cm power.CapModel, opts power.MeasureOptions) (power.Report, error) {
+	switch b {
+	case "", MeasurePacked:
+		return power.MeasureScanPackedOpts(ch, pats, cfg, lm, cm, opts)
+	case MeasureFast:
+		return power.MeasureScanFastOpts(ch, pats, cfg, lm, cm, opts)
+	case MeasureDense:
+		return power.MeasureScanOpts(ch, pats, cfg, lm, cm, opts)
+	default:
+		return power.Report{}, fmt.Errorf("scanpower: unknown measure backend %q", b)
+	}
+}
+
+// MeasureBackends lists the valid Config.Measure values.
+func MeasureBackends() []MeasureBackend {
+	return []MeasureBackend{MeasurePacked, MeasureFast, MeasureDense}
+}
+
 // Config bundles every model and tuning knob of the experiment. The zero
 // value is not usable; start from DefaultConfig.
 type Config struct {
@@ -65,6 +103,11 @@ type Config struct {
 	// automatically for very large circuits unless ScaleATPG is false.
 	ATPG      atpg.Options
 	ScaleATPG bool
+	// Measure selects the scan-power measurement kernel; the zero value
+	// and MeasurePacked mean the bit-parallel kernel. All backends produce
+	// bit-identical Reports, so this is purely a performance/debugging
+	// knob.
+	Measure MeasureBackend
 	// Proposed and InputControl configure the two engineered structures.
 	Proposed     core.Options
 	InputControl core.Options
@@ -87,6 +130,7 @@ func DefaultConfig() Config {
 	return Config{
 		ATPG:         atpg.DefaultOptions(),
 		ScaleATPG:    true,
+		Measure:      MeasurePacked,
 		Proposed:     prop,
 		InputControl: ic,
 		Leak:         leak,
@@ -177,55 +221,62 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 		Patterns:      len(res.Patterns),
 		FaultCoverage: res.Coverage(),
 	}
-	stage := func(name string) func() {
+	// stage runs one structure's build+measure under a guaranteed
+	// start/done pair: the done callback fires on the error paths too
+	// (with Failed set), so span accounting stays balanced however the
+	// experiment ends.
+	stage := func(name string, body func() error) error {
 		hooks.stageStart(c.Name, name)
 		start := time.Now()
-		return func() {
-			hooks.stageDone(c.Name, name, time.Since(start),
-				StageInfo{Patterns: len(res.Patterns)})
-		}
+		err := body()
+		hooks.stageDone(c.Name, name, time.Since(start),
+			StageInfo{Patterns: len(res.Patterns), Failed: err != nil})
+		return err
 	}
 
 	// Traditional scan.
-	doneT := stage(StageTraditional)
-	cmp.Traditional, err = power.MeasureScanFastOpts(scan.New(c), res.Patterns, scan.Traditional(c),
-		cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageTraditional))
-	if err != nil {
+	if err := stage(StageTraditional, func() error {
+		var err error
+		cmp.Traditional, err = cfg.Measure.measure(scan.New(c), res.Patterns, scan.Traditional(c),
+			cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageTraditional))
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	doneT()
 
 	// Input-control baseline.
-	doneIC := stage(StageInputControl)
-	icOpts := cfg.InputControl
-	icOpts.Observe = hooks.coreObserver(c.Name, StageInputControl)
-	icSol, err := core.BuildContext(ctx, c, icOpts)
-	if err != nil {
-		return nil, fmt.Errorf("scanpower: input-control build: %w", err)
-	}
-	cmp.InputControlStats = icSol.Stats
-	cmp.InputControl, err = power.MeasureScanFastOpts(scan.New(icSol.Circuit), res.Patterns, icSol.Cfg,
-		cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageInputControl))
-	if err != nil {
+	if err := stage(StageInputControl, func() error {
+		icOpts := cfg.InputControl
+		icOpts.Observe = hooks.coreObserver(c.Name, StageInputControl)
+		icSol, err := core.BuildContext(ctx, c, icOpts)
+		if err != nil {
+			return fmt.Errorf("scanpower: input-control build: %w", err)
+		}
+		cmp.InputControlStats = icSol.Stats
+		cmp.InputControl, err = cfg.Measure.measure(scan.New(icSol.Circuit), res.Patterns, icSol.Cfg,
+			cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageInputControl))
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	doneIC()
 
 	// Proposed structure.
-	doneP := stage(StageProposed)
-	propOpts := cfg.Proposed
-	propOpts.Observe = hooks.coreObserver(c.Name, StageProposed)
-	sol, err := core.BuildContext(ctx, c, propOpts)
-	if err != nil {
-		return nil, fmt.Errorf("scanpower: proposed build: %w", err)
-	}
-	cmp.ProposedStats = sol.Stats
-	cmp.Proposed, err = power.MeasureScanFastOpts(scan.New(sol.Circuit), res.Patterns, sol.Cfg,
-		cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageProposed))
-	if err != nil {
+	var sol *core.Solution
+	if err := stage(StageProposed, func() error {
+		propOpts := cfg.Proposed
+		propOpts.Observe = hooks.coreObserver(c.Name, StageProposed)
+		var err error
+		sol, err = core.BuildContext(ctx, c, propOpts)
+		if err != nil {
+			return fmt.Errorf("scanpower: proposed build: %w", err)
+		}
+		cmp.ProposedStats = sol.Stats
+		cmp.Proposed, err = cfg.Measure.measure(scan.New(sol.Circuit), res.Patterns, sol.Cfg,
+			cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageProposed))
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	doneP()
 	cmp.MuxOverheadUW = cfg.Leak.PowerUW(sol.MuxScanLeakNA(cfg.Leak))
 	return cmp, nil
 }

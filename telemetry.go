@@ -24,6 +24,9 @@ const (
 	MetricObsSamples       = "scanpower_obs_samples_total"
 	MetricPatterns         = "scanpower_patterns_measured_total"
 	MetricCircuitsDone     = "scanpower_circuits_done_total"
+	// MetricPackedLanes counts scan cycles evaluated by the bit-parallel
+	// measurement kernel (64 per full batch); serial backends leave it 0.
+	MetricPackedLanes = "scanpower_power_packed_lanes_total"
 )
 
 // Recorder bridges Hooks to the telemetry substrate: it aggregates the
@@ -57,6 +60,7 @@ type Recorder struct {
 	obsSamples             *telemetry.Counter
 	patterns               *telemetry.Counter
 	circuitsDone           *telemetry.Counter
+	packedLanes            *telemetry.Counter
 
 	mu       sync.Mutex
 	circuits map[string]*circuitRecord
@@ -96,6 +100,7 @@ func NewRecorder(reg *telemetry.Registry, tw *telemetry.TraceWriter) *Recorder {
 		obsSamples:        reg.Counter(MetricObsSamples),
 		patterns:          reg.Counter(MetricPatterns),
 		circuitsDone:      reg.Counter(MetricCircuitsDone),
+		packedLanes:       reg.Counter(MetricPackedLanes),
 
 		circuits: make(map[string]*circuitRecord),
 	}
@@ -113,8 +118,9 @@ func (r *Recorder) Hooks() Hooks {
 		OnSubStage:   r.onSubStage,
 		OnPodemFault: r.onPodemFault,
 		OnJustify:    r.onJustify,
-		OnObsSamples: r.onObsSamples,
-		OnPattern:    r.onPattern,
+		OnObsSamples:   r.onObsSamples,
+		OnPattern:      r.onPattern,
+		OnMeasureBatch: r.onMeasureBatch,
 	}
 }
 
@@ -177,7 +183,27 @@ func stageAttrs(info StageInfo) map[string]any {
 	if info.CacheHit {
 		attrs["cache_hit"] = true
 	}
+	if info.Failed {
+		attrs["failed"] = true
+	}
 	return attrs
+}
+
+// onMeasureBatch counts bit-parallel lanes and, when tracing, emits one
+// completed span per packed batch under the owning stage span.
+func (r *Recorder) onMeasureBatch(circuit, stage string, lanes int, elapsed time.Duration) {
+	r.packedLanes.Add(int64(lanes))
+	if r.tw == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cr := r.circuit(circuit)
+	parent := cr.span
+	if st := cr.stages[stage]; len(st) > 0 {
+		parent = st[len(st)-1]
+	}
+	parent.Completed("measure-batch", elapsed, map[string]any{"stage": stage, "lanes": lanes})
 }
 
 func (r *Recorder) onSubStage(circuit, stage, sub string, elapsed time.Duration, info StageInfo) {
