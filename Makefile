@@ -5,9 +5,9 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build vet test race bench bench-json telemetry-race fuzz-equiv bench-kernels
+.PHONY: check build vet test race bench bench-json telemetry-race fuzz-equiv bench-kernels serve-smoke
 
-check: vet build test race telemetry-race fuzz-equiv bench-json
+check: vet build test race telemetry-race fuzz-equiv bench-json serve-smoke
 
 build:
 	$(GO) build ./...
@@ -32,10 +32,18 @@ bench-json:
 	$(GO) run ./cmd/tableone -circuits s344,s382,s444 -manifest BENCH_$(DATE).json >/dev/null
 
 # The telemetry path under the race detector: concurrent Engine workers
-# feeding one Recorder, registry, and trace writer. The Packed kernel and
-# hook-pairing tests ride along so the bit-parallel path is raced too.
+# feeding one Recorder, registry, and trace writer. The Packed kernel,
+# hook-pairing and scanpowerd service tests ride along so the bit-parallel
+# path and the job queue are raced too.
 telemetry-race:
-	$(GO) test -race -run 'Telemetry|Recorder|Trace|Registry|Packed|StageHooks|PatternCache' . ./internal/telemetry/ ./internal/power/
+	$(GO) test -race -run 'Telemetry|Recorder|Trace|Registry|Packed|StageHooks|PatternCache|Submit|Queue|Coalesc|Drain|Deadline|Disconnect|Cancel' . ./internal/telemetry/ ./internal/power/ ./internal/service/
+
+# Full service contract against a real scanpowerd process: boots the
+# daemon on a random port, checks the inline-c17 result is bit-identical
+# to an in-process Engine run, exercises 429 backpressure and DELETE, and
+# requires a clean SIGTERM drain with a balanced span trace.
+serve-smoke:
+	$(GO) run ./scripts/servesmoke
 
 # Short packed-vs-serial equivalence fuzz: random circuits, pattern sets
 # and shift configs through both measurement kernels, requiring bit-equal

@@ -15,6 +15,7 @@ package scanpower
 // Run: go test -bench=. -benchmem .
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -49,7 +50,7 @@ func BenchmarkTableI(b *testing.B) {
 			var err error
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cmp, err = Compare(c, cfg)
+				cmp, err = Compare(context.Background(), c, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

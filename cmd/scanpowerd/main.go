@@ -1,0 +1,155 @@
+// Command scanpowerd serves the scan-power experiments as a long-running
+// HTTP/JSON job service. Clients submit Table I experiments — a built-in
+// ISCAS89 circuit name or inline .bench source, with optional measurement
+// backend and deadline overrides — and poll for scanpower/comparison/v1
+// results; every job runs on one shared Engine, so repeated circuits hit
+// the memoized ATPG cache.
+//
+// API (see internal/service):
+//
+//	POST   /v1/jobs              {"circuit":"s344"} or {"bench":"...","name":"..."}
+//	                             plus "measure", "timeout_ms", "wait"
+//	GET    /v1/jobs/{id}         job status
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/jobs/{id}/result  result document
+//	GET    /v1/benchmarks        built-in circuits
+//	GET    /v1/healthz           queue stats; 503 while draining
+//	GET    /metrics              Prometheus text (plus /debug/vars, /debug/pprof)
+//
+// The queue is bounded: submits beyond -queue waiting jobs are rejected
+// with 429 and Retry-After. SIGTERM or SIGINT drains gracefully — new
+// submits get 503 while queued and running jobs finish (up to
+// -drain-timeout, then they are cancelled), so results and trace spans
+// are never truncated.
+//
+// Usage:
+//
+//	scanpowerd [-listen 127.0.0.1:8344] [-workers N] [-queue N]
+//	           [-job-timeout 0] [-max-job-timeout 10m] [-measure packed]
+//	           [-trace trace.jsonl] [-manifest run.json] [-drain-timeout 30s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8344", "address to serve the API on")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent job executors")
+	queue := flag.Int("queue", 16, "jobs allowed to wait beyond the running ones")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline for requests without timeout_ms (0 = none)")
+	maxJobTimeout := flag.Duration("max-job-timeout", 10*time.Minute, "cap on client-requested deadlines (0 = no cap)")
+	measure := flag.String("measure", string(scanpower.MeasurePacked),
+		"default measurement kernel: packed (bit-parallel), fast (event-driven) or dense (full re-eval)")
+	tracePath := flag.String("trace", "", "write the span trace as JSON Lines to this file")
+	manifestPath := flag.String("manifest", "", "write a run manifest JSON to this file on shutdown")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for live jobs before cancelling them")
+	flag.Parse()
+
+	if err := run(*listen, *workers, *queue, *jobTimeout, *maxJobTimeout,
+		scanpower.MeasureBackend(*measure), *tracePath, *manifestPath, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "scanpowerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Duration,
+	measure scanpower.MeasureBackend, tracePath, manifestPath string,
+	drainTimeout time.Duration) error {
+
+	if !validMeasure(measure) {
+		return fmt.Errorf("unknown measure backend %q (want one of %v)", measure, scanpower.MeasureBackends())
+	}
+
+	reg := telemetry.NewRegistry()
+	var tw *telemetry.TraceWriter
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw = telemetry.NewTraceWriter(f)
+	}
+
+	cfg := scanpower.DefaultConfig()
+	cfg.Measure = measure
+	svc := service.New(service.Options{
+		Cfg:            cfg,
+		Workers:        workers,
+		QueueSize:      queue,
+		DefaultTimeout: jobTimeout,
+		MaxTimeout:     maxJobTimeout,
+		Registry:       reg,
+		Trace:          tw,
+	})
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "scanpowerd: listening on http://%s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "scanpowerd: %v, draining\n", got)
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	}
+
+	// Drain the job queue first — the HTTP server stays up so clients can
+	// keep polling and fetching results while live jobs finish; submits
+	// are rejected with 503 the moment draining starts.
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	derr := svc.Drain(dctx)
+	if derr != nil {
+		fmt.Fprintf(os.Stderr, "scanpowerd: drain cut short: %v\n", derr)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+	}
+
+	if manifestPath != "" {
+		m := svc.Manifest("scanpowerd")
+		m.Workers = workers
+		if err := m.WriteFile(manifestPath); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(os.Stderr, "scanpowerd: drained, bye")
+	return derr
+}
+
+func validMeasure(m scanpower.MeasureBackend) bool {
+	for _, b := range scanpower.MeasureBackends() {
+		if m == b {
+			return true
+		}
+	}
+	return false
+}

@@ -150,8 +150,11 @@ func writeManifest(path string, rec *scanpower.Recorder, names []string,
 	}
 	m.Config = cfgJSON
 	if len(cmps) > 0 {
+		// Results carry the scanpower/comparison/v1 wire form — the same
+		// marshaller the scanpowerd service answers with, so manifests and
+		// service responses agree byte for byte.
 		var buf bytes.Buffer
-		if err := scanpower.NewTable("Table I", cmps).WriteJSON(&buf); err != nil {
+		if err := scanpower.WriteComparisonsJSON(&buf, cmps); err != nil {
 			return err
 		}
 		m.Results = buf.Bytes()

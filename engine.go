@@ -421,38 +421,49 @@ func (e *Engine) CacheStats() (hits, misses int64) {
 	return e.hits.Load(), e.misses.Load()
 }
 
-// patterns is the Engine's memoized pattern source.
+// patterns is the Engine's memoized pattern source under its own Cfg.
 func (e *Engine) patterns(ctx context.Context, c *netlist.Circuit) (*atpg.Result, error) {
-	opts := scaledATPG(c, e.Cfg)
-	key := patternKey{fp: c.Fingerprint(), opts: opts}
-	gen := func() (*atpg.Result, error) {
-		e.Hooks.stageStart(c.Name, StageATPG)
-		start := time.Now()
-		res, err := atpg.GenerateObserved(ctx, c, opts, e.Hooks.atpgObserver(c))
+	return e.patternsFor(e.Cfg)(ctx, c)
+}
+
+// patternsFor returns a memoized pattern source under an arbitrary
+// configuration. The cache key includes the (circuit-scaled) ATPG options,
+// so sources built from different configurations share entries exactly
+// when their generation work would be identical — the per-job override
+// path of the scanpowerd service rides on this.
+func (e *Engine) patternsFor(cfg Config) patternSource {
+	return func(ctx context.Context, c *netlist.Circuit) (*atpg.Result, error) {
+		opts := scaledATPG(c, cfg)
+		key := patternKey{fp: c.Fingerprint(), opts: opts}
+		gen := func() (*atpg.Result, error) {
+			e.Hooks.stageStart(c.Name, StageATPG)
+			start := time.Now()
+			res, err := atpg.GenerateObserved(ctx, c, opts, e.Hooks.atpgObserver(c))
+			if err != nil {
+				e.Hooks.stageDone(c.Name, StageATPG, time.Since(start), StageInfo{Failed: true})
+				return nil, err
+			}
+			e.Hooks.stageDone(c.Name, StageATPG, time.Since(start),
+				StageInfo{Patterns: len(res.Patterns), Backtracks: res.Backtracks})
+			return res, nil
+		}
+		res, hit, err := e.cache.get(ctx, key, gen)
 		if err != nil {
-			e.Hooks.stageDone(c.Name, StageATPG, time.Since(start), StageInfo{Failed: true})
 			return nil, err
 		}
-		e.Hooks.stageDone(c.Name, StageATPG, time.Since(start),
-			StageInfo{Patterns: len(res.Patterns), Backtracks: res.Backtracks})
+		if hit {
+			e.hits.Add(1)
+			// Cache-served stages still emit a paired start/done (with
+			// CacheHit set) so span accounting never sees an unbalanced
+			// close.
+			e.Hooks.stageStart(c.Name, StageATPG)
+			e.Hooks.stageDone(c.Name, StageATPG, 0,
+				StageInfo{Patterns: len(res.Patterns), CacheHit: true})
+		} else {
+			e.misses.Add(1)
+		}
 		return res, nil
 	}
-	res, hit, err := e.cache.get(ctx, key, gen)
-	if err != nil {
-		return nil, err
-	}
-	if hit {
-		e.hits.Add(1)
-		// Cache-served stages still emit a paired start/done (with
-		// CacheHit set) so span accounting never sees an unbalanced
-		// close.
-		e.Hooks.stageStart(c.Name, StageATPG)
-		e.Hooks.stageDone(c.Name, StageATPG, 0,
-			StageInfo{Patterns: len(res.Patterns), CacheHit: true})
-	} else {
-		e.misses.Add(1)
-	}
-	return res, nil
 }
 
 // Compare runs the Table I experiment on c through the Engine's pattern
@@ -460,6 +471,15 @@ func (e *Engine) patterns(ctx context.Context, c *netlist.Circuit) (*atpg.Result
 // circuit) reuse the generated patterns.
 func (e *Engine) Compare(ctx context.Context, c *netlist.Circuit) (*Comparison, error) {
 	return compareWith(ctx, c, e.Cfg, e.patterns, e.Hooks)
+}
+
+// CompareWith is Compare under a per-call configuration override while
+// still sharing the Engine's memoized ATPG layer: calls whose (scaled)
+// ATPG options match — e.g. the same circuit requested with different
+// measurement backends — generate patterns once. The scanpowerd service
+// uses this to apply per-job Config overrides on one shared cache.
+func (e *Engine) CompareWith(ctx context.Context, c *netlist.Circuit, cfg Config) (*Comparison, error) {
+	return compareWith(ctx, c, cfg, e.patternsFor(cfg), e.Hooks)
 }
 
 // CompareEnhanced runs the enhanced-scan extension through the cache.

@@ -19,7 +19,7 @@ var engineTestNames = []string{"s344", "s382", "s444", "s510"}
 func TestEngineDeterminism(t *testing.T) {
 	cfg := DefaultConfig()
 	var seq strings.Builder
-	if err := WriteTable(&seq, engineTestNames, cfg); err != nil {
+	if err := WriteTable(context.Background(), &seq, engineTestNames, cfg); err != nil {
 		t.Fatal(err)
 	}
 	eng := NewEngine(cfg)
@@ -222,7 +222,7 @@ func TestErrNotMapped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Compare(c, DefaultConfig())
+	_, err = Compare(context.Background(), c, DefaultConfig())
 	if !errors.Is(err, ErrNotMapped) {
 		t.Errorf("Compare(unmapped) error = %v, want ErrNotMapped", err)
 	}

@@ -11,4 +11,8 @@ var (
 	// ErrUnknownBenchmark reports a name outside the twelve Table I
 	// profiles; see BenchmarkNames.
 	ErrUnknownBenchmark = errors.New("unknown benchmark")
+	// ErrBadBench reports unparseable .bench input to LoadBench or
+	// ParseBench. The wrapped chain keeps the parser's detailed error
+	// (line number and message) alongside this sentinel.
+	ErrBadBench = errors.New("malformed .bench input")
 )

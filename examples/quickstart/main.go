@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 
 	// 2. Run the whole Table I experiment on it: ATPG, three structures,
 	// power measurement.
-	cmp, err := scanpower.Compare(c, scanpower.DefaultConfig())
+	cmp, err := scanpower.Compare(context.Background(), c, scanpower.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -40,9 +40,11 @@ type EnhancedComparison struct {
 	FFs           int
 }
 
-// CompareEnhanced runs the enhanced-scan extension experiment.
-func CompareEnhanced(c *netlist.Circuit, cfg Config) (*EnhancedComparison, error) {
-	return compareEnhancedWith(context.Background(), c, cfg, directPatterns(cfg, Hooks{}))
+// CompareEnhanced runs the enhanced-scan extension experiment. Like every
+// v1 entry point it is context-first; pass context.Background() when no
+// cancellation is needed.
+func CompareEnhanced(ctx context.Context, c *netlist.Circuit, cfg Config) (*EnhancedComparison, error) {
+	return compareEnhancedWith(ctx, c, cfg, directPatterns(cfg, Hooks{}))
 }
 
 // compareEnhancedWith is CompareEnhanced over an explicit pattern source
@@ -109,9 +111,11 @@ func (r *ReorderingStudy) BestDynamicGain() float64 {
 }
 
 // StudyReordering runs the deferred-reordering extension experiment on
-// the given structure ("traditional" or "proposed").
-func StudyReordering(c *netlist.Circuit, cfg Config, structure string) (*ReorderingStudy, error) {
-	return studyReorderingWith(context.Background(), c, cfg, structure, directPatterns(cfg, Hooks{}))
+// the given structure ("traditional" or "proposed"). Like every v1 entry
+// point it is context-first; pass context.Background() when no
+// cancellation is needed.
+func StudyReordering(ctx context.Context, c *netlist.Circuit, cfg Config, structure string) (*ReorderingStudy, error) {
+	return studyReorderingWith(ctx, c, cfg, structure, directPatterns(cfg, Hooks{}))
 }
 
 // studyReorderingWith is StudyReordering over an explicit pattern source

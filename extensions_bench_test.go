@@ -5,6 +5,7 @@ package scanpower
 // reordering. Reported metrics carry the measured values.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -20,7 +21,7 @@ func BenchmarkExtensionEnhancedScan(b *testing.B) {
 	var err error
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cmp, err = CompareEnhanced(c, cfg)
+		cmp, err = CompareEnhanced(context.Background(), c, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,7 +41,7 @@ func BenchmarkExtensionReordering(b *testing.B) {
 			var err error
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				st, err = StudyReordering(c, cfg, structure)
+				st, err = StudyReordering(context.Background(), c, cfg, structure)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -61,7 +62,7 @@ func BenchmarkExtensionPeakPower(b *testing.B) {
 	var err error
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cmp, err = Compare(c, cfg)
+		cmp, err = Compare(context.Background(), c, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package scanpower
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestCompareEnhanced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmp, err := CompareEnhanced(c, DefaultConfig())
+	cmp, err := CompareEnhanced(context.Background(), c, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestStudyReorderingTraditional(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := StudyReordering(c, DefaultConfig(), "traditional")
+	st, err := StudyReordering(context.Background(), c, DefaultConfig(), "traditional")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +68,11 @@ func TestStudyReorderingProposedStillWins(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := DefaultConfig()
-	trad, err := StudyReordering(c, cfg, "traditional")
+	trad, err := StudyReordering(context.Background(), c, cfg, "traditional")
 	if err != nil {
 		t.Fatal(err)
 	}
-	prop, err := StudyReordering(c, cfg, "proposed")
+	prop, err := StudyReordering(context.Background(), c, cfg, "proposed")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestStudyReorderingRejectsUnknownStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := StudyReordering(c, DefaultConfig(), "bogus"); err == nil {
+	if _, err := StudyReordering(context.Background(), c, DefaultConfig(), "bogus"); err == nil {
 		t.Error("accepted unknown structure")
 	}
 }

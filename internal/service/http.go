@@ -1,0 +1,356 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/netlist"
+	"repro/internal/techmap"
+	"repro/internal/telemetry"
+)
+
+// maxBenchBytes bounds inline .bench payloads; the largest ISCAS89 source
+// is well under 1 MiB.
+const maxBenchBytes = 8 << 20
+
+// Handler returns the service's HTTP API mounted next to the telemetry
+// endpoints (/metrics, /debug/vars, /debug/pprof):
+//
+//	POST   /v1/jobs            submit a job (circuit name or inline bench)
+//	GET    /v1/jobs/{id}       job status
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /v1/jobs/{id}/result  scanpower/comparison/v1 result document
+//	GET    /v1/benchmarks      built-in Table I circuits
+//	GET    /v1/healthz         queue/inflight/cache stats; 503 while draining
+//
+// Errors are `{"error":{"code":..., "message":...}}` envelopes.
+func (s *Service) Handler() http.Handler {
+	mux := telemetry.NewMux(s.reg)
+	mux.Handle("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
+	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
+	mux.Handle("GET /v1/jobs/{id}/result", s.instrument("result", s.handleResult))
+	mux.Handle("GET /v1/benchmarks", s.instrument("benchmarks", s.handleBenchmarks))
+	mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	return mux
+}
+
+// statusWriter captures the response code for the per-endpoint counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint latency histogram and
+// response counter.
+func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	hist := s.reg.Histogram(fmt.Sprintf(MetricRequestSeconds+`{endpoint=%q}`, endpoint), nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.reg.Counter(fmt.Sprintf(MetricResponses+`{endpoint=%q,code="%d"}`, endpoint, sw.code)).Inc()
+	})
+}
+
+// errorEnvelope is the wire form of every non-2xx response body.
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var env errorEnvelope
+	env.Error.Code = code
+	env.Error.Message = msg
+	writeJSON(w, status, env)
+}
+
+// submitRequest is the POST /v1/jobs body. Exactly one of Circuit (a
+// built-in Table I name) or Bench (inline .bench source, optionally
+// named) selects the circuit.
+type submitRequest struct {
+	Circuit   string `json:"circuit,omitempty"`
+	Bench     string `json:"bench,omitempty"`
+	Name      string `json:"name,omitempty"`
+	Measure   string `json:"measure,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	// Wait blocks the response until the job settles (or the client
+	// disconnects, which cancels a job this request created).
+	Wait bool `json:"wait,omitempty"`
+}
+
+// jobResponse is the wire form of a job's observable state.
+type jobResponse struct {
+	ID        string `json:"id"`
+	Circuit   string `json:"circuit"`
+	Measure   string `json:"measure"`
+	State     string `json:"state"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Created   string `json:"created,omitempty"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func (s *Service) jobJSON(j *Job, coalesced bool) jobResponse {
+	snap := s.Snapshot(j)
+	resp := jobResponse{
+		ID:        snap.ID,
+		Circuit:   snap.Circuit,
+		Measure:   string(effectiveMeasure(snap.Measure)),
+		State:     string(snap.State),
+		Coalesced: coalesced,
+		TimeoutMS: snap.Timeout.Milliseconds(),
+		Created:   stamp(snap.Created),
+		Started:   stamp(snap.Started),
+		Finished:  stamp(snap.Finished),
+	}
+	if snap.Err != nil {
+		resp.Error = snap.Err.Error()
+	}
+	if snap.State == StateDone {
+		resp.ResultURL = "/v1/jobs/" + snap.ID + "/result"
+	}
+	return resp
+}
+
+func effectiveMeasure(m scanpower.MeasureBackend) scanpower.MeasureBackend {
+	if m == "" {
+		return scanpower.MeasurePacked
+	}
+	return m
+}
+
+func validMeasure(m string) bool {
+	if m == "" {
+		return true
+	}
+	for _, b := range scanpower.MeasureBackends() {
+		if scanpower.MeasureBackend(m) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveCircuit turns the request into a library-mapped circuit:
+// built-in names via Benchmark, inline sources via ParseBench + Prepare.
+func resolveCircuit(req *submitRequest) (*netlist.Circuit, int, string, error) {
+	switch {
+	case req.Circuit != "" && req.Bench != "":
+		return nil, http.StatusBadRequest, "bad_request",
+			errors.New("exactly one of circuit or bench must be set")
+	case req.Circuit != "":
+		c, err := scanpower.Benchmark(req.Circuit)
+		if err != nil {
+			return nil, http.StatusNotFound, "unknown_benchmark", err
+		}
+		return c, 0, "", nil
+	case req.Bench != "":
+		name := req.Name
+		if name == "" {
+			name = "inline"
+		}
+		c, err := scanpower.ParseBench(req.Bench, name)
+		if err != nil {
+			return nil, http.StatusUnprocessableEntity, "bad_bench", err
+		}
+		if !techmap.IsMapped(c, 4) {
+			if c, err = scanpower.Prepare(c); err != nil {
+				return nil, http.StatusUnprocessableEntity, "bad_bench", err
+			}
+		}
+		return c, 0, "", nil
+	default:
+		return nil, http.StatusBadRequest, "bad_request",
+			errors.New("one of circuit or bench must be set")
+	}
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	body := http.MaxBytesReader(w, r.Body, maxBenchBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
+		return
+	}
+	if !validMeasure(req.Measure) {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown measure backend %q", req.Measure))
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "timeout_ms must be >= 0")
+		return
+	}
+	c, status, code, err := resolveCircuit(&req)
+	if err != nil {
+		writeError(w, status, code, err.Error())
+		return
+	}
+
+	j, coalesced, err := s.Submit(c, scanpower.MeasureBackend(req.Measure),
+		time.Duration(req.TimeoutMS)*time.Millisecond)
+	if err != nil {
+		var serr *SubmitError
+		if errors.As(err, &serr) {
+			switch serr.Code {
+			case "queue_full":
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, serr.Code, serr.Error())
+			default: // draining
+				w.Header().Set("Retry-After", "5")
+				writeError(w, http.StatusServiceUnavailable, serr.Code, serr.Error())
+			}
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+
+	if req.Wait {
+		select {
+		case <-s.Done(j):
+		case <-r.Context().Done():
+			if !coalesced {
+				// The requester created this job and walked away; stop
+				// burning the worker on it. Coalesced submits leave the
+				// original requester's job alone.
+				s.Cancel(j)
+			}
+			return // client is gone; the response is undeliverable
+		}
+		writeJSON(w, http.StatusOK, s.jobJSON(j, coalesced))
+		return
+	}
+
+	status = http.StatusAccepted
+	if coalesced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, s.jobJSON(j, coalesced))
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_job", "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobJSON(j, false))
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_job", "no such job")
+		return
+	}
+	s.Cancel(j)
+	writeJSON(w, http.StatusOK, s.jobJSON(j, false))
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_job", "no such job")
+		return
+	}
+	snap := s.Snapshot(j)
+	switch snap.State {
+	case StateQueued, StateRunning:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "not_ready",
+			fmt.Sprintf("job is %s; retry later", snap.State))
+	case StateCanceled:
+		writeError(w, http.StatusGone, "canceled", "job was canceled")
+	case StateFailed:
+		if errors.Is(snap.Err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", snap.Err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "job_failed", snap.Err.Error())
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		b, err := json.Marshal(snap.Result)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		w.Write(append(b, '\n'))
+	}
+}
+
+// benchmarksResponse lists the built-in circuits.
+type benchmarksResponse struct {
+	Benchmarks []string `json:"benchmarks"`
+}
+
+func (s *Service) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, benchmarksResponse{Benchmarks: s.Benchmarks()})
+}
+
+// healthzResponse is the GET /v1/healthz body.
+type healthzResponse struct {
+	Status        string `json:"status"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Inflight      int    `json:"inflight"`
+	Workers       int    `json:"workers"`
+	Jobs          int    `json:"jobs"`
+	CacheHits     int64  `json:"cache_hits"`
+	CacheMisses   int64  `json:"cache_misses"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	resp := healthzResponse{
+		Status:        "ok",
+		QueueDepth:    st.QueueDepth,
+		QueueCapacity: st.QueueCapacity,
+		Inflight:      st.Inflight,
+		Workers:       st.Workers,
+		Jobs:          st.Jobs,
+		CacheHits:     st.CacheHits,
+		CacheMisses:   st.CacheMisses,
+	}
+	status := http.StatusOK
+	if st.Draining {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}

@@ -1,0 +1,579 @@
+// Package service is the scan-power job service behind cmd/scanpowerd: an
+// HTTP/JSON front end that accepts Table I experiments as queued jobs and
+// runs them on a shared scanpower.Engine, so many clients ride one
+// memoized ATPG cache.
+//
+// The layer adds what a traffic-bearing daemon needs on top of the
+// in-process Engine:
+//
+//   - a bounded job queue with backpressure — submits beyond the queue
+//     capacity are rejected with 429 and a Retry-After header instead of
+//     piling up memory;
+//   - per-job deadlines (requested as timeout_ms, clamped to a server
+//     maximum) and cancellation — DELETE /v1/jobs/{id}, or the client
+//     disconnecting from a wait-mode submit, aborts the job's context all
+//     the way down the Engine's hot loops;
+//   - singleflight coalescing — identical requests (same circuit
+//     fingerprint, measurement backend and deadline class) attach to one
+//     job and therefore one cache entry instead of re-running;
+//   - graceful drain — new submits get 503 while queued and running jobs
+//     finish, so SIGTERM never truncates a result or a trace span;
+//   - telemetry — queue-depth/inflight gauges, per-endpoint latency
+//     histograms and job counters in a telemetry.Registry, and the
+//     run → circuit → stage span tree through the scanpower.Recorder.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/netlist"
+	"repro/internal/telemetry"
+)
+
+// Metric families emitted by the service layer. Endpoint label values are
+// the route names: submit, job, result, cancel, benchmarks, healthz.
+const (
+	MetricQueueDepth     = "scanpower_service_queue_depth" // gauge
+	MetricInflight       = "scanpower_service_inflight"    // gauge
+	MetricJobsSubmitted  = "scanpower_service_jobs_submitted_total"
+	MetricJobsCoalesced  = "scanpower_service_jobs_coalesced_total"
+	MetricJobsRejected   = "scanpower_service_jobs_rejected_total"
+	MetricJobsByState    = "scanpower_service_jobs_total"      // counter{state}
+	MetricRequestSeconds = "scanpower_service_request_seconds" // histogram{endpoint}
+	MetricResponses      = "scanpower_service_responses_total" // counter{endpoint,code}
+)
+
+// JobState enumerates the lifecycle of a job. Terminal states are
+// StateDone, StateFailed and StateCanceled.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Runner executes one job's experiment. The default runs
+// Engine.CompareWith on the service's shared Engine; tests substitute
+// deterministic stand-ins, and future backends (remote farms, other
+// analyses) plug in here.
+type Runner func(ctx context.Context, c *netlist.Circuit, cfg scanpower.Config) (*scanpower.Comparison, error)
+
+// Options configures New. The zero value is usable: default config,
+// GOMAXPROCS-style worker default of 1, an unbuffered queue (admission
+// requires an idle worker), no deadlines, and no telemetry sinks.
+type Options struct {
+	// Cfg is the base experiment configuration; per-job overrides
+	// (measurement backend) are applied on top of it. Zero means
+	// scanpower.DefaultConfig().
+	Cfg scanpower.Config
+	// Workers is the number of concurrent job executors (default 1).
+	Workers int
+	// QueueSize bounds the number of jobs waiting beyond the ones
+	// running. 0 means no waiting room: a submit is admitted only if a
+	// worker is idle, otherwise rejected with 429.
+	QueueSize int
+	// DefaultTimeout applies to jobs that request no deadline (0 = none).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines; larger requests are
+	// clamped (0 = no cap).
+	MaxTimeout time.Duration
+	// RetainJobs bounds how many terminal jobs are kept for result
+	// polling; the oldest are evicted first (default 1024).
+	RetainJobs int
+	// Registry receives service and Engine metrics (nil drops them).
+	Registry *telemetry.Registry
+	// Trace receives the job span tree (nil drops it).
+	Trace *telemetry.TraceWriter
+	// Runner overrides job execution (nil = the shared Engine).
+	Runner Runner
+}
+
+// jobKey identifies coalesceable submissions: the frozen circuit's
+// structural fingerprint plus every override that changes what the job
+// computes or how long it may run.
+type jobKey struct {
+	fp        uint64
+	measure   scanpower.MeasureBackend
+	timeoutMS int64
+}
+
+// Job is one queued experiment. All mutable fields are guarded by the
+// owning Service's mutex; Done is closed exactly once when the job
+// reaches a terminal state.
+type Job struct {
+	ID      string
+	Circuit string
+	Measure scanpower.MeasureBackend
+	Timeout time.Duration
+
+	key  jobKey
+	circ *netlist.Circuit
+
+	state    JobState
+	result   *scanpower.Comparison
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	done   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Snapshot is a consistent copy of a job's observable state.
+type Snapshot struct {
+	ID       string
+	Circuit  string
+	Measure  scanpower.MeasureBackend
+	Timeout  time.Duration
+	State    JobState
+	Err      error
+	Result   *scanpower.Comparison
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// Service is the job queue plus the shared Engine. Create with New; it is
+// safe for concurrent use.
+type Service struct {
+	opts Options
+	eng  *scanpower.Engine
+	rec  *scanpower.Recorder
+	reg  *telemetry.Registry
+	run  Runner
+
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup // workers
+	jobs  sync.WaitGroup // admitted, non-terminal jobs
+
+	mu       sync.Mutex
+	byID     map[string]*Job
+	byKey    map[jobKey]*Job
+	order    []string // admission order, for terminal-job eviction
+	seq      int64
+	inflight int
+	draining bool
+	stopped  bool
+
+	queueDepth    *telemetry.Gauge
+	inflightGauge *telemetry.Gauge
+	submitted     *telemetry.Counter
+	coalesced     *telemetry.Counter
+	rejected      *telemetry.Counter
+}
+
+// New builds the service, wires the Engine's hooks into a Recorder over
+// opts.Registry/opts.Trace, and starts the worker pool.
+func New(opts Options) *Service {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.QueueSize < 0 {
+		opts.QueueSize = 0
+	}
+	if opts.RetainJobs <= 0 {
+		opts.RetainJobs = 1024
+	}
+	if isZeroConfig(opts.Cfg) {
+		opts.Cfg = scanpower.DefaultConfig()
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Service{
+		opts:     opts,
+		eng:      scanpower.NewEngine(opts.Cfg),
+		rec:      scanpower.NewRecorder(opts.Registry, opts.Trace),
+		reg:      opts.Registry,
+		baseCtx:  ctx,
+		baseStop: stop,
+		queue:    make(chan *Job, opts.QueueSize),
+		byID:     make(map[string]*Job),
+		byKey:    make(map[jobKey]*Job),
+
+		queueDepth:    opts.Registry.Gauge(MetricQueueDepth),
+		inflightGauge: opts.Registry.Gauge(MetricInflight),
+		submitted:     opts.Registry.Counter(MetricJobsSubmitted),
+		coalesced:     opts.Registry.Counter(MetricJobsCoalesced),
+		rejected:      opts.Registry.Counter(MetricJobsRejected),
+	}
+	s.eng.Hooks = s.rec.Hooks()
+	s.run = opts.Runner
+	if s.run == nil {
+		s.run = func(ctx context.Context, c *netlist.Circuit, cfg scanpower.Config) (*scanpower.Comparison, error) {
+			return s.eng.CompareWith(ctx, c, cfg)
+		}
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// isZeroConfig reports whether cfg is the (unusable) zero Config, so New
+// can substitute the default. DefaultConfig always sets the shared
+// leakage model, so a nil Leak identifies the zero value.
+func isZeroConfig(cfg scanpower.Config) bool {
+	return cfg.Leak == nil
+}
+
+// Engine exposes the shared Engine (for cache stats).
+func (s *Service) Engine() *scanpower.Engine { return s.eng }
+
+// Manifest assembles the run manifest recorded so far; call after Drain
+// for balanced per-circuit records.
+func (s *Service) Manifest(label string) *telemetry.Manifest {
+	return s.rec.Manifest(label)
+}
+
+// SubmitError is returned by Submit with the admission outcome encoded.
+type SubmitError struct {
+	// Code is one of "queue_full" or "draining".
+	Code string
+	msg  string
+}
+
+// Error implements the error interface.
+func (e *SubmitError) Error() string { return e.msg }
+
+// errQueueFull and errDraining are the two admission rejections.
+var (
+	errQueueFull = &SubmitError{Code: "queue_full", msg: "service: job queue is full"}
+	errDraining  = &SubmitError{Code: "draining", msg: "service: draining, not accepting jobs"}
+)
+
+// Submit admits a job for circuit c under the given overrides, or
+// coalesces it onto an existing identical job. The returned bool reports
+// whether the submission was coalesced. Rejections return a *SubmitError.
+// The circuit must already be library-mapped.
+func (s *Service) Submit(c *netlist.Circuit, measure scanpower.MeasureBackend, timeout time.Duration) (*Job, bool, error) {
+	if measure == "" {
+		// Canonicalize to the server default so "no preference" and an
+		// explicit default coalesce onto the same job.
+		measure = s.opts.Cfg.Measure
+		if measure == "" {
+			measure = scanpower.MeasurePacked
+		}
+	}
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	if s.opts.MaxTimeout > 0 && (timeout == 0 || timeout > s.opts.MaxTimeout) {
+		timeout = s.opts.MaxTimeout
+	}
+	key := jobKey{fp: c.Fingerprint(), measure: measure, timeoutMS: timeout.Milliseconds()}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.stopped {
+		return nil, false, errDraining
+	}
+	if j, ok := s.byKey[key]; ok {
+		s.coalesced.Inc()
+		return j, true, nil
+	}
+
+	s.seq++
+	ctx := s.baseCtx
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		// The deadline covers queue wait too: an admission the queue
+		// cannot serve in time fails like a slow run would.
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j := &Job{
+		ID:      "job-" + strconv.FormatInt(s.seq, 10),
+		Circuit: c.Name,
+		Measure: measure,
+		Timeout: timeout,
+		key:     key,
+		circ:    c,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.rejected.Inc()
+		return nil, false, errQueueFull
+	}
+	s.jobs.Add(1)
+	s.byID[j.ID] = j
+	s.byKey[key] = j
+	s.order = append(s.order, j.ID)
+	s.submitted.Inc()
+	s.queueDepth.Set(float64(len(s.queue)))
+	s.evictLocked()
+	return j, false, nil
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention bound.
+// Callers hold s.mu.
+func (s *Service) evictLocked() {
+	excess := len(s.byID) - s.opts.RetainJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.byID[id]
+		if excess > 0 && j != nil && j.state.Terminal() {
+			delete(s.byID, id)
+			if s.byKey[j.key] == j {
+				delete(s.byKey, j.key)
+			}
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job returns the job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// Snapshot returns a consistent copy of the job's state.
+func (s *Service) Snapshot(j *Job) Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{
+		ID: j.ID, Circuit: j.Circuit, Measure: j.Measure, Timeout: j.Timeout,
+		State: j.state, Err: j.err, Result: j.result,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+}
+
+// Done returns the channel closed when the job reaches a terminal state.
+func (s *Service) Done(j *Job) <-chan struct{} { return j.done }
+
+// Cancel aborts the job: queued jobs become canceled immediately, running
+// jobs have their context cancelled and settle through the worker.
+// Terminal jobs are unaffected. Reports whether the job was still live.
+func (s *Service) Cancel(j *Job) bool {
+	s.mu.Lock()
+	if j.state.Terminal() {
+		s.mu.Unlock()
+		return false
+	}
+	if j.state == StateQueued {
+		s.finishLocked(j, StateCanceled, nil, context.Canceled)
+		s.mu.Unlock()
+		j.cancel()
+		return true
+	}
+	s.mu.Unlock()
+	j.cancel() // worker observes ctx.Err() and finishes the job
+	return true
+}
+
+// Stats is the healthz view of the service.
+type Stats struct {
+	QueueDepth    int
+	QueueCapacity int
+	Inflight      int
+	Workers       int
+	Jobs          int
+	Draining      bool
+	CacheHits     int64
+	CacheMisses   int64
+}
+
+// Stats returns the current queue/inflight/job counts.
+func (s *Service) Stats() Stats {
+	hits, misses := s.eng.CacheStats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Inflight:      s.inflight,
+		Workers:       s.opts.Workers,
+		Jobs:          len(s.byID),
+		Draining:      s.draining,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+	}
+}
+
+// Benchmarks lists the built-in Table I circuits, sorted.
+func (s *Service) Benchmarks() []string {
+	names := scanpower.BenchmarkNames()
+	sort.Strings(names)
+	return names
+}
+
+// worker executes queued jobs until the queue is closed by Drain.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob moves one job from queued to a terminal state.
+func (s *Service) runJob(j *Job) {
+	s.mu.Lock()
+	s.queueDepth.Set(float64(len(s.queue)))
+	if j.state != StateQueued { // canceled while waiting
+		s.mu.Unlock()
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		// Deadline or shutdown hit before a worker got to it.
+		s.finishLocked(j, failureState(err), nil, err)
+		s.mu.Unlock()
+		j.cancel()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.inflight++
+	s.inflightGauge.Set(float64(s.inflight))
+	s.mu.Unlock()
+
+	cfg := s.opts.Cfg
+	cfg.Measure = j.Measure
+	cmp, err := s.run(j.ctx, j.circ, cfg)
+
+	s.mu.Lock()
+	s.inflight--
+	s.inflightGauge.Set(float64(s.inflight))
+	// Cancel may have raced the finish; finishLocked keeps the first
+	// terminal state and ignores later settles.
+	switch {
+	case err != nil:
+		s.finishLocked(j, failureState(err), nil, err)
+	default:
+		s.finishLocked(j, StateDone, cmp, nil)
+	}
+	s.mu.Unlock()
+	j.cancel()
+	// Close the circuit's trace span now that its job is settled; an
+	// Engine.Run progress feed would otherwise do this.
+	s.rec.FinishCircuit(j.Circuit)
+}
+
+// failureState maps a job error to canceled/failed: explicit cancellation
+// reads as canceled, everything else — including a blown deadline — as
+// failed, with the error kept on the job.
+func failureState(err error) JobState {
+	if errors.Is(err, context.Canceled) {
+		return StateCanceled
+	}
+	return StateFailed
+}
+
+// finishLocked settles a job into a terminal state. Callers hold s.mu.
+func (s *Service) finishLocked(j *Job, state JobState, cmp *scanpower.Comparison, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = cmp
+	j.err = err
+	j.finished = time.Now()
+	if state != StateDone && s.byKey[j.key] == j {
+		// Failed and canceled jobs leave the coalescing map so an
+		// identical retry re-runs instead of inheriting the failure; done
+		// jobs stay as served-from-cache entries.
+		delete(s.byKey, j.key)
+	}
+	s.reg.Counter(fmt.Sprintf(MetricJobsByState+`{state=%q}`, state)).Inc()
+	close(j.done)
+	s.jobs.Done()
+}
+
+// Drain stops admission (new submits fail with a draining error), waits
+// for queued and running jobs to settle — cancelling whatever is still
+// live when ctx expires — then stops the workers and closes the trace
+// span tree. Idempotent; subsequent calls wait for the first to finish.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	s.mu.Unlock()
+
+	settled := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(settled)
+	}()
+	var err error
+	select {
+	case <-settled:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelAll()
+		<-settled
+	}
+
+	if first {
+		s.mu.Lock()
+		s.stopped = true
+		s.mu.Unlock()
+		close(s.queue)
+	}
+	s.wg.Wait()
+	s.rec.Close()
+	return err
+}
+
+// cancelAll cancels every non-terminal job (queued ones settle here,
+// running ones through their worker).
+func (s *Service) cancelAll() {
+	s.mu.Lock()
+	var live []*Job
+	for _, j := range s.byID {
+		if !j.state.Terminal() {
+			live = append(live, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range live {
+		s.Cancel(j)
+	}
+}
+
+// Close is Drain with immediate cancellation of everything in flight.
+func (s *Service) Close() error {
+	s.baseStop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Drain(ctx)
+	if err == context.Canceled {
+		return nil
+	}
+	return err
+}

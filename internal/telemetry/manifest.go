@@ -44,8 +44,10 @@ type Manifest struct {
 	// (Registry.Snapshot form).
 	Counters map[string]float64 `json:"counters,omitempty"`
 
-	// Results is the rendered result table (report.Table JSON form),
-	// marshaled by the caller.
+	// Results is the run's result payload, marshaled by the caller —
+	// since scanpower/comparison/v1, the {schema, comparisons:[...]}
+	// container that scanpower.WriteComparisonsJSON emits, identical to
+	// the scanpowerd service's result responses.
 	Results json.RawMessage `json:"results,omitempty"`
 }
 

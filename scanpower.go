@@ -19,12 +19,14 @@
 //
 // # Context-first API
 //
-// Every long-running entry point has a context-first form — CompareContext
-// and WriteTableContext here, plus the Engine methods — whose cancellation
-// and deadlines reach down into the hot loops (ATPG's random-pattern and
-// PODEM phases, the justification search, scan-mode measurement), so a
-// hung or oversized circuit aborts cleanly with ctx's error. Compare and
-// WriteTable remain as context.Background() wrappers for existing callers.
+// Every long-running entry point is context-first — Compare, WriteTable,
+// CompareEnhanced and StudyReordering here, plus the Engine methods — and
+// cancellation and deadlines reach down into the hot loops (ATPG's
+// random-pattern and PODEM phases, the justification search, scan-mode
+// measurement), so a hung or oversized circuit aborts cleanly with ctx's
+// error. Pass context.Background() when no cancellation is needed. The
+// pre-v1 CompareContext and WriteTableContext names remain as deprecated
+// thin wrappers; see README's "v1 API" table for the stable surface.
 //
 // # Engine
 //
@@ -185,17 +187,19 @@ func (c *Comparison) StaticImprovementVsInputControl() float64 {
 }
 
 // Compare runs the full Table I experiment on the frozen circuit c, which
-// must already be mapped to the library (use Prepare).
-func Compare(c *netlist.Circuit, cfg Config) (*Comparison, error) {
-	return CompareContext(context.Background(), c, cfg)
-}
-
-// CompareContext is Compare with cancellation: ctx reaches the ATPG
-// phases, the structure builds and the power measurement, so the
+// must already be mapped to the library (use Prepare). ctx reaches the
+// ATPG phases, the structure builds and the power measurement, so the
 // experiment aborts promptly with ctx's error when cancelled. Matching
 // failures wrap ErrNotMapped.
-func CompareContext(ctx context.Context, c *netlist.Circuit, cfg Config) (*Comparison, error) {
+func Compare(ctx context.Context, c *netlist.Circuit, cfg Config) (*Comparison, error) {
 	return compareWith(ctx, c, cfg, directPatterns(cfg, Hooks{}), Hooks{})
+}
+
+// CompareContext is an alias for Compare kept for pre-v1 callers.
+//
+// Deprecated: use Compare, which is context-first since v1.
+func CompareContext(ctx context.Context, c *netlist.Circuit, cfg Config) (*Comparison, error) {
+	return Compare(ctx, c, cfg)
 }
 
 // compareWith is the shared Table I pipeline: gen supplies the patterns
@@ -287,7 +291,8 @@ func Prepare(c *netlist.Circuit) (*netlist.Circuit, error) {
 	return techmap.Map(c, techmap.DefaultOptions())
 }
 
-// LoadBench parses an ISCAS89 .bench file from disk.
+// LoadBench parses an ISCAS89 .bench file from disk. Parse failures wrap
+// ErrBadBench.
 func LoadBench(path string) (*netlist.Circuit, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -295,12 +300,20 @@ func LoadBench(path string) (*netlist.Circuit, error) {
 	}
 	defer f.Close()
 	name := strings.TrimSuffix(filepath.Base(path), ".bench")
-	return bench.Parse(f, name)
+	c, err := bench.Parse(f, name)
+	if err != nil {
+		return nil, fmt.Errorf("scanpower: %w: %w", ErrBadBench, err)
+	}
+	return c, nil
 }
 
-// ParseBench parses .bench source text.
+// ParseBench parses .bench source text. Parse failures wrap ErrBadBench.
 func ParseBench(src, name string) (*netlist.Circuit, error) {
-	return bench.ParseString(src, name)
+	c, err := bench.ParseString(src, name)
+	if err != nil {
+		return nil, fmt.Errorf("scanpower: %w: %w", ErrBadBench, err)
+	}
+	return c, nil
 }
 
 // Benchmark generates (deterministically) the synthetic stand-in for one
@@ -344,15 +357,10 @@ func (c *Comparison) Row() string {
 }
 
 // WriteTable runs Compare over the named benchmarks and streams rows to w,
-// strictly sequentially. Engine.WriteTable is the parallel equivalent and
+// strictly sequentially, stopping at the first circuit whose experiment
+// returns ctx's error. Engine.WriteTable is the parallel equivalent and
 // emits byte-identical output.
-func WriteTable(w io.Writer, names []string, cfg Config) error {
-	return WriteTableContext(context.Background(), w, names, cfg)
-}
-
-// WriteTableContext is WriteTable with cancellation; it stops at the first
-// circuit whose experiment returns ctx's error.
-func WriteTableContext(ctx context.Context, w io.Writer, names []string, cfg Config) error {
+func WriteTable(ctx context.Context, w io.Writer, names []string, cfg Config) error {
 	if _, err := fmt.Fprintln(w, TableHeader()); err != nil {
 		return err
 	}
@@ -361,7 +369,7 @@ func WriteTableContext(ctx context.Context, w io.Writer, names []string, cfg Con
 		if err != nil {
 			return err
 		}
-		cmp, err := CompareContext(ctx, c, cfg)
+		cmp, err := Compare(ctx, c, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -370,6 +378,13 @@ func WriteTableContext(ctx context.Context, w io.Writer, names []string, cfg Con
 		}
 	}
 	return nil
+}
+
+// WriteTableContext is an alias for WriteTable kept for pre-v1 callers.
+//
+// Deprecated: use WriteTable, which is context-first since v1.
+func WriteTableContext(ctx context.Context, w io.Writer, names []string, cfg Config) error {
+	return WriteTable(ctx, w, names, cfg)
 }
 
 // TableColumns lists the Table I column headers used by NewTable.

@@ -1,6 +1,7 @@
 package scanpower
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestCompareOnS344(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmp, err := Compare(c, DefaultConfig())
+	cmp, err := Compare(context.Background(), c, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestCompareRejectsUnmapped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Compare(c, DefaultConfig()); err == nil {
+	if _, err := Compare(context.Background(), c, DefaultConfig()); err == nil {
 		t.Fatal("Compare accepted an unmapped circuit")
 	}
 	m, err := Prepare(c)
@@ -60,7 +61,7 @@ func TestCompareRejectsUnmapped(t *testing.T) {
 	if !techmap.IsMapped(m, 4) {
 		t.Fatal("Prepare did not map")
 	}
-	if _, err := Compare(m, DefaultConfig()); err != nil {
+	if _, err := Compare(context.Background(), m, DefaultConfig()); err != nil {
 		t.Fatalf("Compare rejected mapped circuit: %v", err)
 	}
 }
@@ -102,7 +103,7 @@ func TestCoverageUnaffectedByDFT(t *testing.T) {
 
 func TestWriteTableSmoke(t *testing.T) {
 	var sb strings.Builder
-	if err := WriteTable(&sb, []string{"s344"}, DefaultConfig()); err != nil {
+	if err := WriteTable(context.Background(), &sb, []string{"s344"}, DefaultConfig()); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -122,7 +123,7 @@ func TestNewTableRendering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmp, err := Compare(c, DefaultConfig())
+	cmp, err := Compare(context.Background(), c, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

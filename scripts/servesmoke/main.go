@@ -1,0 +1,420 @@
+// Command servesmoke is the `make serve-smoke` driver: it builds and
+// boots a real scanpowerd on a random port and walks the service contract
+// end to end —
+//
+//   - healthz and the benchmark listing answer;
+//   - an inline-c17 wait-mode job returns a scanpower/comparison/v1
+//     result byte-identical to an in-process Engine run of the same
+//     circuit and config;
+//   - with -workers 1 -queue 1, a slow running job (s5378) plus one
+//     queued job make a third submit fail with 429 and Retry-After;
+//   - DELETE cancels the queued job;
+//   - /metrics carries the service and packed-kernel families;
+//   - SIGTERM while the slow job is still running drains cleanly: exit
+//     code 0, a parseable manifest, and a balanced span trace.
+//
+// It exits non-zero on the first violated expectation.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/telemetry"
+)
+
+// c17 is the real ISCAS85 c17 netlist — tiny, combinational and already
+// NAND-mapped, so the inline-bench path needs no Prepare step.
+const c17 = `# c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "scanpowerd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/scanpowerd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build scanpowerd: %w", err)
+	}
+
+	tracePath := filepath.Join(tmp, "trace.jsonl")
+	manifestPath := filepath.Join(tmp, "manifest.json")
+	daemon := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-workers", "1",
+		"-queue", "1",
+		"-trace", tracePath,
+		"-manifest", manifestPath,
+	)
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("start scanpowerd: %w", err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			daemon.Process.Kill()
+			daemon.Wait()
+		}
+	}()
+
+	// The daemon announces its bound port on stderr:
+	//   scanpowerd: listening on http://127.0.0.1:PORT
+	base, lines, err := awaitListening(stderr)
+	if err != nil {
+		return err
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+	fmt.Println("serve-smoke: daemon at", base)
+
+	if err := checkHealthz(base); err != nil {
+		return err
+	}
+	if err := checkBenchmarks(base); err != nil {
+		return err
+	}
+	if err := checkC17BitIdentical(base); err != nil {
+		return err
+	}
+	slowID, err := checkBackpressure(base)
+	if err != nil {
+		return err
+	}
+	if err := checkMetrics(base); err != nil {
+		return err
+	}
+
+	// SIGTERM while the slow job is still running: the drain must let it
+	// finish and exit 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	killed = true
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("scanpowerd exited uncleanly after SIGTERM: %v (stderr: %s)", err, lines())
+		}
+	case <-time.After(60 * time.Second):
+		daemon.Process.Kill()
+		return fmt.Errorf("scanpowerd did not drain within 60s of SIGTERM")
+	}
+	fmt.Println("serve-smoke: clean SIGTERM drain (slow job", slowID, "in flight)")
+
+	if err := checkTraceBalanced(tracePath); err != nil {
+		return err
+	}
+	return checkManifest(manifestPath)
+}
+
+// awaitListening scans the daemon's stderr for the listening line and
+// returns the base URL plus an accessor for everything read so far.
+func awaitListening(stderr io.Reader) (string, func() string, error) {
+	var buf bytes.Buffer
+	sc := bufio.NewScanner(io.TeeReader(stderr, &buf))
+	deadline := time.After(30 * time.Second)
+	found := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "scanpowerd: listening on "); ok {
+				found <- strings.TrimSpace(rest)
+				return
+			}
+		}
+		close(found)
+	}()
+	select {
+	case url, ok := <-found:
+		if !ok {
+			return "", nil, fmt.Errorf("scanpowerd exited before listening (stderr: %s)", buf.String())
+		}
+		return url, func() string { return buf.String() }, nil
+	case <-deadline:
+		return "", nil, fmt.Errorf("scanpowerd never announced its port (stderr: %s)", buf.String())
+	}
+}
+
+func getJSON(url string, out any) (int, http.Header, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, resp.Header, fmt.Errorf("decode %s: %w", url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header, nil
+}
+
+func postJob(base string, body map[string]any) (int, http.Header, map[string]any, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, resp.Header, nil, err
+	}
+	return resp.StatusCode, resp.Header, out, nil
+}
+
+func checkHealthz(base string) error {
+	var h map[string]any
+	code, _, err := getJSON(base+"/v1/healthz", &h)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || h["status"] != "ok" {
+		return fmt.Errorf("healthz: status %d body %v", code, h)
+	}
+	return nil
+}
+
+func checkBenchmarks(base string) error {
+	var b struct {
+		Benchmarks []string `json:"benchmarks"`
+	}
+	code, _, err := getJSON(base+"/v1/benchmarks", &b)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || len(b.Benchmarks) != 12 {
+		return fmt.Errorf("benchmarks: status %d, %d names", code, len(b.Benchmarks))
+	}
+	return nil
+}
+
+// checkC17BitIdentical runs c17 through the service and through an
+// in-process Engine under the same config, and requires byte-identical
+// scanpower/comparison/v1 documents.
+func checkC17BitIdentical(base string) error {
+	code, _, job, err := postJob(base, map[string]any{
+		"bench": c17, "name": "c17", "wait": true,
+	})
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK || job["state"] != "done" {
+		return fmt.Errorf("c17 wait job: status %d body %v", code, job)
+	}
+	resultURL, _ := job["result_url"].(string)
+	resp, err := http.Get(base + resultURL)
+	if err != nil {
+		return err
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("c17 result: status %d: %s", resp.StatusCode, got)
+	}
+
+	c, err := scanpower.ParseBench(c17, "c17")
+	if err != nil {
+		return err
+	}
+	cfg := scanpower.DefaultConfig()
+	eng := scanpower.NewEngine(cfg)
+	cmp, err := eng.CompareWith(context.Background(), c, cfg)
+	if err != nil {
+		return fmt.Errorf("in-process c17 run: %w", err)
+	}
+	want, err := json.Marshal(cmp)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(want)) {
+		return fmt.Errorf("c17 result differs from in-process Engine run:\nservice: %s\nengine:  %s", got, want)
+	}
+	fmt.Println("serve-smoke: c17 result bit-identical to in-process Engine run")
+	return nil
+}
+
+// checkBackpressure parks the single worker on s5378, fills the one
+// queue slot, and requires 429 + Retry-After on the next submit. Returns
+// the slow job's ID (still running when we return).
+func checkBackpressure(base string) (string, error) {
+	code, _, slow, err := postJob(base, map[string]any{"circuit": "s5378"})
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusAccepted {
+		return "", fmt.Errorf("slow submit: status %d body %v", code, slow)
+	}
+	slowID, _ := slow["id"].(string)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var j map[string]any
+		if _, _, err := getJSON(base+"/v1/jobs/"+slowID, &j); err != nil {
+			return "", err
+		}
+		if j["state"] == "running" {
+			break
+		}
+		if j["state"] != "queued" {
+			return "", fmt.Errorf("slow job in unexpected state %v", j["state"])
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("slow job never started running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	code, _, queued, err := postJob(base, map[string]any{"circuit": "s1423"})
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusAccepted {
+		return "", fmt.Errorf("queued submit: status %d body %v", code, queued)
+	}
+
+	code, hdr, rejected, err := postJob(base, map[string]any{"circuit": "s641"})
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusTooManyRequests {
+		return "", fmt.Errorf("overflow submit: status %d, want 429 (body %v)", code, rejected)
+	}
+	if hdr.Get("Retry-After") == "" {
+		return "", fmt.Errorf("429 without Retry-After header")
+	}
+	fmt.Println("serve-smoke: full queue rejected with 429 + Retry-After")
+
+	// Free the queue slot again: DELETE the queued job.
+	queuedID, _ := queued["id"].(string)
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+queuedID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out["state"] != "canceled" {
+		return "", fmt.Errorf("cancel queued job: status %d state %v", resp.StatusCode, out["state"])
+	}
+	return slowID, nil
+}
+
+func checkMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, family := range []string{
+		"scanpower_service_jobs_total",
+		"scanpower_service_queue_depth",
+		"scanpower_service_request_seconds",
+		"scanpower_power_packed_lanes_total",
+	} {
+		if !strings.Contains(string(body), family) {
+			return fmt.Errorf("/metrics missing %s", family)
+		}
+	}
+	return nil
+}
+
+// checkTraceBalanced requires every span started in the trace to have
+// ended — the drain must not truncate the span tree.
+func checkTraceBalanced(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var starts, ends int
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev telemetry.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("trace line unparseable: %v: %s", err, sc.Text())
+		}
+		switch ev.Ev {
+		case "start":
+			starts++
+		case "end":
+			ends++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if starts == 0 || starts != ends {
+		return fmt.Errorf("trace spans unbalanced: %d starts, %d ends", starts, ends)
+	}
+	fmt.Printf("serve-smoke: trace balanced (%d spans)\n", starts)
+	return nil
+}
+
+func checkManifest(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := telemetry.ReadManifest(f)
+	if err != nil {
+		return err
+	}
+	if m.Label != "scanpowerd" || len(m.Circuits) == 0 {
+		return fmt.Errorf("manifest looks wrong: label %q, %d circuits", m.Label, len(m.Circuits))
+	}
+	return nil
+}

@@ -112,12 +112,12 @@ func NewRecorder(reg *telemetry.Registry, tw *telemetry.TraceWriter) *Recorder {
 // other hooks via MergeHooks.
 func (r *Recorder) Hooks() Hooks {
 	return Hooks{
-		OnStageStart: r.onStageStart,
-		OnStageDone:  r.onStageDone,
-		OnProgress:   r.onProgress,
-		OnSubStage:   r.onSubStage,
-		OnPodemFault: r.onPodemFault,
-		OnJustify:    r.onJustify,
+		OnStageStart:   r.onStageStart,
+		OnStageDone:    r.onStageDone,
+		OnProgress:     r.onProgress,
+		OnSubStage:     r.onSubStage,
+		OnPodemFault:   r.onPodemFault,
+		OnJustify:      r.onJustify,
 		OnObsSamples:   r.onObsSamples,
 		OnPattern:      r.onPattern,
 		OnMeasureBatch: r.onMeasureBatch,
@@ -250,6 +250,16 @@ func (r *Recorder) onPattern(_, _ string, _ int) {
 // finished list. Circuits run outside an Engine (no progress feed) are
 // flushed by Close instead.
 func (r *Recorder) onProgress(circuit string, _, _ int) {
+	r.FinishCircuit(circuit)
+}
+
+// FinishCircuit closes the named circuit's open span and moves its stage
+// record to the finished manifest list. Engine runs do this through the
+// progress feed; long-running callers that invoke Engine.Compare directly
+// per job — the scanpowerd service — call it after each job so the span
+// tree stays balanced without waiting for Close. Unknown names are a
+// no-op for the span but still count a completed circuit.
+func (r *Recorder) FinishCircuit(circuit string) {
 	r.circuitsDone.Inc()
 	r.mu.Lock()
 	defer r.mu.Unlock()

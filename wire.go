@@ -1,0 +1,298 @@
+package scanpower
+
+// This file is the versioned wire schema of the public result types: one
+// marshaller, used verbatim by the run manifests (cmd/tableone -manifest),
+// the scanpowerd service responses, and any consumer that wants Table I
+// rows as JSON. The Go structs stay free to evolve; the JSON field names
+// below are frozen per schema version. Bump the schema suffix on any
+// breaking change and keep the old decoder working.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/power"
+)
+
+// Wire schema identifiers. Every marshalled Comparison and
+// EnhancedComparison carries its schema in a "schema" field; decoders
+// reject payloads with a different version.
+const (
+	// ComparisonSchemaV1 tags the Comparison JSON layout.
+	ComparisonSchemaV1 = "scanpower/comparison/v1"
+	// EnhancedComparisonSchemaV1 tags the EnhancedComparison JSON layout.
+	EnhancedComparisonSchemaV1 = "scanpower/enhanced-comparison/v1"
+)
+
+// powerReportV1 is the frozen JSON form of power.Report.
+type powerReportV1 struct {
+	DynamicPerHz        float64 `json:"dynamic_per_hz"`
+	PeakDynamicPerHz    float64 `json:"peak_dynamic_per_hz"`
+	StaticUW            float64 `json:"static_uw"`
+	Cycles              int     `json:"cycles"`
+	MeanTogglesPerCycle float64 `json:"mean_toggles_per_cycle"`
+	MeanLeakNA          float64 `json:"mean_leak_na"`
+}
+
+func toPowerReportV1(r power.Report) powerReportV1 {
+	return powerReportV1{
+		DynamicPerHz:        r.DynamicPerHz,
+		PeakDynamicPerHz:    r.PeakDynamicPerHz,
+		StaticUW:            r.StaticUW,
+		Cycles:              r.Cycles,
+		MeanTogglesPerCycle: r.MeanTogglesPerCycle,
+		MeanLeakNA:          r.MeanLeakNA,
+	}
+}
+
+func (w powerReportV1) report() power.Report {
+	return power.Report{
+		DynamicPerHz:        w.DynamicPerHz,
+		PeakDynamicPerHz:    w.PeakDynamicPerHz,
+		StaticUW:            w.StaticUW,
+		Cycles:              w.Cycles,
+		MeanTogglesPerCycle: w.MeanTogglesPerCycle,
+		MeanLeakNA:          w.MeanLeakNA,
+	}
+}
+
+// circuitStatsV1 is the frozen JSON form of netlist.Stats. Gate-type
+// counts use the .bench type names ("NAND", "MUX2", ...), not Go enum
+// values.
+type circuitStatsV1 struct {
+	Name       string         `json:"name"`
+	PIs        int            `json:"pis"`
+	POs        int            `json:"pos"`
+	FFs        int            `json:"ffs"`
+	Gates      int            `json:"gates"`
+	Nets       int            `json:"nets"`
+	Depth      int            `json:"depth"`
+	ByType     map[string]int `json:"by_type,omitempty"`
+	MeanFanout float64        `json:"mean_fanout"`
+	MaxFanout  int            `json:"max_fanout"`
+	MaxArity   int            `json:"max_arity"`
+}
+
+func toCircuitStatsV1(s netlist.Stats) circuitStatsV1 {
+	w := circuitStatsV1{
+		Name: s.Name, PIs: s.PIs, POs: s.POs, FFs: s.FFs,
+		Gates: s.Gates, Nets: s.Nets, Depth: s.Depth,
+		MeanFanout: s.Fanout, MaxFanout: s.MaxFan, MaxArity: s.MaxArit,
+	}
+	if len(s.ByType) > 0 {
+		w.ByType = make(map[string]int, len(s.ByType))
+		for t, n := range s.ByType {
+			w.ByType[t.String()] = n
+		}
+	}
+	return w
+}
+
+func (w circuitStatsV1) stats() (netlist.Stats, error) {
+	s := netlist.Stats{
+		Name: w.Name, PIs: w.PIs, POs: w.POs, FFs: w.FFs,
+		Gates: w.Gates, Nets: w.Nets, Depth: w.Depth,
+		Fanout: w.MeanFanout, MaxFan: w.MaxFanout, MaxArit: w.MaxArity,
+	}
+	if len(w.ByType) > 0 {
+		s.ByType = make(map[logic.GateType]int, len(w.ByType))
+		for name, n := range w.ByType {
+			t, ok := logic.ParseGateType(name)
+			if !ok {
+				return s, fmt.Errorf("scanpower: unknown gate type %q in stats", name)
+			}
+			s.ByType[t] = n
+		}
+	}
+	return s, nil
+}
+
+// structStatsV1 is the frozen JSON form of core.Stats.
+type structStatsV1 struct {
+	MuxCount        int     `json:"mux_count"`
+	CriticalDelayPS float64 `json:"critical_delay_ps"`
+	BlockedGates    int     `json:"blocked_gates"`
+	FailedGates     int     `json:"failed_gates"`
+	TransitionNets  int     `json:"transition_nets"`
+	AssignedInputs  int     `json:"assigned_inputs"`
+	FilledInputs    int     `json:"filled_inputs"`
+	ReorderedGates  int     `json:"reordered_gates"`
+	ScanLeakNA      float64 `json:"scan_leak_na"`
+}
+
+func toStructStatsV1(s core.Stats) structStatsV1 {
+	return structStatsV1{
+		MuxCount: s.MuxCount, CriticalDelayPS: s.CriticalDelay,
+		BlockedGates: s.BlockedGates, FailedGates: s.FailedGates,
+		TransitionNets: s.TransitionNets, AssignedInputs: s.AssignedInputs,
+		FilledInputs: s.FilledInputs, ReorderedGates: s.ReorderedGates,
+		ScanLeakNA: s.ScanLeakNA,
+	}
+}
+
+func (w structStatsV1) stats() core.Stats {
+	return core.Stats{
+		MuxCount: w.MuxCount, CriticalDelay: w.CriticalDelayPS,
+		BlockedGates: w.BlockedGates, FailedGates: w.FailedGates,
+		TransitionNets: w.TransitionNets, AssignedInputs: w.AssignedInputs,
+		FilledInputs: w.FilledInputs, ReorderedGates: w.ReorderedGates,
+		ScanLeakNA: w.ScanLeakNA,
+	}
+}
+
+// improvementsV1 carries the four Table I improvement percentages.
+// Derived from the power reports; emitted for consumers, ignored on
+// decode.
+type improvementsV1 struct {
+	DynVsTraditionalPct  float64 `json:"dyn_vs_traditional_pct"`
+	StatVsTraditionalPct float64 `json:"stat_vs_traditional_pct"`
+	DynVsInputCtrlPct    float64 `json:"dyn_vs_input_control_pct"`
+	StatVsInputCtrlPct   float64 `json:"stat_vs_input_control_pct"`
+}
+
+// comparisonV1 is the frozen JSON layout of Comparison.
+type comparisonV1 struct {
+	Schema            string         `json:"schema"`
+	Circuit           string         `json:"circuit"`
+	Stats             circuitStatsV1 `json:"stats"`
+	Patterns          int            `json:"patterns"`
+	FaultCoverage     float64        `json:"fault_coverage"`
+	Traditional       powerReportV1  `json:"traditional"`
+	InputControl      powerReportV1  `json:"input_control"`
+	Proposed          powerReportV1  `json:"proposed"`
+	ProposedStats     structStatsV1  `json:"proposed_stats"`
+	InputControlStats structStatsV1  `json:"input_control_stats"`
+	MuxOverheadUW     float64        `json:"mux_overhead_uw"`
+	Improvements      improvementsV1 `json:"improvements"`
+}
+
+// MarshalJSON emits the scanpower/comparison/v1 wire form. This is the
+// single marshaller behind the service's result responses and the run
+// manifests, so the three always agree byte for byte.
+func (c *Comparison) MarshalJSON() ([]byte, error) {
+	return json.Marshal(comparisonV1{
+		Schema:            ComparisonSchemaV1,
+		Circuit:           c.Circuit,
+		Stats:             toCircuitStatsV1(c.Stats),
+		Patterns:          c.Patterns,
+		FaultCoverage:     c.FaultCoverage,
+		Traditional:       toPowerReportV1(c.Traditional),
+		InputControl:      toPowerReportV1(c.InputControl),
+		Proposed:          toPowerReportV1(c.Proposed),
+		ProposedStats:     toStructStatsV1(c.ProposedStats),
+		InputControlStats: toStructStatsV1(c.InputControlStats),
+		MuxOverheadUW:     c.MuxOverheadUW,
+		Improvements: improvementsV1{
+			DynVsTraditionalPct:  c.DynImprovementVsTraditional(),
+			StatVsTraditionalPct: c.StaticImprovementVsTraditional(),
+			DynVsInputCtrlPct:    c.DynImprovementVsInputControl(),
+			StatVsInputCtrlPct:   c.StaticImprovementVsInputControl(),
+		},
+	})
+}
+
+// UnmarshalJSON decodes the scanpower/comparison/v1 wire form, rejecting
+// any other schema tag. The improvement block is derived and ignored.
+func (c *Comparison) UnmarshalJSON(data []byte) error {
+	var w comparisonV1
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("scanpower: decode comparison: %w", err)
+	}
+	if w.Schema != ComparisonSchemaV1 {
+		return fmt.Errorf("scanpower: comparison schema %q, want %q", w.Schema, ComparisonSchemaV1)
+	}
+	stats, err := w.Stats.stats()
+	if err != nil {
+		return err
+	}
+	*c = Comparison{
+		Circuit:           w.Circuit,
+		Stats:             stats,
+		Patterns:          w.Patterns,
+		FaultCoverage:     w.FaultCoverage,
+		Traditional:       w.Traditional.report(),
+		InputControl:      w.InputControl.report(),
+		Proposed:          w.Proposed.report(),
+		ProposedStats:     w.ProposedStats.stats(),
+		InputControlStats: w.InputControlStats.stats(),
+		MuxOverheadUW:     w.MuxOverheadUW,
+	}
+	return nil
+}
+
+// enhancedComparisonV1 is the frozen JSON layout of EnhancedComparison.
+type enhancedComparisonV1 struct {
+	Schema         string        `json:"schema"`
+	Circuit        string        `json:"circuit"`
+	Enhanced       powerReportV1 `json:"enhanced"`
+	Proposed       powerReportV1 `json:"proposed"`
+	DelayPenaltyPS float64       `json:"delay_penalty_ps"`
+	ProposedMuxes  int           `json:"proposed_muxes"`
+	FFs            int           `json:"ffs"`
+}
+
+// MarshalJSON emits the scanpower/enhanced-comparison/v1 wire form.
+func (c *EnhancedComparison) MarshalJSON() ([]byte, error) {
+	return json.Marshal(enhancedComparisonV1{
+		Schema:         EnhancedComparisonSchemaV1,
+		Circuit:        c.Circuit,
+		Enhanced:       toPowerReportV1(c.Enhanced),
+		Proposed:       toPowerReportV1(c.Proposed),
+		DelayPenaltyPS: c.DelayPenaltyPS,
+		ProposedMuxes:  c.ProposedMuxes,
+		FFs:            c.FFs,
+	})
+}
+
+// UnmarshalJSON decodes the scanpower/enhanced-comparison/v1 wire form.
+func (c *EnhancedComparison) UnmarshalJSON(data []byte) error {
+	var w enhancedComparisonV1
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("scanpower: decode enhanced comparison: %w", err)
+	}
+	if w.Schema != EnhancedComparisonSchemaV1 {
+		return fmt.Errorf("scanpower: enhanced comparison schema %q, want %q", w.Schema, EnhancedComparisonSchemaV1)
+	}
+	*c = EnhancedComparison{
+		Circuit:        w.Circuit,
+		Enhanced:       w.Enhanced.report(),
+		Proposed:       w.Proposed.report(),
+		DelayPenaltyPS: w.DelayPenaltyPS,
+		ProposedMuxes:  w.ProposedMuxes,
+		FFs:            w.FFs,
+	}
+	return nil
+}
+
+// comparisonSetV1 is the container WriteComparisonsJSON emits: the schema
+// of the elements plus the rows themselves.
+type comparisonSetV1 struct {
+	Schema      string        `json:"schema"`
+	Comparisons []*Comparison `json:"comparisons"`
+}
+
+// WriteComparisonsJSON writes cmps as indented JSON — a
+// {schema, comparisons:[...]} container whose elements use the
+// scanpower/comparison/v1 marshaller. Run manifests embed exactly this
+// payload as Results.
+func WriteComparisonsJSON(w io.Writer, cmps []*Comparison) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(comparisonSetV1{Schema: ComparisonSchemaV1, Comparisons: cmps})
+}
+
+// ReadComparisonsJSON parses a WriteComparisonsJSON payload.
+func ReadComparisonsJSON(r io.Reader) ([]*Comparison, error) {
+	var set comparisonSetV1
+	if err := json.NewDecoder(r).Decode(&set); err != nil {
+		return nil, fmt.Errorf("scanpower: decode comparison set: %w", err)
+	}
+	if set.Schema != ComparisonSchemaV1 {
+		return nil, fmt.Errorf("scanpower: comparison set schema %q, want %q", set.Schema, ComparisonSchemaV1)
+	}
+	return set.Comparisons, nil
+}

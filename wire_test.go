@@ -1,0 +1,116 @@
+package scanpower
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+)
+
+// wireComparison runs a real (small) experiment so the round-trip test
+// covers populated stats maps and non-trivial floats.
+func wireComparison(t *testing.T) *Comparison {
+	t.Helper()
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(context.Background(), c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmp
+}
+
+func TestComparisonWireRoundTrip(t *testing.T) {
+	cmp := wireComparison(t)
+	b, err := json.Marshal(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var top map[string]any
+	if err := json.Unmarshal(b, &top); err != nil {
+		t.Fatal(err)
+	}
+	if got := top["schema"]; got != ComparisonSchemaV1 {
+		t.Fatalf("schema = %v, want %q", got, ComparisonSchemaV1)
+	}
+	for _, field := range []string{"circuit", "stats", "patterns", "fault_coverage",
+		"traditional", "input_control", "proposed", "proposed_stats",
+		"input_control_stats", "mux_overhead_uw", "improvements"} {
+		if _, ok := top[field]; !ok {
+			t.Errorf("wire form missing field %q", field)
+		}
+	}
+
+	var back Comparison
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cmp, &back) {
+		t.Errorf("round trip changed the comparison:\n got %+v\nwant %+v", &back, cmp)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("marshal → unmarshal → marshal not byte-identical:\n%s\nvs\n%s", b, b2)
+	}
+}
+
+func TestComparisonWireRejectsWrongSchema(t *testing.T) {
+	var cmp Comparison
+	err := json.Unmarshal([]byte(`{"schema":"scanpower/comparison/v0"}`), &cmp)
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("decode with wrong schema: err = %v, want schema error", err)
+	}
+}
+
+func TestEnhancedComparisonWireRoundTrip(t *testing.T) {
+	in := &EnhancedComparison{
+		Circuit:        "s344",
+		Enhanced:       power.Report{DynamicPerHz: 1.5e-9, StaticUW: 12.25, Cycles: 400},
+		Proposed:       power.Report{DynamicPerHz: 2.5e-9, StaticUW: 14.5, Cycles: 400},
+		DelayPenaltyPS: 31.5,
+		ProposedMuxes:  7,
+		FFs:            15,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), EnhancedComparisonSchemaV1) {
+		t.Fatalf("wire form missing schema tag: %s", b)
+	}
+	var back EnhancedComparison
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &back) {
+		t.Errorf("round trip changed the enhanced comparison:\n got %+v\nwant %+v", &back, in)
+	}
+}
+
+func TestWriteComparisonsJSONRoundTrip(t *testing.T) {
+	cmp := wireComparison(t)
+	var buf bytes.Buffer
+	if err := WriteComparisonsJSON(&buf, []*Comparison{cmp}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadComparisonsJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], cmp) {
+		t.Errorf("comparison set round trip mismatch")
+	}
+	if _, err := ReadComparisonsJSON(strings.NewReader(`{"schema":"x","comparisons":[]}`)); err == nil {
+		t.Error("ReadComparisonsJSON accepted a wrong container schema")
+	}
+}
