@@ -5,7 +5,7 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build vet test race bench bench-json telemetry-race fuzz-equiv bench-kernels serve-smoke
+.PHONY: check build vet test race bench bench-json telemetry-race fuzz-equiv bench-kernels bench-mc serve-smoke
 
 check: vet build test race telemetry-race fuzz-equiv bench-json serve-smoke
 
@@ -33,10 +33,10 @@ bench-json:
 
 # The telemetry path under the race detector: concurrent Engine workers
 # feeding one Recorder, registry, and trace writer. The Packed kernel,
-# hook-pairing and scanpowerd service tests ride along so the bit-parallel
-# path and the job queue are raced too.
+# packed Monte-Carlo, hook-pairing and scanpowerd service tests ride along
+# so the bit-parallel paths and the job queue are raced too.
 telemetry-race:
-	$(GO) test -race -run 'Telemetry|Recorder|Trace|Registry|Packed|StageHooks|PatternCache|Submit|Queue|Coalesc|Drain|Deadline|Disconnect|Cancel' . ./internal/telemetry/ ./internal/power/ ./internal/service/
+	$(GO) test -race -run 'Telemetry|Recorder|Trace|Registry|Packed|StageHooks|PatternCache|Submit|Queue|Coalesc|Drain|Deadline|Disconnect|Cancel|MCPacked|MCBatch|MCBackend' . ./internal/telemetry/ ./internal/power/ ./internal/service/ ./internal/obs/ ./internal/core/
 
 # Full service contract against a real scanpowerd process: boots the
 # daemon on a random port, checks the inline-c17 result is bit-identical
@@ -46,12 +46,21 @@ serve-smoke:
 	$(GO) run ./scripts/servesmoke
 
 # Short packed-vs-serial equivalence fuzz: random circuits, pattern sets
-# and shift configs through both measurement kernels, requiring bit-equal
-# reports. The seed corpus also runs on every plain `go test`.
+# and shift configs through both measurement kernels (bit-equal reports),
+# then random circuits and flow shapes through both Monte-Carlo backends
+# (bit-equal solutions). The seed corpora also run on every plain `go test`.
 fuzz-equiv:
 	$(GO) test ./internal/power/ -run '^$$' -fuzz FuzzMeasureScanPackedEquivalence -fuzztime 10s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzMCPackedEquivalence -fuzztime 10s
 
 # Kernel comparison benchmark: dense vs event-driven vs packed on an
 # ISCAS stream with 64 patterns (acceptance: packed >= 5x fast).
 bench-kernels:
 	$(GO) test ./internal/power/ -run '^$$' -bench BenchmarkScanKernels -benchtime 2s
+
+# Monte-Carlo kernel comparison: scalar vs 64-way packed observability
+# estimation and don't-care fill on s1423 (acceptance: packed obs >= 5x
+# scalar at >= 1024 samples; see BENCH_<date>_mc.json).
+bench-mc:
+	$(GO) test ./internal/obs/ -run '^$$' -bench BenchmarkObsKernels -benchtime 2s
+	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkFillKernels -benchtime 2s

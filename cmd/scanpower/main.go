@@ -48,6 +48,8 @@ func main() {
 	manifestPath := flag.String("manifest", "", "write the run manifest JSON to this file")
 	measure := flag.String("measure", string(scanpower.MeasurePacked),
 		"measurement kernel: packed (bit-parallel), fast (event-driven) or dense (full re-eval)")
+	mcBackend := flag.String("mc-backend", string(scanpower.MCPacked),
+		"Monte-Carlo kernel for observability and fill: packed (64-way bit-parallel) or scalar")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -111,6 +113,11 @@ func main() {
 
 	cfg := scanpower.DefaultConfig()
 	cfg.Measure = scanpower.MeasureBackend(*measure)
+	cfg.MC = scanpower.MCBackend(*mcBackend)
+	// The direct core.BuildContext call below bypasses Compare's MC
+	// propagation, so mirror the choice into the per-structure options.
+	cfg.Proposed.MC = core.MCBackend(cfg.MC)
+	cfg.InputControl.MC = core.MCBackend(cfg.MC)
 	eng := scanpower.NewEngine(cfg)
 	eng.Hooks = rec.Hooks()
 	st := c.ComputeStats()

@@ -47,6 +47,8 @@ func main() {
 	manifestPath := flag.String("manifest", "", "write the run manifest JSON to this file")
 	measure := flag.String("measure", string(scanpower.MeasurePacked),
 		"measurement kernel: packed (bit-parallel), fast (event-driven) or dense (full re-eval)")
+	mcBackend := flag.String("mc-backend", string(scanpower.MCPacked),
+		"Monte-Carlo kernel for observability and fill: packed (64-way bit-parallel) or scalar")
 	flag.Parse()
 
 	names := scanpower.BenchmarkNames()
@@ -88,6 +90,7 @@ func main() {
 
 	cfg := scanpower.DefaultConfig()
 	cfg.Measure = scanpower.MeasureBackend(*measure)
+	cfg.MC = scanpower.MCBackend(*mcBackend)
 	eng := scanpower.NewEngine(cfg)
 	eng.Workers = *workers
 	eng.Hooks = rec.Hooks()

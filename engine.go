@@ -104,6 +104,12 @@ type Hooks struct {
 	// one batch of bit-parallel lanes, with the number of scan cycles the
 	// batch carried and its wall time. Serial backends never fire it.
 	OnMeasureBatch func(circuit, stage string, lanes int, elapsed time.Duration)
+	// OnMCBatch fires after a packed Monte-Carlo kernel inside a structure
+	// build evaluates one 64-lane batch: kind is "obs" (observability
+	// vectors) or "fill" (fill trials), lanes the vectors/trials carried,
+	// elapsed the batch's evaluation wall time. The scalar MC backend
+	// never fires it.
+	OnMCBatch func(circuit, stage, kind string, lanes int, elapsed time.Duration)
 }
 
 // empty reports whether no callback is set (func fields make Hooks
@@ -111,7 +117,8 @@ type Hooks struct {
 func (h Hooks) empty() bool {
 	return h.OnStageStart == nil && h.OnStageDone == nil && h.OnProgress == nil &&
 		h.OnSubStage == nil && h.OnPodemFault == nil && h.OnJustify == nil &&
-		h.OnObsSamples == nil && h.OnPattern == nil && h.OnMeasureBatch == nil
+		h.OnObsSamples == nil && h.OnPattern == nil && h.OnMeasureBatch == nil &&
+		h.OnMCBatch == nil
 }
 
 func (h Hooks) stageStart(circuit, stage string) {
@@ -169,6 +176,12 @@ func (h Hooks) coreObserver(circuit, stage string) core.Observer {
 	if h.OnObsSamples != nil {
 		hook := h.OnObsSamples
 		ob.OnObsSamples = func(n int) { hook(circuit, n) }
+	}
+	if h.OnMCBatch != nil {
+		hook := h.OnMCBatch
+		ob.OnMCBatch = func(kind string, lanes int, elapsed time.Duration) {
+			hook(circuit, stage, kind, lanes, elapsed)
+		}
 	}
 	if h.OnSubStage != nil {
 		hook := h.OnSubStage
@@ -298,6 +311,16 @@ func MergeHooks(hs ...Hooks) Hooks {
 					prev(circuit, stage, lanes, elapsed)
 				}
 				next(circuit, stage, lanes, elapsed)
+			}
+		}
+		if h.OnMCBatch != nil {
+			prev := out.OnMCBatch
+			next := h.OnMCBatch
+			out.OnMCBatch = func(circuit, stage, kind string, lanes int, elapsed time.Duration) {
+				if prev != nil {
+					prev(circuit, stage, kind, lanes, elapsed)
+				}
+				next(circuit, stage, kind, lanes, elapsed)
 			}
 		}
 	}

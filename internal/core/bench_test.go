@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// fillBenchFinder builds a finder over s1423 with every pseudo-input
+// multiplexed and nothing assigned, so the fill kernels see the largest
+// candidate space the circuit offers (all 91 controlled inputs
+// don't-care).
+func fillBenchFinder(b *testing.B) (*finder, []netlist.NetID, *Options) {
+	p, ok := iscas.ByName("s1423")
+	if !ok {
+		b.Fatal("no s1423 profile")
+	}
+	c, err := iscas.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := ProposedOptions()
+	muxable := make([]bool, c.NumFFs())
+	for i := range muxable {
+		muxable[i] = true
+	}
+	f := newFinder(c, &opts, muxable, nil, rand.New(rand.NewSource(1)))
+	f.imply()
+	var unassigned []netlist.NetID
+	for _, n := range c.CombInputs() {
+		if f.controlled[n] && f.assign[n] == logic.X {
+			unassigned = append(unassigned, n)
+		}
+	}
+	return f, unassigned, &opts
+}
+
+// BenchmarkFillKernels compares the scalar and 64-way packed
+// minimum-leakage fill kernels on s1423 at the flow's default trial
+// count. Feeds `make bench-mc`.
+func BenchmarkFillKernels(b *testing.B) {
+	f, unassigned, opts := fillBenchFinder(b)
+	trials := opts.FillTrials
+	reset := func() {
+		f.rng = rand.New(rand.NewSource(1))
+		for _, n := range unassigned {
+			f.assign[n] = logic.X
+		}
+	}
+	b.Run("scalar/s1423/t256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reset()
+			f.fillScalar(unassigned, trials)
+		}
+	})
+	b.Run("packed/s1423/t256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reset()
+			f.fillPacked(unassigned, trials)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -61,6 +62,9 @@ func BuildContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Solut
 	if opts.JustifyBacktracks <= 0 {
 		opts.JustifyBacktracks = 50
 	}
+	if !opts.MC.valid() {
+		return nil, fmt.Errorf("core: unknown MC backend %q", opts.MC)
+	}
 	work := c.Clone()
 	if err := work.Freeze(); err != nil {
 		return nil, err
@@ -99,12 +103,29 @@ func BuildContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Solut
 		sol.Stats.CriticalDelay = timing.Analyze(work, opts.Delay).Critical
 	}
 
-	// Leakage observability directive.
+	// Leakage observability directive. Both backends consume the shared
+	// rng's stream identically, so the finder below sees the same draws
+	// whichever kernel ran.
 	var ob *obs.Observability
 	if opts.ObsDirected {
 		doneObs := opts.Observe.phaseTimer("observability")
-		ob = obs.EstimateObserved(work, opts.Leak, opts.ObsSamples, rng, opts.Observe.OnObsSamples)
+		var err error
+		if opts.MC.packed() {
+			po := obs.PackedOpts{OnSamples: opts.Observe.OnObsSamples}
+			if mcb := opts.Observe.OnMCBatch; mcb != nil {
+				po.OnBatch = func(lanes int, elapsed time.Duration) {
+					mcb("obs", lanes, elapsed)
+				}
+			}
+			ob, err = obs.EstimatePacked(ctx, work, opts.Leak, opts.ObsSamples, rng, po)
+		} else {
+			ob, err = obs.EstimateObserved(ctx, work, opts.Leak, opts.ObsSamples, rng,
+				opts.Observe.OnObsSamples)
+		}
 		doneObs()
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Step 2: FindControlledInputPattern.

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// fillScalar is the serial reference kernel of the minimum-leakage fill:
+// one random completion per trial, implied and costed in place. The
+// per-trial cost runs on the precomputed X-averaged tables of
+// leakage.CircuitTables3 — bit-identical to CircuitLeak, minus the
+// per-gate map lookup and refinement enumeration the old loop repeated
+// FillTrials times.
+//
+// Returns the winning per-input values, parallel to unassigned. On
+// cancellation mid-search the best completion seen so far is returned
+// and the latched context error makes the caller discard the run.
+func (f *finder) fillScalar(unassigned []netlist.NetID, trials int) []logic.Value {
+	c := f.c
+	tabs3 := f.opts.Leak.CircuitTables3(c)
+	bestLeak := 0.0
+	best := make([]logic.Value, len(unassigned))
+	cur := make([]logic.Value, len(unassigned))
+	for trial := 0; trial < trials; trial++ {
+		if f.cancelled() {
+			break
+		}
+		for i, n := range unassigned {
+			if trial == 0 && f.ob != nil {
+				cur[i] = logic.FromBool(f.ob.PreferredValue(n))
+			} else {
+				cur[i] = logic.FromBool(f.rng.Intn(2) == 1)
+			}
+			f.assign[n] = cur[i]
+		}
+		f.imply()
+		leak := f.opts.Leak.CircuitLeakTabs3(c, f.val, tabs3)
+		if trial == 0 || leak < bestLeak {
+			bestLeak = leak
+			copy(best, cur)
+		}
+	}
+	return best
+}
+
+// fillPacked runs the same search 64 trials at a time on the dual-rail
+// three-valued simulator: each trial is one lane, free pseudo-inputs
+// stay X in every lane, and per-lane costs come from the X-averaged
+// tables in the scalar gate order.
+//
+// Bit-identity with fillScalar holds because (a) the candidate bits are
+// drawn up front in the scalar loop's exact rng order — trial 0 under
+// the observability directive takes the preferred-value vector and
+// draws nothing, (b) sim.Packed3 lanes equal logic.Eval on the same
+// inputs, (c) leakage.AccumLeak3Packed accumulates each lane in
+// CircuitLeakTabs3's gate order, and (d) the reduction walks trials in
+// ascending order with the scalar first-wins tie-break. Words are
+// sharded across a worker pool; the reduction is a single goroutine.
+func (f *finder) fillPacked(unassigned []netlist.NetID, trials int) []logic.Value {
+	best := make([]logic.Value, len(unassigned))
+	if f.cancelled() {
+		return best
+	}
+	c := f.c
+	lm := f.opts.Leak
+	tabs3 := lm.CircuitTables3(c)
+	nNets := c.NumNets()
+	nWords := (trials + sim.PackedLanes - 1) / sim.PackedLanes
+
+	// cand[i*nWords+w] bit t = input i's value in trial w*64+t.
+	cand := make([]uint64, len(unassigned)*nWords)
+	for trial := 0; trial < trials; trial++ {
+		w := trial / sim.PackedLanes
+		bit := uint64(1) << uint(trial%sim.PackedLanes)
+		for i, n := range unassigned {
+			var one bool
+			if trial == 0 && f.ob != nil {
+				one = f.ob.PreferredValue(n)
+			} else {
+				one = f.rng.Intn(2) == 1
+			}
+			if one {
+				cand[i*nWords+w] |= bit
+			}
+		}
+	}
+
+	// The lane pattern every trial shares: committed controlled inputs
+	// broadcast their binary value, everything else (free pseudo-inputs,
+	// and the unassigned slots about to be overlaid) is X.
+	baseV := make([]uint64, nNets)
+	baseX := make([]uint64, nNets)
+	for _, n := range c.CombInputs() {
+		if f.controlled[n] && f.assign[n] != logic.X {
+			if f.assign[n] == logic.One {
+				baseV[n] = ^uint64(0)
+			}
+		} else {
+			baseX[n] = ^uint64(0)
+		}
+	}
+
+	if f.cancelled() {
+		return best
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nWords {
+		workers = nWords
+	}
+	ps := sim.NewPacked3(c) // stateless: shared by all workers
+	cycs := make([][]float64, nWords)
+	lanes := make([]int, nWords)
+	elapsed := make([]time.Duration, nWords)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := make([]uint64, nNets)
+			x := make([]uint64, nNets)
+			for wi := range next {
+				n := trials - wi*sim.PackedLanes
+				if n > sim.PackedLanes {
+					n = sim.PackedLanes
+				}
+				t0 := time.Now()
+				copy(v, baseV)
+				copy(x, baseX)
+				for i, net := range unassigned {
+					v[net] = cand[i*nWords+wi]
+					x[net] = 0
+				}
+				ps.EvalNets(v, x)
+				cyc := make([]float64, sim.PackedLanes)
+				lm.AccumLeak3Packed(c, v, x, n, tabs3, cyc)
+				cycs[wi] = cyc
+				lanes[wi] = n
+				elapsed[wi] = time.Since(t0)
+			}
+		}()
+	}
+	for wi := 0; wi < nWords; wi++ {
+		next <- wi
+	}
+	close(next)
+	wg.Wait()
+
+	// Reduce in ascending trial order — the scalar tie-break.
+	bestLeak := 0.0
+	bestTrial := 0
+	mcb := f.opts.Observe.OnMCBatch
+	for wi := 0; wi < nWords; wi++ {
+		cyc := cycs[wi]
+		for t := 0; t < lanes[wi]; t++ {
+			trial := wi*sim.PackedLanes + t
+			if trial == 0 || cyc[t] < bestLeak {
+				bestLeak = cyc[t]
+				bestTrial = trial
+			}
+		}
+		if mcb != nil {
+			mcb("fill", lanes[wi], elapsed[wi])
+		}
+	}
+	for i := range unassigned {
+		w := cand[i*nWords+bestTrial/sim.PackedLanes]
+		best[i] = logic.FromBool(w>>uint(bestTrial%sim.PackedLanes)&1 == 1)
+	}
+	return best
+}

@@ -246,7 +246,10 @@ func (f *finder) run() {
 // minimum-leakage search ([14]): FillTrials random completions are
 // simulated and the cheapest kept. With the observability directive the
 // first candidate is the per-input preferred-value vector, so the greedy
-// choice competes against the random samples.
+// choice competes against the random samples. The search itself runs on
+// the backend Options.MC selects — fillScalar and fillPacked draw the
+// same random stream and keep the same first-wins tie-break, so the
+// winning completion is identical either way.
 func (f *finder) fill() (filled int) {
 	c := f.c
 	var unassigned []netlist.NetID
@@ -263,27 +266,11 @@ func (f *finder) fill() (filled int) {
 	if trials < 1 {
 		trials = 1
 	}
-	bestLeak := 0.0
-	best := make([]logic.Value, len(unassigned))
-	cur := make([]logic.Value, len(unassigned))
-	for trial := 0; trial < trials; trial++ {
-		if f.cancelled() {
-			break
-		}
-		for i, n := range unassigned {
-			if trial == 0 && f.ob != nil {
-				cur[i] = logic.FromBool(f.ob.PreferredValue(n))
-			} else {
-				cur[i] = logic.FromBool(f.rng.Intn(2) == 1)
-			}
-			f.assign[n] = cur[i]
-		}
-		f.imply()
-		leak := f.opts.Leak.CircuitLeak(c, f.val)
-		if trial == 0 || leak < bestLeak {
-			bestLeak = leak
-			copy(best, cur)
-		}
+	var best []logic.Value
+	if f.opts.MC.packed() {
+		best = f.fillPacked(unassigned, trials)
+	} else {
+		best = f.fillScalar(unassigned, trials)
 	}
 	for i, n := range unassigned {
 		f.assign[n] = best[i]

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// solutionsIdentical returns "" when two solutions agree bit for bit on
+// every externally visible field, else the first differing field. The MC
+// backends promise bit-identity, so no tolerance is applied anywhere.
+func solutionsIdentical(a, b *Solution) string {
+	if a.Stats != b.Stats {
+		return "Stats"
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			return "Assign"
+		}
+		if a.Val[i] != b.Val[i] {
+			return "Val"
+		}
+		if a.Trans[i] != b.Trans[i] {
+			return "Trans"
+		}
+	}
+	for i := range a.Cfg.PIHold {
+		if a.Cfg.PIHold[i] != b.Cfg.PIHold[i] {
+			return "Cfg.PIHold"
+		}
+	}
+	for i := range a.Cfg.Muxed {
+		if a.Cfg.Muxed[i] != b.Cfg.Muxed[i] || a.Cfg.MuxVal[i] != b.Cfg.MuxVal[i] {
+			return "Cfg.Mux"
+		}
+	}
+	return ""
+}
+
+// TestMCPackedBuildEquivalence: the packed Monte-Carlo backend must
+// reproduce the scalar backend's full flow output — assignment, implied
+// state, Table-I-feeding stats, shift config — on real circuits, for both
+// the proposed flow and the input-control baseline.
+func TestMCPackedBuildEquivalence(t *testing.T) {
+	p, _ := iscas.ByName("s344")
+	gen, err := iscas.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits := map[string]*netlist.Circuit{"s27": mappedS27(t), "s344": gen}
+	for name, c := range circuits {
+		for _, mk := range []func() Options{ProposedOptions, InputControlOptions} {
+			scalarOpts := mk()
+			scalarOpts.MC = MCScalar
+			packedOpts := mk()
+			packedOpts.MC = MCPacked
+			ref, err := Build(c, scalarOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Build(c, packedOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if field := solutionsIdentical(ref, got); field != "" {
+				t.Errorf("%s UseMux=%v: %s differs between scalar and packed backends",
+					name, scalarOpts.UseMux, field)
+			}
+		}
+	}
+}
+
+func TestMCBackendValidation(t *testing.T) {
+	c := mappedS27(t)
+	opts := ProposedOptions()
+	opts.MC = "vectorized" // not a backend
+	if _, err := Build(c, opts); err == nil {
+		t.Fatal("Build accepted an unknown MC backend")
+	}
+}
+
+// TestBuildObsDeadline: a context cancelled while the observability
+// estimate is running must abort the whole flow with the context's error
+// — for both backends.
+func TestBuildObsDeadline(t *testing.T) {
+	c := mappedS27(t)
+	for _, backend := range []MCBackend{MCScalar, MCPacked} {
+		ctx, cancel := context.WithCancel(context.Background())
+		opts := ProposedOptions()
+		opts.MC = backend
+		opts.ObsSamples = 1 << 20
+		opts.Observe.OnObsSamples = func(int) { cancel() }
+		sol, err := BuildContext(ctx, c, opts)
+		if err != context.Canceled {
+			t.Errorf("%q: BuildContext = (%v, %v), want context.Canceled", backend, sol, err)
+		}
+	}
+}
+
+// TestMCBatchTelemetry: with the packed backend every Monte-Carlo batch
+// must surface through Observer.OnMCBatch, with lane totals accounting
+// for every observability vector and every fill trial exactly once.
+func TestMCBatchTelemetry(t *testing.T) {
+	c := mappedS27(t)
+	opts := ProposedOptions()
+	opts.ObsSamples = 200
+	opts.FillTrials = 100
+	laneTotal := map[string]int{}
+	opts.Observe.OnMCBatch = func(kind string, lanes int, elapsed time.Duration) {
+		if kind != "obs" && kind != "fill" {
+			t.Errorf("unknown MC batch kind %q", kind)
+		}
+		if lanes < 1 || lanes > 64 {
+			t.Errorf("%s batch carries %d lanes", kind, lanes)
+		}
+		if elapsed < 0 {
+			t.Errorf("%s batch has negative elapsed", kind)
+		}
+		laneTotal[kind] += lanes
+	}
+	sol, err := Build(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if laneTotal["obs"] != opts.ObsSamples {
+		t.Errorf("obs batches carried %d lanes, want %d", laneTotal["obs"], opts.ObsSamples)
+	}
+	if sol.Stats.FilledInputs == 0 {
+		t.Fatal("flow left no don't-cares to fill; test circuit no longer exercises fill")
+	}
+	if laneTotal["fill"] != opts.FillTrials {
+		t.Errorf("fill batches carried %d lanes, want %d", laneTotal["fill"], opts.FillTrials)
+	}
+
+	// The scalar backend evaluates no packed batches.
+	opts.MC = MCScalar
+	calls := 0
+	opts.Observe.OnMCBatch = func(string, int, time.Duration) { calls++ }
+	if _, err := Build(c, opts); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("scalar backend emitted %d MC batches", calls)
+	}
+}
+
+// randomMCCircuit builds a small random, well-formed frozen circuit from
+// the fuzz seed: a DAG of random gates over a few PIs and flops.
+func randomMCCircuit(rng *rand.Rand) *netlist.Circuit {
+	c := netlist.New("fuzz")
+	nPI := 1 + rng.Intn(3)
+	nFF := 1 + rng.Intn(4)
+	var nets []string
+	for i := 0; i < nPI; i++ {
+		name := "pi" + string(rune('a'+i))
+		c.AddPI(name)
+		nets = append(nets, name)
+	}
+	for i := 0; i < nFF; i++ {
+		q := "q" + string(rune('a'+i))
+		nets = append(nets, q)
+	}
+	types := []logic.GateType{logic.Not, logic.Buf, logic.And, logic.Nand,
+		logic.Or, logic.Nor, logic.Xor, logic.Xnor, logic.Mux2}
+	nGates := 3 + rng.Intn(20)
+	var driven []string
+	for i := 0; i < nGates; i++ {
+		tpe := types[rng.Intn(len(types))]
+		arity := 2 + rng.Intn(3)
+		switch tpe {
+		case logic.Not, logic.Buf:
+			arity = 1
+		case logic.Mux2:
+			arity = 3
+		}
+		ins := make([]string, arity)
+		for j := range ins {
+			ins[j] = nets[rng.Intn(len(nets))]
+		}
+		out := "g" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+		c.AddGate(tpe, out, ins...)
+		nets = append(nets, out)
+		driven = append(driven, out)
+	}
+	for i := 0; i < nFF; i++ {
+		d := driven[rng.Intn(len(driven))]
+		c.AddFF("f"+string(rune('a'+i)), "q"+string(rune('a'+i)), d)
+	}
+	c.MarkPO(driven[len(driven)-1])
+	c.MustFreeze()
+	return c
+}
+
+// FuzzMCPackedEquivalence drives random circuits and flow shapes through
+// both Monte-Carlo backends and requires bit-equal solutions. `make
+// fuzz-equiv` runs this continuously; the seed corpus runs on every
+// `go test`.
+func FuzzMCPackedEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0), true, uint8(100), uint8(70))
+	f.Add(int64(2), uint8(0xFF), false, uint8(1), uint8(1))
+	f.Add(int64(99), uint8(0b1010), true, uint8(65), uint8(129))
+	f.Fuzz(func(t *testing.T, seed int64, muxMask uint8, obsDirected bool, obsSamples, fillTrials uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomMCCircuit(rng)
+		mk := func(b MCBackend) Options {
+			opts := ProposedOptions()
+			opts.MC = b
+			opts.Seed = seed
+			opts.ObsDirected = obsDirected
+			opts.ObsSamples = int(obsSamples) + 1
+			opts.FillTrials = int(fillTrials) + 1
+			opts.MuxMask = make([]bool, c.NumFFs())
+			for fi := range opts.MuxMask {
+				opts.MuxMask[fi] = muxMask>>(uint(fi)%8)&1 == 1
+			}
+			return opts
+		}
+		ref, err := Build(c, mk(MCScalar))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Build(c, mk(MCPacked))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if field := solutionsIdentical(ref, got); field != "" {
+			t.Fatalf("seed=%d mux=%x obs=%v samples=%d trials=%d: %s differs",
+				seed, muxMask, obsDirected, int(obsSamples)+1, int(fillTrials)+1, field)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package leakage
+
+import (
+	"math/bits"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// CircuitTables3 precomputes, for every gate of the frozen circuit, its
+// X-averaged leakage table: entry xmask<<k | bits (k = the gate's arity)
+// holds the expected leakage when the inputs flagged in xmask are X and
+// the remaining inputs carry the binary pattern bits (bits must be clear
+// at X positions). Entries with bits overlapping xmask are unused.
+//
+// Every entry is built by the exact refinement enumeration GateLeak
+// performs — same visit order, same division — so a lookup is bit-for-bit
+// the float GateLeak would return for the same three-valued pattern. That
+// makes the table the fast path of the minimum-leakage fill: the scalar
+// backend replaces one map lookup plus a 2^nX enumeration per gate per
+// trial with a single indexed load, and the packed backend resolves whole
+// 64-trial words against it, both without drifting from the reference
+// accumulation by even an ulp.
+func (m *Model) CircuitTables3(c *netlist.Circuit) [][]float64 {
+	type key = tableKey
+	cache := make(map[key][]float64)
+	tabs3 := make([][]float64, c.NumGates())
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		k := key{g.Type, len(g.Inputs)}
+		avg, ok := cache[k]
+		if !ok {
+			avg = m.buildTable3(g.Type, len(g.Inputs))
+			cache[k] = avg
+		}
+		tabs3[gi] = avg
+	}
+	return tabs3
+}
+
+// buildTable3 assembles the X-averaged table for one cell, replicating
+// GateLeak's enumeration (ascending refinement mask, X positions scattered
+// in ascending input order) so every entry is bit-identical to it.
+func (m *Model) buildTable3(t logic.GateType, arity int) []float64 {
+	tab, ok := m.tables[tableKey{t, arity}]
+	if !ok {
+		m.buildTable(t, arity)
+		tab = m.tables[tableKey{t, arity}]
+	}
+	size := 1 << uint(arity)
+	avg := make([]float64, size*size)
+	var xPos []int
+	for xmask := 0; xmask < size; xmask++ {
+		xPos = xPos[:0]
+		for i := 0; i < arity; i++ {
+			if xmask>>i&1 == 1 {
+				xPos = append(xPos, i)
+			}
+		}
+		for base := 0; base < size; base++ {
+			if base&xmask != 0 {
+				continue
+			}
+			sum := 0.0
+			count := 0
+			for mask := 0; mask < 1<<uint(len(xPos)); mask++ {
+				bits := base
+				for j, p := range xPos {
+					if mask>>j&1 == 1 {
+						bits |= 1 << uint(p)
+					}
+				}
+				sum += tab[bits]
+				count++
+			}
+			avg[xmask<<uint(arity)|base] = sum / float64(count)
+		}
+	}
+	return avg
+}
+
+// CircuitLeakTabs3 is CircuitLeak using tables from CircuitTables3: the
+// same expected total leakage under a three-valued per-net state, summed
+// in the same gate order, bit-identical to the reference — minus the
+// per-gate map lookup and refinement enumeration.
+func (m *Model) CircuitLeakTabs3(c *netlist.Circuit, state []logic.Value, tabs3 [][]float64) float64 {
+	total := 0.0
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		k := uint(len(g.Inputs))
+		bits, xmask := 0, 0
+		for i, in := range g.Inputs {
+			switch state[in] {
+			case logic.One:
+				bits |= 1 << uint(i)
+			case logic.X:
+				xmask |= 1 << uint(i)
+			}
+		}
+		total += tabs3[gi][xmask<<k|bits]
+	}
+	return total
+}
+
+// AccumLeak3Packed is AccumLeakPacked for the dual-rail three-valued lane
+// layout of sim.Packed3: v[n]/x[n] carry net n's packed value/unknown
+// bits, and cyc[t] receives the X-averaged leakage sum of lane t over all
+// gates, for t < n, using tables from CircuitTables3.
+//
+// As with AccumLeakPacked, the accumulation order is load-bearing: each
+// cyc[t] is built in ascending gate-index order — exactly the order
+// CircuitLeak (and CircuitLeakTabs3) sums one scalar state — so per-lane
+// totals are bit-identical to the serial evaluation of the same
+// three-valued state.
+func (m *Model) AccumLeak3Packed(c *netlist.Circuit, v, x []uint64, n int, tabs3 [][]float64, cyc []float64) {
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		tab := tabs3[gi]
+		switch len(g.Inputs) {
+		case 1:
+			av := v[g.Inputs[0]]
+			ax := x[g.Inputs[0]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[ax&1<<1|av&1]
+				av >>= 1
+				ax >>= 1
+			}
+		case 2:
+			av, ax := v[g.Inputs[0]], x[g.Inputs[0]]
+			bv, bx := v[g.Inputs[1]], x[g.Inputs[1]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[(ax&1|bx&1<<1)<<2|av&1|bv&1<<1]
+				av >>= 1
+				ax >>= 1
+				bv >>= 1
+				bx >>= 1
+			}
+		case 3:
+			av, ax := v[g.Inputs[0]], x[g.Inputs[0]]
+			bv, bx := v[g.Inputs[1]], x[g.Inputs[1]]
+			dv, dx := v[g.Inputs[2]], x[g.Inputs[2]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[(ax&1|bx&1<<1|dx&1<<2)<<3|av&1|bv&1<<1|dv&1<<2]
+				av >>= 1
+				ax >>= 1
+				bv >>= 1
+				bx >>= 1
+				dv >>= 1
+				dx >>= 1
+			}
+		default:
+			k := uint(len(g.Inputs))
+			for t := 0; t < n; t++ {
+				bits, xmask := 0, 0
+				for i, in := range g.Inputs {
+					bits |= int(v[in]>>uint(t)&1) << uint(i)
+					xmask |= int(x[in]>>uint(t)&1) << uint(i)
+				}
+				cyc[t] += tab[xmask<<k|bits]
+			}
+		}
+	}
+}
+
+// AccumLineLeakPacked folds one packed batch into the per-line
+// conditional-leakage accumulators of the observability estimate:
+// words[n] carries net n's binary value in bit t for lane t (the layout
+// of sim.Packed), cyc[t] the total circuit leakage of lane t, and for
+// every net the lanes where it carried 1 add cyc[t] to sum1[n] and bump
+// cnt1[n], for t < n only.
+//
+// Per net, lanes are visited in ascending order — the order the scalar
+// estimator adds samples — so sum1 stays bit-identical to the serial
+// Monte-Carlo accumulation when callers feed batches in sample order.
+func AccumLineLeakPacked(words []uint64, n int, cyc []float64, sum1 []float64, cnt1 []int) {
+	valid := ^uint64(0)
+	if n < 64 {
+		valid = 1<<uint(n) - 1
+	}
+	for ni := range words {
+		w := words[ni] & valid
+		if w == 0 {
+			continue
+		}
+		s := sum1[ni]
+		for m := w; m != 0; m &= m - 1 {
+			s += cyc[bits.TrailingZeros64(m)]
+		}
+		sum1[ni] = s
+		cnt1[ni] += bits.OnesCount64(w)
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/iscas"
+	"repro/internal/leakage"
+)
+
+// BenchmarkObsKernels compares the scalar and 64-way packed observability
+// estimators on s1423 (657 gates, 74 FFs) at Table-I-scale sample counts.
+// Feeds `make bench-mc`; the acceptance bar is packed >= 5x scalar at
+// >= 1024 samples.
+func BenchmarkObsKernels(b *testing.B) {
+	p, ok := iscas.ByName("s1423")
+	if !ok {
+		b.Fatal("no s1423 profile")
+	}
+	c, err := iscas.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lm := leakage.Default()
+	for _, samples := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("scalar/s1423/n%d", samples), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EstimateObserved(context.Background(), c, lm, samples,
+					rand.New(rand.NewSource(1)), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("packed/s1423/n%d", samples), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EstimatePacked(context.Background(), c, lm, samples,
+					rand.New(rand.NewSource(1)), PackedOpts{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@
 package obs
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/leakage"
@@ -42,21 +43,29 @@ type Observability struct {
 }
 
 // Estimate computes observabilities for the frozen circuit c with the
-// given leakage model, using `samples` random vectors from rng.
+// given leakage model, using `samples` random vectors from rng. It is the
+// uncancellable convenience form of EstimateObserved.
 func Estimate(c *netlist.Circuit, lm *leakage.Model, samples int, rng *rand.Rand) *Observability {
-	return EstimateObserved(c, lm, samples, rng, nil)
+	o, _ := EstimateObserved(context.Background(), c, lm, samples, rng, nil)
+	return o
 }
 
-// obsBatch is how many Monte-Carlo vectors run between onSamples calls —
-// frequent enough for a live samples/sec gauge, rare enough to be free.
+// obsBatch is how many Monte-Carlo vectors run between onSamples calls
+// and context checks — frequent enough for a live samples/sec gauge and a
+// prompt deadline abort, rare enough to be free.
 const obsBatch = 32
 
-// EstimateObserved is Estimate with progress telemetry: onSamples (when
+// EstimateObserved is Estimate with cancellation and progress telemetry:
+// ctx is checked every obsBatch vectors, so a job deadline aborts the
+// estimate mid-run with ctx's error instead of after it; onSamples (when
 // non-nil) receives the number of vectors simulated since its previous
 // call, every obsBatch vectors and once at the end. A nil onSamples adds
 // no work.
-func EstimateObserved(c *netlist.Circuit, lm *leakage.Model, samples int, rng *rand.Rand,
-	onSamples func(n int)) *Observability {
+//
+// This is the scalar reference kernel: EstimatePacked reproduces its
+// results bit for bit and is the default in the flow.
+func EstimateObserved(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, samples int,
+	rng *rand.Rand, onSamples func(n int)) (*Observability, error) {
 
 	if samples <= 0 {
 		samples = 128
@@ -82,16 +91,26 @@ func EstimateObserved(c *netlist.Circuit, lm *leakage.Model, samples int, rng *r
 				cnt1[n]++
 			}
 		}
-		if onSamples != nil {
-			if unreported++; unreported == obsBatch {
+		if unreported++; unreported == obsBatch {
+			if onSamples != nil {
 				onSamples(unreported)
-				unreported = 0
+			}
+			unreported = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 		}
 	}
 	if onSamples != nil && unreported > 0 {
 		onSamples(unreported)
 	}
+	return finish(nNets, samples, sumAll, sum1, cnt1), nil
+}
+
+// finish turns the raw conditional accumulators into an Observability —
+// shared by the scalar and packed kernels so the estimate is a pure
+// function of (sumAll, sum1, cnt1), whichever kernel produced them.
+func finish(nNets, samples int, sumAll float64, sum1 []float64, cnt1 []int) *Observability {
 	o := &Observability{
 		Lobs:    make([]float64, nNets),
 		Mean:    sumAll / float64(samples),

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -186,10 +187,14 @@ func TestEstimateObservedBatches(t *testing.T) {
 	const samples = 100 // 3 full batches of 32 + remainder 4
 	var got []int
 	total := 0
-	o := EstimateObserved(c, lm, samples, rand.New(rand.NewSource(7)), func(n int) {
-		got = append(got, n)
-		total += n
-	})
+	o, err := EstimateObserved(context.Background(), c, lm, samples, rand.New(rand.NewSource(7)),
+		func(n int) {
+			got = append(got, n)
+			total += n
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if total != samples {
 		t.Errorf("callback accounted %d vectors, want %d", total, samples)
 	}

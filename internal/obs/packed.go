@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/leakage"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// PackedOpts tunes EstimatePacked. The zero value is a good default.
+type PackedOpts struct {
+	// Workers bounds the evaluation pool; values < 1 mean GOMAXPROCS.
+	Workers int
+	// OnSamples, when non-nil, receives the number of vectors folded into
+	// the estimate since its previous call — once per 64-lane batch, from
+	// the reducing goroutine, so it need not be safe for concurrent use.
+	OnSamples func(n int)
+	// OnBatch, when non-nil, fires once per packed batch with its lane
+	// count and evaluation wall time, also from the reducing goroutine.
+	// It feeds the telemetry layer's mc-batch spans and lane counters.
+	OnBatch func(lanes int, elapsed time.Duration)
+}
+
+// EstimatePacked is EstimateObserved on the 64-way bit-parallel simulator:
+// 64 random vectors pack into one lane word per net, the combinational
+// core evaluates once per batch, per-lane leakage comes from
+// leakage.AccumLeakPacked, and the per-line conditional accumulators fold
+// through leakage.AccumLineLeakPacked. Batches are sharded across a
+// worker pool.
+//
+// The result is bit-identical to the scalar kernel for the same rng, not
+// merely statistically equivalent — and therefore seed-stable: the random
+// stream is drawn in the exact serial sample order before packing (so the
+// rng ends in the same state the scalar kernel leaves it in), each lane's
+// leakage is summed in the scalar gate order, and the reducer folds
+// batches in ascending sample order on a single goroutine. Workers only
+// ever evaluate; they never touch the global accumulators.
+//
+// ctx is checked before every batch is drawn and before every fold, so a
+// job deadline aborts the estimate promptly with ctx's error.
+func EstimatePacked(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, samples int,
+	rng *rand.Rand, opts PackedOpts) (*Observability, error) {
+
+	if samples <= 0 {
+		samples = 128
+	}
+	nNets := c.NumNets()
+	sum1 := make([]float64, nNets)
+	cnt1 := make([]int, nNets)
+	sumAll := 0.0
+
+	nBatches := (samples + sim.PackedLanes - 1) / sim.PackedLanes
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nBatches {
+		workers = nBatches
+	}
+
+	// The per-gate tables are resolved once, before the pool starts, so
+	// the workers share them read-only.
+	leakTabs := lm.CircuitTables(c)
+
+	// slot is one in-flight batch: inputs drawn serially on the main
+	// goroutine, evaluated by a worker, folded in order by the reducer.
+	type slot struct {
+		pi, ppi []uint64  // packed input lanes
+		n       int       // lanes carried (== PackedLanes except the tail)
+		words   []uint64  // per-net lane words after evaluation
+		cyc     []float64 // per-lane circuit leakage
+		elapsed time.Duration
+	}
+	// A bounded window of reusable slots keeps memory flat however many
+	// samples are requested: draw a window serially, evaluate it in
+	// parallel, fold it in order, repeat.
+	window := workers * 4
+	if window > nBatches {
+		window = nBatches
+	}
+	slots := make([]*slot, window)
+	for i := range slots {
+		slots[i] = &slot{
+			pi:    make([]uint64, len(c.PIs)),
+			ppi:   make([]uint64, c.NumFFs()),
+			words: make([]uint64, nNets),
+			cyc:   make([]float64, sim.PackedLanes),
+		}
+	}
+	sims := make([]*sim.Packed, workers)
+	for i := range sims {
+		sims[i] = sim.NewPacked(c)
+	}
+
+	pi := make([]bool, len(c.PIs))
+	ppi := make([]bool, c.NumFFs())
+	drawn := 0 // samples drawn so far
+	for start := 0; start < nBatches; start += window {
+		end := start + window
+		if end > nBatches {
+			end = nBatches
+		}
+		live := end - start
+
+		// Draw this window's random stream in the exact serial order the
+		// scalar kernel consumes it: per sample, PI vector then PPI
+		// vector, packed as lane (sample mod 64) of its batch.
+		for bi := 0; bi < live; bi++ {
+			s := slots[bi]
+			for i := range s.pi {
+				s.pi[i] = 0
+			}
+			for i := range s.ppi {
+				s.ppi[i] = 0
+			}
+			n := samples - drawn
+			if n > sim.PackedLanes {
+				n = sim.PackedLanes
+			}
+			s.n = n
+			for t := 0; t < n; t++ {
+				sim.RandomVector(rng, pi)
+				sim.RandomVector(rng, ppi)
+				bit := uint64(1) << uint(t)
+				for i, v := range pi {
+					if v {
+						s.pi[i] |= bit
+					}
+				}
+				for i, v := range ppi {
+					if v {
+						s.ppi[i] |= bit
+					}
+				}
+			}
+			drawn += n
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		// Evaluate the window's batches across the pool.
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(ps *sim.Packed) {
+				defer wg.Done()
+				for bi := range next {
+					s := slots[bi]
+					t0 := time.Now()
+					words := ps.Eval(s.pi, s.ppi)
+					copy(s.words, words)
+					for t := 0; t < s.n; t++ {
+						s.cyc[t] = 0
+					}
+					lm.AccumLeakPacked(c, s.words, s.n, leakTabs, s.cyc)
+					s.elapsed = time.Since(t0)
+				}
+			}(sims[w])
+		}
+		for bi := 0; bi < live; bi++ {
+			next <- bi
+		}
+		close(next)
+		wg.Wait()
+
+		// Fold in ascending batch order — the scalar sample order.
+		for bi := 0; bi < live; bi++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			s := slots[bi]
+			for t := 0; t < s.n; t++ {
+				sumAll += s.cyc[t]
+			}
+			leakage.AccumLineLeakPacked(s.words, s.n, s.cyc, sum1, cnt1)
+			if opts.OnSamples != nil {
+				opts.OnSamples(s.n)
+			}
+			if opts.OnBatch != nil {
+				opts.OnBatch(s.n, s.elapsed)
+			}
+		}
+	}
+	return finish(nNets, samples, sumAll, sum1, cnt1), nil
+}

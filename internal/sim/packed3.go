@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Packed3 evaluates the combinational core of a frozen circuit in
+// three-valued logic, 64 lanes at a time, using a dual-rail encoding: net
+// n carries two uint64 words, v[n] and x[n]. Bit t of x[n] set means the
+// net is X (unknown) in lane t; otherwise bit t of v[n] is its binary
+// value. The encoding is normalized — v bits are always clear where the
+// matching x bit is set — and every gate operation preserves that
+// invariant.
+//
+// Bit t of every output (v, x) pair equals exactly what logic.Eval would
+// compute for the scalar three-valued inputs at bit t, including the
+// optimistic rules (a controlling value forces the output through X side
+// inputs; MUX2 with an X select still resolves when both data inputs
+// agree on a binary value). The packed minimum-leakage fill rides on this
+// to evaluate 64 candidate completions per topological pass while free
+// pseudo-inputs stay X.
+type Packed3 struct {
+	c *netlist.Circuit
+}
+
+// NewPacked3 returns a packed three-valued evaluator bound to the frozen
+// circuit c. It holds no lane state — EvalNets works in caller-owned
+// word slices — so one instance may be shared across goroutines.
+func NewPacked3(c *netlist.Circuit) *Packed3 {
+	if !c.Frozen() {
+		panic("sim: circuit must be frozen")
+	}
+	return &Packed3{c: c}
+}
+
+// Circuit returns the evaluated circuit.
+func (p *Packed3) Circuit() *netlist.Circuit { return p.c }
+
+// EvalNets evaluates the combinational core from an arbitrary per-net
+// lane assignment: the caller must set (v[n], x[n]) for every PI and
+// pseudo-input net n — normalized, v&x == 0 — and every gate-output entry
+// is recomputed in place in topological order. v and x must both have
+// length NumNets.
+func (p *Packed3) EvalNets(v, x []uint64) {
+	c := p.c
+	if len(v) != c.NumNets() || len(x) != c.NumNets() {
+		panic("sim: packed3 EvalNets length mismatch")
+	}
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		ins := g.Inputs
+		var ov, ox uint64
+		switch g.Type {
+		case logic.Buf:
+			ov, ox = v[ins[0]], x[ins[0]]
+		case logic.Not:
+			ox = x[ins[0]]
+			ov = ^v[ins[0]] &^ ox
+		case logic.And, logic.Nand:
+			// one: every input known 1. zero: some input known 0.
+			one := v[ins[0]]
+			zero := ^x[ins[0]] &^ v[ins[0]]
+			for _, in := range ins[1:] {
+				one &= v[in]
+				zero |= ^x[in] &^ v[in]
+			}
+			if g.Type == logic.And {
+				ov = one
+			} else {
+				ov = zero
+			}
+			ox = ^(one | zero)
+		case logic.Or, logic.Nor:
+			// one: some input known 1. zero: every input known 0.
+			one := v[ins[0]]
+			zero := ^x[ins[0]] &^ v[ins[0]]
+			for _, in := range ins[1:] {
+				one |= v[in]
+				zero &= ^x[in] &^ v[in]
+			}
+			if g.Type == logic.Or {
+				ov = one
+			} else {
+				ov = zero
+			}
+			ox = ^(one | zero)
+		case logic.Xor, logic.Xnor:
+			// Known only where every input is known (no optimistic rule).
+			known := ^x[ins[0]]
+			s := v[ins[0]]
+			for _, in := range ins[1:] {
+				known &= ^x[in]
+				s ^= v[in]
+			}
+			if g.Type == logic.Xor {
+				ov = s & known
+			} else {
+				ov = ^s & known
+			}
+			ox = ^known
+		case logic.Mux2:
+			d0v, d0x := v[ins[0]], x[ins[0]]
+			d1v, d1x := v[ins[1]], x[ins[1]]
+			sv, sx := v[ins[2]], x[ins[2]]
+			m1 := ^sx & sv  // select known 1: pass d1
+			m0 := ^sx &^ sv // select known 0: pass d0
+			// Select X: the output is still binary where both data inputs
+			// are known and agree (logic.Eval's d0 == d1 rule).
+			agree := ^d0x & ^d1x &^ (d0v ^ d1v)
+			ov = m1&d1v | m0&d0v | sx&agree&d0v
+			ox = m1&d1x | m0&d0x | sx&^agree
+		default:
+			panic("sim: packed3 EvalNets on unknown gate type " + g.Type.String())
+		}
+		v[g.Output] = ov
+		x[g.Output] = ox
+	}
+}
+
+// PackValue sets lane t of the (v, x) pair for one net to the three-valued
+// value val, keeping the encoding normalized.
+func PackValue(v, x *uint64, t int, val logic.Value) {
+	bit := uint64(1) << uint(t)
+	switch val {
+	case logic.One:
+		*v |= bit
+		*x &^= bit
+	case logic.Zero:
+		*v &^= bit
+		*x &^= bit
+	default:
+		*v &^= bit
+		*x |= bit
+	}
+}
+
+// UnpackValue reads lane t of a (v, x) pair back as a three-valued value.
+func UnpackValue(v, x uint64, t int) logic.Value {
+	bit := uint64(1) << uint(t)
+	if x&bit != 0 {
+		return logic.X
+	}
+	if v&bit != 0 {
+		return logic.One
+	}
+	return logic.Zero
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// randomCircuit3 builds a small random frozen circuit covering every gate
+// type, for differential testing of the packed three-valued evaluator.
+func randomCircuit3(rng *rand.Rand) *netlist.Circuit {
+	c := netlist.New("p3fuzz")
+	nPI := 1 + rng.Intn(4)
+	nFF := 1 + rng.Intn(3)
+	var nets []string
+	for i := 0; i < nPI; i++ {
+		name := "pi" + string(rune('a'+i))
+		c.AddPI(name)
+		nets = append(nets, name)
+	}
+	for i := 0; i < nFF; i++ {
+		nets = append(nets, "q"+string(rune('a'+i)))
+	}
+	types := []logic.GateType{logic.Not, logic.Buf, logic.And, logic.Nand,
+		logic.Or, logic.Nor, logic.Xor, logic.Xnor, logic.Mux2}
+	nGates := 4 + rng.Intn(24)
+	var driven []string
+	for i := 0; i < nGates; i++ {
+		tpe := types[rng.Intn(len(types))]
+		arity := 2 + rng.Intn(3)
+		switch tpe {
+		case logic.Not, logic.Buf:
+			arity = 1
+		case logic.Mux2:
+			arity = 3
+		}
+		ins := make([]string, arity)
+		for j := range ins {
+			ins[j] = nets[rng.Intn(len(nets))]
+		}
+		out := "g" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+		c.AddGate(tpe, out, ins...)
+		nets = append(nets, out)
+		driven = append(driven, out)
+	}
+	for i := 0; i < nFF; i++ {
+		c.AddFF("f"+string(rune('a'+i)), "q"+string(rune('a'+i)), driven[rng.Intn(len(driven))])
+	}
+	c.MarkPO(driven[len(driven)-1])
+	c.MustFreeze()
+	return c
+}
+
+// TestPacked3MatchesEval3 drives random circuits with 64 random
+// three-valued input lanes and requires every lane of every net to match
+// the scalar three-valued simulator exactly.
+func TestPacked3MatchesEval3(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 60; iter++ {
+		c := randomCircuit3(rng)
+		p3 := NewPacked3(c)
+		s := New(c)
+		nNets := c.NumNets()
+		v := make([]uint64, nNets)
+		x := make([]uint64, nNets)
+		lanes := make([][]logic.Value, PackedLanes)
+		pi := make([]logic.Value, len(c.PIs))
+		ppi := make([]logic.Value, c.NumFFs())
+		for tl := 0; tl < PackedLanes; tl++ {
+			for i, n := range c.PIs {
+				pi[i] = logic.Value(rng.Intn(3))
+				PackValue(&v[n], &x[n], tl, pi[i])
+			}
+			for i, ff := range c.FFs {
+				ppi[i] = logic.Value(rng.Intn(3))
+				PackValue(&v[ff.Q], &x[ff.Q], tl, ppi[i])
+			}
+			lanes[tl] = append([]logic.Value(nil), s.Eval3(pi, ppi)...)
+		}
+		p3.EvalNets(v, x)
+		for n := 0; n < nNets; n++ {
+			if v[n]&x[n] != 0 {
+				t.Fatalf("iter %d: net %s not normalized: v=%x x=%x",
+					iter, c.Nets[n].Name, v[n], x[n])
+			}
+			for tl := 0; tl < PackedLanes; tl++ {
+				got := UnpackValue(v[n], x[n], tl)
+				if want := lanes[tl][n]; got != want {
+					t.Fatalf("iter %d: net %s lane %d = %v, want %v",
+						iter, c.Nets[n].Name, tl, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPacked3BinaryLanesMatchPacked pins the degenerate case: with no X
+// anywhere the three-valued packed evaluator must agree with the binary
+// packed simulator word for word.
+func TestPacked3BinaryLanesMatchPacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := randomCircuit3(rng)
+	p3 := NewPacked3(c)
+	p2 := NewPacked(c)
+	nNets := c.NumNets()
+	v := make([]uint64, nNets)
+	x := make([]uint64, nNets)
+	piW := make([]uint64, len(c.PIs))
+	ppiW := make([]uint64, c.NumFFs())
+	for i, n := range c.PIs {
+		piW[i] = rng.Uint64()
+		v[n] = piW[i]
+	}
+	for i, ff := range c.FFs {
+		ppiW[i] = rng.Uint64()
+		v[ff.Q] = ppiW[i]
+	}
+	words := p2.Eval(piW, ppiW)
+	p3.EvalNets(v, x)
+	for n := 0; n < nNets; n++ {
+		if x[n] != 0 {
+			t.Fatalf("net %s turned X with binary inputs", c.Nets[n].Name)
+		}
+		if v[n] != words[n] {
+			t.Fatalf("net %s: packed3 %x vs packed %x", c.Nets[n].Name, v[n], words[n])
+		}
+	}
+}
+
+func TestPacked3PanicsOnBadInput(t *testing.T) {
+	c := netlist.New("tiny")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "o", "a")
+	c.MarkPO("o")
+	c.MustFreeze()
+	p3 := NewPacked3(c)
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch not rejected")
+		}
+	}()
+	p3.EvalNets(make([]uint64, 1), make([]uint64, c.NumNets()))
+}

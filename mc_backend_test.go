@@ -1,0 +1,109 @@
+package scanpower
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestMCBackendRowEquivalence: the packed and scalar Monte-Carlo backends
+// must produce byte-identical Table I rows — same solutions, same
+// measured powers — for the same configuration. This is the seed-
+// stability contract at the outermost layer of the API.
+func TestMCBackendRowEquivalence(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[MCBackend]*Comparison{}
+	for _, backend := range MCBackends() {
+		cfg := DefaultConfig()
+		cfg.MC = backend
+		cmp, err := Compare(context.Background(), c, cfg)
+		if err != nil {
+			t.Fatalf("%q: %v", backend, err)
+		}
+		rows[backend] = cmp
+	}
+	packed, scalar := rows[MCPacked], rows[MCScalar]
+	if packed.Row() != scalar.Row() {
+		t.Errorf("Table I rows differ across MC backends:\npacked: %s\nscalar: %s",
+			packed.Row(), scalar.Row())
+	}
+	if packed.ProposedStats != scalar.ProposedStats {
+		t.Errorf("proposed stats differ: %+v vs %+v",
+			packed.ProposedStats, scalar.ProposedStats)
+	}
+	if packed.InputControlStats != scalar.InputControlStats {
+		t.Errorf("input-control stats differ: %+v vs %+v",
+			packed.InputControlStats, scalar.InputControlStats)
+	}
+}
+
+func TestMCBackendsList(t *testing.T) {
+	if len(MCBackends()) != 2 {
+		t.Fatalf("MCBackends = %v, want packed and scalar", MCBackends())
+	}
+	cfg := DefaultConfig()
+	if cfg.MC != MCPacked {
+		t.Errorf("DefaultConfig MC backend = %q, want %q", cfg.MC, MCPacked)
+	}
+}
+
+func TestCompareRejectsUnknownMCBackend(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MC = "simd" // not a backend
+	if _, err := Compare(context.Background(), c, cfg); err == nil {
+		t.Fatal("Compare accepted an unknown MC backend")
+	}
+}
+
+// TestRecorderMCBatches: a run on the default (packed) MC backend must
+// surface the Monte-Carlo kernels in telemetry — a live lane counter and
+// per-batch "mc-batch" spans tagged with their kind, nested under the
+// structure-build stages.
+func TestRecorderMCBatches(t *testing.T) {
+	_, reg, traceBuf := runWithRecorder(t, []string{"s344"}, 1)
+
+	snap := reg.Snapshot()
+	if snap[MetricMCLanes] <= 0 {
+		t.Errorf("metric %s = %v, want > 0", MetricMCLanes, snap[MetricMCLanes])
+	}
+
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(traceBuf.Bytes()))
+	for sc.Scan() {
+		var ev struct {
+			Name  string `json:"name"`
+			Attrs struct {
+				Kind  string `json:"kind"`
+				Lanes int    `json:"lanes"`
+			} `json:"attrs"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue
+		}
+		if ev.Name != "mc-batch" || ev.Attrs.Kind == "" {
+			continue
+		}
+		if ev.Attrs.Lanes < 1 || ev.Attrs.Lanes > 64 {
+			t.Errorf("mc-batch span carries %d lanes", ev.Attrs.Lanes)
+		}
+		kinds[ev.Attrs.Kind]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if kinds["obs"] == 0 {
+		t.Error("no obs mc-batch spans in trace")
+	}
+	if kinds["fill"] == 0 {
+		t.Error("no fill mc-batch spans in trace")
+	}
+}

@@ -98,6 +98,28 @@ func MeasureBackends() []MeasureBackend {
 	return []MeasureBackend{MeasurePacked, MeasureFast, MeasureDense}
 }
 
+// MCBackend selects the Monte-Carlo kernel backend used inside the
+// structure builds — the leakage-observability estimate and the
+// minimum-leakage don't-care fill. Both backends are bit-identical for
+// the same seeds (the packed kernels draw the scalar random stream and
+// fold in the scalar accumulation order), so like Config.Measure this is
+// purely a performance/debugging knob: Table I rows do not change with
+// it.
+type MCBackend string
+
+const (
+	// MCPacked runs both Monte-Carlo loops on the 64-way bit-parallel
+	// simulators across a worker pool — the default.
+	MCPacked MCBackend = "packed"
+	// MCScalar runs the serial reference kernels (one vector at a time).
+	MCScalar MCBackend = "scalar"
+)
+
+// MCBackends lists the valid Config.MC values.
+func MCBackends() []MCBackend {
+	return []MCBackend{MCPacked, MCScalar}
+}
+
 // Config bundles every model and tuning knob of the experiment. The zero
 // value is not usable; start from DefaultConfig.
 type Config struct {
@@ -110,6 +132,11 @@ type Config struct {
 	// bit-identical Reports, so this is purely a performance/debugging
 	// knob.
 	Measure MeasureBackend
+	// MC selects the Monte-Carlo kernel backend of the structure builds;
+	// the zero value keeps whatever Proposed.MC / InputControl.MC say
+	// (which itself defaults to packed), a non-zero value overrides both.
+	// All backends produce bit-identical solutions.
+	MC MCBackend
 	// Proposed and InputControl configure the two engineered structures.
 	Proposed     core.Options
 	InputControl core.Options
@@ -133,6 +160,7 @@ func DefaultConfig() Config {
 		ATPG:         atpg.DefaultOptions(),
 		ScaleATPG:    true,
 		Measure:      MeasurePacked,
+		MC:           MCPacked,
 		Proposed:     prop,
 		InputControl: ic,
 		Leak:         leak,
@@ -252,6 +280,9 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 	if err := stage(StageInputControl, func() error {
 		icOpts := cfg.InputControl
 		icOpts.Observe = hooks.coreObserver(c.Name, StageInputControl)
+		if cfg.MC != "" {
+			icOpts.MC = core.MCBackend(cfg.MC)
+		}
 		icSol, err := core.BuildContext(ctx, c, icOpts)
 		if err != nil {
 			return fmt.Errorf("scanpower: input-control build: %w", err)
@@ -269,6 +300,9 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 	if err := stage(StageProposed, func() error {
 		propOpts := cfg.Proposed
 		propOpts.Observe = hooks.coreObserver(c.Name, StageProposed)
+		if cfg.MC != "" {
+			propOpts.MC = core.MCBackend(cfg.MC)
+		}
 		var err error
 		sol, err = core.BuildContext(ctx, c, propOpts)
 		if err != nil {

@@ -27,6 +27,10 @@ const (
 	// MetricPackedLanes counts scan cycles evaluated by the bit-parallel
 	// measurement kernel (64 per full batch); serial backends leave it 0.
 	MetricPackedLanes = "scanpower_power_packed_lanes_total"
+	// MetricMCLanes counts Monte-Carlo lanes (observability vectors plus
+	// fill trials) evaluated by the packed MC kernels inside the structure
+	// builds; the scalar MC backend leaves it 0.
+	MetricMCLanes = "scanpower_mc_packed_lanes_total"
 )
 
 // Recorder bridges Hooks to the telemetry substrate: it aggregates the
@@ -61,6 +65,7 @@ type Recorder struct {
 	patterns               *telemetry.Counter
 	circuitsDone           *telemetry.Counter
 	packedLanes            *telemetry.Counter
+	mcLanes                *telemetry.Counter
 
 	mu       sync.Mutex
 	circuits map[string]*circuitRecord
@@ -101,6 +106,7 @@ func NewRecorder(reg *telemetry.Registry, tw *telemetry.TraceWriter) *Recorder {
 		patterns:          reg.Counter(MetricPatterns),
 		circuitsDone:      reg.Counter(MetricCircuitsDone),
 		packedLanes:       reg.Counter(MetricPackedLanes),
+		mcLanes:           reg.Counter(MetricMCLanes),
 
 		circuits: make(map[string]*circuitRecord),
 	}
@@ -121,6 +127,7 @@ func (r *Recorder) Hooks() Hooks {
 		OnObsSamples:   r.onObsSamples,
 		OnPattern:      r.onPattern,
 		OnMeasureBatch: r.onMeasureBatch,
+		OnMCBatch:      r.onMCBatch,
 	}
 }
 
@@ -204,6 +211,26 @@ func (r *Recorder) onMeasureBatch(circuit, stage string, lanes int, elapsed time
 		parent = st[len(st)-1]
 	}
 	parent.Completed("measure-batch", elapsed, map[string]any{"stage": stage, "lanes": lanes})
+}
+
+// onMCBatch counts packed Monte-Carlo lanes and, when tracing, emits one
+// completed span per batch under the owning stage span, tagged with the
+// kernel kind ("obs" or "fill").
+func (r *Recorder) onMCBatch(circuit, stage, kind string, lanes int, elapsed time.Duration) {
+	r.mcLanes.Add(int64(lanes))
+	if r.tw == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cr := r.circuit(circuit)
+	parent := cr.span
+	if st := cr.stages[stage]; len(st) > 0 {
+		parent = st[len(st)-1]
+	}
+	parent.Completed("mc-batch", elapsed, map[string]any{
+		"stage": stage, "kind": kind, "lanes": lanes,
+	})
 }
 
 func (r *Recorder) onSubStage(circuit, stage, sub string, elapsed time.Duration, info StageInfo) {
