@@ -5,9 +5,9 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build vet test race bench bench-json telemetry-race fuzz-equiv bench-kernels bench-mc serve-smoke
+.PHONY: check build vet test race bench bench-json telemetry-race fuzz-equiv bench-kernels bench-mc serve-smoke loadsmoke bench-cluster
 
-check: vet build test race telemetry-race fuzz-equiv bench-json serve-smoke
+check: vet build test race telemetry-race fuzz-equiv bench-json serve-smoke loadsmoke
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,21 @@ telemetry-race:
 # requires a clean SIGTERM drain with a balanced span trace.
 serve-smoke:
 	$(GO) run ./scripts/servesmoke
+
+# Cluster contract against real scanpowerd processes: single-node cold
+# baseline, 3-node sharded cluster under the same load, mixed traffic
+# with one node SIGKILLed and restarted on its result store (must serve
+# a first-life result bit-identically from disk, no ATPG recompute),
+# and a clean SIGTERM drain of every node. Short traffic windows here;
+# `make bench-cluster` is the full-length run.
+loadsmoke:
+	$(GO) run ./scripts/loadsmoke -short
+
+# Full-length cluster benchmark: throughput/latency percentiles of the
+# single node vs the 3-node cluster land in BENCH_<date>_cluster.json.
+# The cold-scaling bar (>= 2x) is enforced on hosts with >= 3 CPUs.
+bench-cluster:
+	$(GO) run ./scripts/loadsmoke -out BENCH_$(DATE)_cluster.json
 
 # Short packed-vs-serial equivalence fuzz: random circuits, pattern sets
 # and shift configs through both measurement kernels (bit-equal reports),

@@ -10,12 +10,19 @@
 // the run executes; -trace writes the span tree as JSON Lines; -manifest
 // writes the machine-readable run manifest.
 //
+// -server submits the experiment to a running scanpowerd (or a
+// comma-separated cluster of them) through the typed client instead of
+// computing in-process: the job is sharded to its owning node, served
+// from the cluster's persistent result store when warm, and the same
+// comparison table is printed from the returned document.
+//
 // Usage:
 //
 //	scanpower -circuit s344          # synthetic Table I benchmark
 //	scanpower -bench path/to/x.bench # real netlist (mapped automatically)
 //	scanpower -circuit s9234 -timeout 2m -extensions
 //	scanpower -circuit s344 -listen :8080 -trace s344.jsonl -manifest s344.json
+//	scanpower -circuit s344 -server http://127.0.0.1:8344,http://127.0.0.1:8345
 package main
 
 import (
@@ -23,9 +30,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"repro"
+	"repro/client"
 	"repro/internal/atpg"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/netlist"
 	"repro/internal/power"
@@ -37,19 +49,19 @@ import (
 )
 
 func main() {
-	circuit := flag.String("circuit", "", "Table I benchmark name (e.g. s344)")
-	benchFile := flag.String("bench", "", "path to an ISCAS89 .bench file")
-	extensions := flag.Bool("extensions", false, "also run the enhanced-scan and reordering extension studies")
-	vcdPath := flag.String("vcd", "", "dump the proposed structure's scan-mode waveforms to this VCD file")
-	patFile := flag.String("patterns", "", "replay patterns from this vectors file instead of running ATPG (power section only)")
-	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
-	listen := flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
-	tracePath := flag.String("trace", "", "write the span trace as JSON Lines to this file")
-	manifestPath := flag.String("manifest", "", "write the run manifest JSON to this file")
-	measure := flag.String("measure", string(scanpower.MeasurePacked),
-		"measurement kernel: packed (bit-parallel), fast (event-driven) or dense (full re-eval)")
-	mcBackend := flag.String("mc-backend", string(scanpower.MCPacked),
-		"Monte-Carlo kernel for observability and fill: packed (64-way bit-parallel) or scalar")
+	fs := flag.CommandLine
+	circuit := fs.String("circuit", "", "Table I benchmark name (e.g. s344)")
+	benchFile := fs.String("bench", "", "path to an ISCAS89 .bench file")
+	extensions := fs.Bool("extensions", false, "also run the enhanced-scan and reordering extension studies")
+	vcdPath := fs.String("vcd", "", "dump the proposed structure's scan-mode waveforms to this VCD file")
+	patFile := fs.String("patterns", "", "replay patterns from this vectors file instead of running ATPG (power section only)")
+	timeout := cliflags.Timeout(fs, "timeout", 0, "abort the run after this duration (0 = no limit)")
+	listen := fs.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+	tracePath := fs.String("trace", "", "write the span trace as JSON Lines to this file")
+	manifestPath := fs.String("manifest", "", "write the run manifest JSON to this file")
+	measure := cliflags.Measure(fs)
+	mcBackend := cliflags.MC(fs)
+	server := fs.String("server", "", "submit to these scanpowerd base URLs (comma-separated) instead of computing in-process")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -57,6 +69,18 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *server != "" {
+		if *extensions || *vcdPath != "" || *patFile != "" {
+			fmt.Fprintln(os.Stderr, "scanpower: -extensions, -vcd and -patterns run in-process only, not with -server")
+			os.Exit(2)
+		}
+		if err := runRemote(ctx, *server, *circuit, *benchFile, *measure, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "scanpower:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var (
@@ -111,9 +135,11 @@ func main() {
 		}
 	}()
 
-	cfg := scanpower.DefaultConfig()
-	cfg.Measure = scanpower.MeasureBackend(*measure)
-	cfg.MC = scanpower.MCBackend(*mcBackend)
+	cfg, err := cliflags.BackendConfig(*measure, *mcBackend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scanpower:", err)
+		os.Exit(2)
+	}
 	// The direct core.BuildContext call below bypasses Compare's MC
 	// propagation, so mirror the choice into the per-structure options.
 	cfg.Proposed.MC = core.MCBackend(cfg.MC)
@@ -160,15 +186,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scanpower:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\npatterns     %d (%.1f%% stuck-at coverage)\n", cmp.Patterns, cmp.FaultCoverage*100)
-	fmt.Printf("%-14s %14s %12s\n", "structure", "dynamic µW/Hz", "static µW")
-	fmt.Printf("%-14s %14.3e %12.2f\n", "traditional", cmp.Traditional.DynamicPerHz, cmp.Traditional.StaticUW)
-	fmt.Printf("%-14s %14.3e %12.2f\n", "input-control", cmp.InputControl.DynamicPerHz, cmp.InputControl.StaticUW)
-	fmt.Printf("%-14s %14.3e %12.2f\n", "proposed", cmp.Proposed.DynamicPerHz, cmp.Proposed.StaticUW)
-	fmt.Printf("\nimprovement vs traditional: dynamic %.2f%%, static %.2f%%\n",
-		cmp.DynImprovementVsTraditional(), cmp.StaticImprovementVsTraditional())
-	fmt.Printf("improvement vs input-ctrl:  dynamic %.2f%%, static %.2f%%\n",
-		cmp.DynImprovementVsInputControl(), cmp.StaticImprovementVsInputControl())
+	printComparison(cmp)
 
 	if !*extensions {
 		return
@@ -192,6 +210,73 @@ func main() {
 			st.PatternsReordered.DynamicPerHz, st.ChainReordered.DynamicPerHz,
 			st.Both.DynamicPerHz, st.BestDynamicGain())
 	}
+}
+
+// printComparison renders the three-structure table — the same lines
+// whether the comparison was computed here or fetched from a daemon.
+func printComparison(cmp *scanpower.Comparison) {
+	fmt.Printf("\npatterns     %d (%.1f%% stuck-at coverage)\n", cmp.Patterns, cmp.FaultCoverage*100)
+	fmt.Printf("%-14s %14s %12s\n", "structure", "dynamic µW/Hz", "static µW")
+	fmt.Printf("%-14s %14.3e %12.2f\n", "traditional", cmp.Traditional.DynamicPerHz, cmp.Traditional.StaticUW)
+	fmt.Printf("%-14s %14.3e %12.2f\n", "input-control", cmp.InputControl.DynamicPerHz, cmp.InputControl.StaticUW)
+	fmt.Printf("%-14s %14.3e %12.2f\n", "proposed", cmp.Proposed.DynamicPerHz, cmp.Proposed.StaticUW)
+	fmt.Printf("\nimprovement vs traditional: dynamic %.2f%%, static %.2f%%\n",
+		cmp.DynImprovementVsTraditional(), cmp.StaticImprovementVsTraditional())
+	fmt.Printf("improvement vs input-ctrl:  dynamic %.2f%%, static %.2f%%\n",
+		cmp.DynImprovementVsInputControl(), cmp.StaticImprovementVsInputControl())
+}
+
+// runRemote submits the experiment to a scanpowerd cluster through the
+// typed client and prints the returned comparison.
+func runRemote(ctx context.Context, servers, circuit, benchFile, measure string, timeout time.Duration) error {
+	if _, err := cliflags.ValidateMeasure(measure); err != nil {
+		return err
+	}
+	var endpoints []string
+	for _, s := range strings.Split(servers, ",") {
+		if s = cliflags.NormalizeEndpoint(s); s != "" {
+			endpoints = append(endpoints, s)
+		}
+	}
+	cl, err := client.New(endpoints, client.Options{})
+	if err != nil {
+		return err
+	}
+
+	req := client.SubmitRequest{Measure: measure, Timeout: timeout, Wait: true}
+	switch {
+	case circuit != "" && benchFile != "":
+		return fmt.Errorf("need exactly one of -circuit or -bench")
+	case circuit != "":
+		req.Circuit = circuit
+	case benchFile != "":
+		src, err := os.ReadFile(benchFile)
+		if err != nil {
+			return err
+		}
+		req.Bench = string(src)
+		req.Name = strings.TrimSuffix(filepath.Base(benchFile), ".bench")
+	default:
+		return fmt.Errorf("need -circuit or -bench")
+	}
+
+	job, err := cl.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	if !job.Terminal() {
+		if job, err = cl.Wait(ctx, job); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "scanpower: job %s on %s (%s)\n", job.ID, job.Node, job.State)
+	cmp, _, err := cl.Result(ctx, job)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("circuit      %s (computed remotely, measure %s)\n", cmp.Circuit, job.Measure)
+	printComparison(cmp)
+	return nil
 }
 
 // loadOrGenerate returns the patterns for the power section: from the

@@ -13,7 +13,8 @@
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/jobs/{id}/result  result document
 //	GET    /v1/benchmarks        built-in circuits
-//	GET    /v1/healthz           queue stats; 503 while draining
+//	GET    /v1/healthz           queue/store stats; 503 while draining
+//	GET    /v1/cluster           membership, peer health and store status
 //	GET    /metrics              Prometheus text (plus /debug/vars, /debug/pprof)
 //
 // The queue is bounded: submits beyond -queue waiting jobs are rejected
@@ -22,10 +23,22 @@
 // -drain-timeout, then they are cancelled), so results and trace spans
 // are never truncated.
 //
+// -store-dir enables the persistent result store: completed results are
+// written to disk keyed by circuit fingerprint and measurement backend,
+// and a restarted daemon serves previously computed jobs from disk —
+// bit-identical bytes, no recompute.
+//
+// -peers (with -self) enables cluster mode: submits are sharded by
+// circuit fingerprint across the members with consistent hashing, jobs
+// owned elsewhere are forwarded, and a down peer fails over to the next
+// ring replica.
+//
 // Usage:
 //
 //	scanpowerd [-listen 127.0.0.1:8344] [-workers N] [-queue N]
 //	           [-job-timeout 0] [-max-job-timeout 10m] [-measure packed]
+//	           [-store-dir DIR] [-store-max-bytes N]
+//	           [-self URL] [-peers URL,URL]
 //	           [-trace trace.jsonl] [-manifest run.json] [-drain-timeout 30s]
 package main
 
@@ -42,36 +55,46 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cliflags"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:8344", "address to serve the API on")
-	workers := flag.Int("workers", runtime.NumCPU(), "concurrent job executors")
-	queue := flag.Int("queue", 16, "jobs allowed to wait beyond the running ones")
-	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline for requests without timeout_ms (0 = none)")
-	maxJobTimeout := flag.Duration("max-job-timeout", 10*time.Minute, "cap on client-requested deadlines (0 = no cap)")
-	measure := flag.String("measure", string(scanpower.MeasurePacked),
-		"default measurement kernel: packed (bit-parallel), fast (event-driven) or dense (full re-eval)")
-	tracePath := flag.String("trace", "", "write the span trace as JSON Lines to this file")
-	manifestPath := flag.String("manifest", "", "write a run manifest JSON to this file on shutdown")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for live jobs before cancelling them")
+	fs := flag.CommandLine
+	listen := fs.String("listen", "127.0.0.1:8344", "address to serve the API on")
+	workers := cliflags.Workers(fs, "workers", runtime.NumCPU(), "concurrent job executors")
+	queue := fs.Int("queue", 16, "jobs allowed to wait beyond the running ones")
+	jobTimeout := cliflags.Timeout(fs, "job-timeout", 0, "default per-job deadline for requests without timeout_ms (0 = none)")
+	maxJobTimeout := cliflags.Timeout(fs, "max-job-timeout", 10*time.Minute, "cap on client-requested deadlines (0 = no cap)")
+	measure := cliflags.Measure(fs)
+	self := fs.String("self", "", "this node's externally reachable base URL (e.g. http://10.0.0.1:8344); required with -peers")
+	cluster := cliflags.ClusterFlags(fs)
+	tracePath := fs.String("trace", "", "write the span trace as JSON Lines to this file")
+	manifestPath := fs.String("manifest", "", "write a run manifest JSON to this file on shutdown")
+	drainTimeout := cliflags.Timeout(fs, "drain-timeout", 30*time.Second, "how long shutdown waits for live jobs before cancelling them")
 	flag.Parse()
 
 	if err := run(*listen, *workers, *queue, *jobTimeout, *maxJobTimeout,
-		scanpower.MeasureBackend(*measure), *tracePath, *manifestPath, *drainTimeout); err != nil {
+		*measure, *self, cluster, *tracePath, *manifestPath, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "scanpowerd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Duration,
-	measure scanpower.MeasureBackend, tracePath, manifestPath string,
+	measure, self string, cluster *cliflags.Cluster, tracePath, manifestPath string,
 	drainTimeout time.Duration) error {
 
-	if !validMeasure(measure) {
-		return fmt.Errorf("unknown measure backend %q (want one of %v)", measure, scanpower.MeasureBackends())
+	backend, err := cliflags.ValidateMeasure(measure)
+	if err != nil {
+		return err
+	}
+	peers := cluster.PeerList()
+	self = cliflags.NormalizeEndpoint(self)
+	if len(peers) > 0 && self == "" {
+		return fmt.Errorf("cluster mode (-peers) needs -self, this node's own base URL")
 	}
 
 	reg := telemetry.NewRegistry()
@@ -85,8 +108,20 @@ func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Durat
 		tw = telemetry.NewTraceWriter(f)
 	}
 
+	var st *store.Store
+	if cluster.StoreDir != "" {
+		st, err = store.Open(cluster.StoreDir, store.Options{
+			MaxBytes:   cluster.StoreMaxBytes,
+			WireSchema: scanpower.ComparisonSchemaV1,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scanpowerd: result store %s (%d warm entries)\n", cluster.StoreDir, st.Len())
+	}
+
 	cfg := scanpower.DefaultConfig()
-	cfg.Measure = measure
+	cfg.Measure = backend
 	svc := service.New(service.Options{
 		Cfg:            cfg,
 		Workers:        workers,
@@ -95,6 +130,9 @@ func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Durat
 		MaxTimeout:     maxJobTimeout,
 		Registry:       reg,
 		Trace:          tw,
+		Store:          st,
+		Self:           self,
+		Peers:          peers,
 	})
 
 	ln, err := net.Listen("tcp", listen)
@@ -108,6 +146,9 @@ func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Durat
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "scanpowerd: listening on http://%s\n", ln.Addr())
+	if len(peers) > 0 {
+		fmt.Fprintf(os.Stderr, "scanpowerd: cluster member %s with peers %v\n", self, peers)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
@@ -143,13 +184,4 @@ func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Durat
 	}
 	fmt.Fprintln(os.Stderr, "scanpowerd: drained, bye")
 	return derr
-}
-
-func validMeasure(m scanpower.MeasureBackend) bool {
-	for _, b := range scanpower.MeasureBackends() {
-		if m == b {
-			return true
-		}
-	}
-	return false
 }

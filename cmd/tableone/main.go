@@ -33,22 +33,22 @@ import (
 
 	"repro"
 	"repro/internal/atpg"
+	"repro/internal/cliflags"
 	"repro/internal/telemetry"
 )
 
 func main() {
-	circuits := flag.String("circuits", "", "comma-separated circuit names (default: all twelve)")
-	markdown := flag.Bool("markdown", false, "emit a Markdown table (for EXPERIMENTS.md)")
-	workers := flag.Int("j", runtime.NumCPU(), "circuits to process in parallel (worker pool size)")
-	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
-	progress := flag.Bool("progress", false, "stream per-stage progress to stderr")
-	listen := flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
-	tracePath := flag.String("trace", "", "write the span trace as JSON Lines to this file")
-	manifestPath := flag.String("manifest", "", "write the run manifest JSON to this file")
-	measure := flag.String("measure", string(scanpower.MeasurePacked),
-		"measurement kernel: packed (bit-parallel), fast (event-driven) or dense (full re-eval)")
-	mcBackend := flag.String("mc-backend", string(scanpower.MCPacked),
-		"Monte-Carlo kernel for observability and fill: packed (64-way bit-parallel) or scalar")
+	fs := flag.CommandLine
+	circuits := fs.String("circuits", "", "comma-separated circuit names (default: all twelve)")
+	markdown := fs.Bool("markdown", false, "emit a Markdown table (for EXPERIMENTS.md)")
+	workers := cliflags.Workers(fs, "j", runtime.NumCPU(), "circuits to process in parallel (worker pool size)")
+	timeout := cliflags.Timeout(fs, "timeout", 0, "abort the whole run after this duration (0 = no limit)")
+	progress := fs.Bool("progress", false, "stream per-stage progress to stderr")
+	listen := fs.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+	tracePath := fs.String("trace", "", "write the span trace as JSON Lines to this file")
+	manifestPath := fs.String("manifest", "", "write the run manifest JSON to this file")
+	measure := cliflags.Measure(fs)
+	mcBackend := cliflags.MC(fs)
 	flag.Parse()
 
 	names := scanpower.BenchmarkNames()
@@ -88,9 +88,11 @@ func main() {
 	}
 	rec := scanpower.NewRecorder(reg, tw)
 
-	cfg := scanpower.DefaultConfig()
-	cfg.Measure = scanpower.MeasureBackend(*measure)
-	cfg.MC = scanpower.MCBackend(*mcBackend)
+	cfg, err := cliflags.BackendConfig(*measure, *mcBackend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tableone:", err)
+		os.Exit(2)
+	}
 	eng := scanpower.NewEngine(cfg)
 	eng.Workers = *workers
 	eng.Hooks = rec.Hooks()

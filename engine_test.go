@@ -197,21 +197,21 @@ func TestEngineCacheHit(t *testing.T) {
 	}
 }
 
-// TestCompareContextPreCancelled: an already-dead context must abort
-// before any work happens.
-func TestCompareContextPreCancelled(t *testing.T) {
+// TestComparePreCancelled: an already-dead context must abort before any
+// work happens.
+func TestComparePreCancelled(t *testing.T) {
 	c, err := Benchmark("s344")
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := CompareContext(ctx, c, DefaultConfig()); !errors.Is(err, context.Canceled) {
-		t.Errorf("CompareContext error = %v, want context.Canceled", err)
+	if _, err := Compare(ctx, c, DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("Compare error = %v, want context.Canceled", err)
 	}
 	var sb strings.Builder
-	if err := WriteTableContext(ctx, &sb, []string{"s344"}, DefaultConfig()); !errors.Is(err, context.Canceled) {
-		t.Errorf("WriteTableContext error = %v, want context.Canceled", err)
+	if err := WriteTable(ctx, &sb, []string{"s344"}, DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("WriteTable error = %v, want context.Canceled", err)
 	}
 }
 

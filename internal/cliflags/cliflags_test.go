@@ -1,0 +1,96 @@
+package cliflags
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestSharedFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	measure := Measure(fs)
+	mc := MC(fs)
+	workers := Workers(fs, "j", 4, "worker pool size")
+	timeout := Timeout(fs, "timeout", 0, "run deadline")
+	cluster := ClusterFlags(fs)
+
+	err := fs.Parse([]string{
+		"-measure", "dense", "-mc-backend", "scalar", "-j", "2", "-timeout", "90s",
+		"-peers", " 10.0.0.2:8344, http://10.0.0.3:8344/ ,",
+		"-store-dir", "/tmp/s", "-store-max-bytes", "1024",
+	})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if *measure != "dense" || *mc != "scalar" || *workers != 2 || *timeout != 90*time.Second {
+		t.Errorf("parsed %q %q %d %v", *measure, *mc, *workers, *timeout)
+	}
+	if cluster.StoreDir != "/tmp/s" || cluster.StoreMaxBytes != 1024 {
+		t.Errorf("cluster = %+v", cluster)
+	}
+	want := []string{"http://10.0.0.2:8344", "http://10.0.0.3:8344"}
+	if got := cluster.PeerList(); !reflect.DeepEqual(got, want) {
+		t.Errorf("PeerList = %v, want %v", got, want)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	measure := Measure(fs)
+	mc := MC(fs)
+	cluster := ClusterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *measure != string(scanpower.MeasurePacked) || *mc != string(scanpower.MCPacked) {
+		t.Errorf("defaults %q %q", *measure, *mc)
+	}
+	if cluster.PeerList() != nil {
+		t.Errorf("empty -peers parsed to %v", cluster.PeerList())
+	}
+	if cluster.StoreMaxBytes != 256<<20 {
+		t.Errorf("store cap default = %d", cluster.StoreMaxBytes)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := ValidateMeasure("quantum"); err == nil {
+		t.Error("ValidateMeasure accepted quantum")
+	}
+	if _, err := ValidateMC("gpu"); err == nil {
+		t.Error("ValidateMC accepted gpu")
+	}
+	for _, m := range scanpower.MeasureBackends() {
+		if _, err := ValidateMeasure(string(m)); err != nil {
+			t.Errorf("ValidateMeasure(%q): %v", m, err)
+		}
+	}
+	cfg, err := BackendConfig("fast", "scalar")
+	if err != nil {
+		t.Fatalf("BackendConfig: %v", err)
+	}
+	if cfg.Measure != scanpower.MeasureFast || cfg.MC != scanpower.MCScalar {
+		t.Errorf("BackendConfig applied %q %q", cfg.Measure, cfg.MC)
+	}
+	if _, err := BackendConfig("nope", "packed"); err == nil {
+		t.Error("BackendConfig accepted bad measure")
+	}
+}
+
+func TestNormalizeEndpoint(t *testing.T) {
+	cases := map[string]string{
+		"":                        "",
+		"  ":                      "",
+		"127.0.0.1:8344":          "http://127.0.0.1:8344",
+		"http://a:1/":             "http://a:1",
+		"https://b.example:443//": "https://b.example:443",
+	}
+	for in, want := range cases {
+		if got := NormalizeEndpoint(in); got != want {
+			t.Errorf("NormalizeEndpoint(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ClusterSchemaV1 tags the GET /v1/cluster response document.
+const ClusterSchemaV1 = "scanpower/cluster/v1"
+
+// ForwardedHeader marks a submit that a peer already routed. The receiver
+// always runs such a submit locally, so divergent ring views during a
+// membership change can cost one extra hop but never a forwarding loop.
+const ForwardedHeader = "X-Scanpowerd-Forwarded"
+
+const (
+	// ringVnodes is the virtual-node count per member; enough that a
+	// three-node ring splits the fingerprint space within a few percent
+	// of evenly.
+	ringVnodes = 64
+	// downCooldown is how long a peer that failed a forward is skipped
+	// before it is retried.
+	downCooldown = 3 * time.Second
+	// forwardBackoff seeds the between-replica backoff: the second
+	// replica waits this long, the third twice that, and so on.
+	forwardBackoff = 50 * time.Millisecond
+	// probeTimeout bounds each peer health probe in /v1/cluster.
+	probeTimeout = 2 * time.Second
+)
+
+// ringPoint is one virtual node's position on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// ring is a consistent-hash ring over the cluster members. Each member
+// contributes ringVnodes points; a fingerprint is owned by the first
+// point at or after its hash, wrapping. Adding or removing one member
+// moves only the keys adjacent to that member's points — the stability
+// property the store depends on, since a key that changes owner goes
+// cold on the new owner's disk.
+type ring struct {
+	points []ringPoint
+	nodes  []string // distinct members, sorted
+}
+
+func newRing(members []string) *ring {
+	seen := make(map[string]bool)
+	var nodes []string
+	for _, n := range members {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Strings(nodes)
+	r := &ring{nodes: nodes}
+	for _, n := range nodes {
+		for v := 0; v < ringVnodes; v++ {
+			h := fnv.New64a()
+			io.WriteString(h, n)
+			io.WriteString(h, "#")
+			io.WriteString(h, strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// hashFingerprint re-mixes the structural fingerprint before the ring
+// lookup so ring position does not inherit any bias in the fingerprint's
+// own bit layout.
+func hashFingerprint(fp uint64) uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], fp)
+	h := fnv.New64a()
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// route returns the distinct members in ring order starting at fp's
+// owner: route(fp)[0] owns the key, the rest are its failover successors.
+func (r *ring) route(fp uint64) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	target := hashFingerprint(fp)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= target })
+	seen := make(map[string]bool, len(r.nodes))
+	out := make([]string, 0, len(r.nodes))
+	for k := 0; k < len(r.points) && len(out) < len(r.nodes); k++ {
+		p := r.points[(i+k)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// owner returns the member that owns fp.
+func (r *ring) owner(fp uint64) string {
+	if rt := r.route(fp); len(rt) > 0 {
+		return rt[0]
+	}
+	return ""
+}
+
+// cluster is the sharding and forwarding state of one member.
+type cluster struct {
+	self string
+	ring *ring
+	// hc carries forwarded submits. Deliberately no client timeout: a
+	// wait-mode submit legitimately holds the connection for the job's
+	// whole runtime, and the request context already propagates client
+	// disconnects and deadlines.
+	hc *http.Client
+
+	mu        sync.Mutex
+	downUntil map[string]time.Time
+
+	forwarded *telemetry.Counter
+	failovers *telemetry.Counter
+}
+
+func newCluster(self string, peers []string, reg *telemetry.Registry) *cluster {
+	return &cluster{
+		self:      self,
+		ring:      newRing(append([]string{self}, peers...)),
+		hc:        &http.Client{},
+		downUntil: make(map[string]time.Time),
+		forwarded: reg.Counter(MetricForwarded),
+		failovers: reg.Counter(MetricForwardFailovers),
+	}
+}
+
+// markDown records a failed forward so the peer is skipped until the
+// cooldown lapses.
+func (cl *cluster) markDown(node string) {
+	cl.mu.Lock()
+	cl.downUntil[node] = time.Now().Add(downCooldown)
+	cl.mu.Unlock()
+}
+
+func (cl *cluster) isDown(node string) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return time.Now().Before(cl.downUntil[node])
+}
+
+// forward ships one submit body to node, tagged so the receiver runs it
+// locally.
+func (cl *cluster) forward(ctx context.Context, node string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, "1")
+	return cl.hc.Do(req)
+}
+
+// forwardSubmit routes a submit along the fingerprint's replica chain.
+// It reports true when the response has been handled — relayed from the
+// owning peer, or abandoned because the client disconnected — and false
+// when this node should run the job locally: it is the live owner, or
+// every replica ahead of it is down.
+func (s *Service) forwardSubmit(w http.ResponseWriter, r *http.Request, fp uint64, req *submitRequest) bool {
+	cl := s.cluster
+	var body []byte
+	attempt := 0
+	for _, node := range cl.ring.route(fp) {
+		if node == cl.self {
+			return false
+		}
+		if cl.isDown(node) {
+			continue
+		}
+		if body == nil {
+			b, err := json.Marshal(req)
+			if err != nil {
+				return false // degenerate; run locally
+			}
+			body = b
+		}
+		if attempt > 0 {
+			select {
+			case <-time.After(forwardBackoff << (attempt - 1)):
+			case <-r.Context().Done():
+				return true // client gone; nothing left to write
+			}
+		}
+		attempt++
+		resp, err := cl.forward(r.Context(), node, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return true
+			}
+			cl.markDown(node)
+			cl.failovers.Inc()
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// Draining or not yet serving: the next replica (possibly this
+			// node) takes the job instead of bouncing the client.
+			resp.Body.Close()
+			cl.markDown(node)
+			cl.failovers.Inc()
+			continue
+		}
+		cl.forwarded.Inc()
+		relayResponse(w, resp)
+		return true
+	}
+	return false
+}
+
+// relayResponse copies a forwarded response — status, the headers the
+// API contract uses, and the body — onto the client connection.
+func relayResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// clusterNode is one member's row in the GET /v1/cluster response.
+type clusterNode struct {
+	Node       string `json:"node"`
+	Self       bool   `json:"self,omitempty"`
+	Healthy    bool   `json:"healthy"`
+	Draining   bool   `json:"draining,omitempty"`
+	Error      string `json:"error,omitempty"`
+	QueueDepth int    `json:"queue_depth,omitempty"`
+	Inflight   int    `json:"inflight,omitempty"`
+	Jobs       int    `json:"jobs,omitempty"`
+}
+
+// storeStatus is the persistent store's block in cluster and healthz
+// responses.
+type storeStatus struct {
+	Dir       string `json:"dir,omitempty"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Puts      int64  `json:"puts"`
+	Evictions int64  `json:"evictions"`
+	Corrupt   int64  `json:"corrupt"`
+}
+
+// clusterResponse is the GET /v1/cluster body.
+type clusterResponse struct {
+	Schema string        `json:"schema"`
+	Self   string        `json:"self,omitempty"`
+	Nodes  []clusterNode `json:"nodes"`
+	Store  *storeStatus  `json:"store,omitempty"`
+}
+
+// probeClient health-checks peers for /v1/cluster; short timeout so one
+// dead peer cannot stall the whole status page.
+var probeClient = &http.Client{Timeout: probeTimeout}
+
+// probePeer asks one peer for its healthz view.
+func probePeer(ctx context.Context, node string) clusterNode {
+	out := clusterNode{Node: node}
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/healthz", nil)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	resp, err := probeClient.Do(req)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	defer resp.Body.Close()
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	out.Healthy = true
+	out.Draining = hz.Status == "draining"
+	out.QueueDepth = hz.QueueDepth
+	out.Inflight = hz.Inflight
+	out.Jobs = hz.Jobs
+	return out
+}
+
+// handleCluster serves GET /v1/cluster: this node's view of the
+// membership (self plus concurrently health-probed peers) and its
+// persistent store. Single-node deployments get a one-row membership.
+func (s *Service) handleCluster(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	selfName := s.opts.Self
+	if selfName == "" {
+		selfName = "local"
+	}
+	resp := clusterResponse{
+		Schema: ClusterSchemaV1,
+		Self:   s.opts.Self,
+		Nodes: []clusterNode{{
+			Node:       selfName,
+			Self:       true,
+			Healthy:    true,
+			Draining:   st.Draining,
+			QueueDepth: st.QueueDepth,
+			Inflight:   st.Inflight,
+			Jobs:       st.Jobs,
+		}},
+	}
+	if s.cluster != nil {
+		var peers []string
+		for _, node := range s.cluster.ring.nodes {
+			if node != s.cluster.self {
+				peers = append(peers, node)
+			}
+		}
+		rows := make([]clusterNode, len(peers))
+		var wg sync.WaitGroup
+		for i, node := range peers {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rows[i] = probePeer(r.Context(), node)
+			}()
+		}
+		wg.Wait()
+		resp.Nodes = append(resp.Nodes, rows...)
+	}
+	if s.store != nil {
+		resp.Store = &storeStatus{
+			Dir:       s.store.Dir(),
+			Entries:   st.Store.Entries,
+			Bytes:     st.Store.Bytes,
+			Hits:      st.Store.Hits,
+			Misses:    st.Store.Misses,
+			Puts:      st.Store.Puts,
+			Evictions: st.Store.Evictions,
+			Corrupt:   st.Store.Corrupt,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -26,7 +26,8 @@ const maxBenchBytes = 8 << 20
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/jobs/{id}/result  scanpower/comparison/v1 result document
 //	GET    /v1/benchmarks      built-in Table I circuits
-//	GET    /v1/healthz         queue/inflight/cache stats; 503 while draining
+//	GET    /v1/healthz         queue/inflight/cache/store stats; 503 while draining
+//	GET    /v1/cluster         membership, peer health and store status
 //
 // Errors are `{"error":{"code":..., "message":...}}` envelopes.
 func (s *Service) Handler() http.Handler {
@@ -37,6 +38,7 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}/result", s.instrument("result", s.handleResult))
 	mux.Handle("GET /v1/benchmarks", s.instrument("benchmarks", s.handleBenchmarks))
 	mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /v1/cluster", s.instrument("cluster", s.handleCluster))
 	return mux
 }
 
@@ -101,9 +103,13 @@ type submitRequest struct {
 	Wait bool `json:"wait,omitempty"`
 }
 
-// jobResponse is the wire form of a job's observable state.
+// jobResponse is the wire form of a job's observable state. Node is the
+// owning daemon's base URL (when configured): in cluster mode a submit
+// may be forwarded, and polls, cancels and result fetches for the job
+// must go to the node named here.
 type jobResponse struct {
 	ID        string `json:"id"`
+	Node      string `json:"node,omitempty"`
 	Circuit   string `json:"circuit"`
 	Measure   string `json:"measure"`
 	State     string `json:"state"`
@@ -127,6 +133,7 @@ func (s *Service) jobJSON(j *Job, coalesced bool) jobResponse {
 	snap := s.Snapshot(j)
 	resp := jobResponse{
 		ID:        snap.ID,
+		Node:      s.opts.Self,
 		Circuit:   snap.Circuit,
 		Measure:   string(effectiveMeasure(snap.Measure)),
 		State:     string(snap.State),
@@ -222,6 +229,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if s.cluster != nil && r.Header.Get(ForwardedHeader) == "" {
+		if s.forwardSubmit(w, r, c.Fingerprint(), &req) {
+			return
+		}
+	}
+
 	j, coalesced, err := s.Submit(c, scanpower.MeasureBackend(req.Measure),
 		time.Duration(req.TimeoutMS)*time.Millisecond)
 	if err != nil {
@@ -305,10 +318,17 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "job_failed", snap.Err.Error())
 	case StateDone:
 		w.Header().Set("Content-Type", "application/json")
-		b, err := json.Marshal(snap.Result)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "internal", err.Error())
-			return
+		// Serve the canonical bytes captured when the job settled (or
+		// loaded from the store): re-marshalling here would work, but
+		// keeping one byte string end to end is what makes a warm-start
+		// response provably identical to the original.
+		b := snap.Wire
+		if b == nil {
+			var err error
+			if b, err = json.Marshal(snap.Result); err != nil {
+				writeError(w, http.StatusInternalServerError, "internal", err.Error())
+				return
+			}
 		}
 		w.Write(append(b, '\n'))
 	}
@@ -325,14 +345,15 @@ func (s *Service) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 
 // healthzResponse is the GET /v1/healthz body.
 type healthzResponse struct {
-	Status        string `json:"status"`
-	QueueDepth    int    `json:"queue_depth"`
-	QueueCapacity int    `json:"queue_capacity"`
-	Inflight      int    `json:"inflight"`
-	Workers       int    `json:"workers"`
-	Jobs          int    `json:"jobs"`
-	CacheHits     int64  `json:"cache_hits"`
-	CacheMisses   int64  `json:"cache_misses"`
+	Status        string       `json:"status"`
+	QueueDepth    int          `json:"queue_depth"`
+	QueueCapacity int          `json:"queue_capacity"`
+	Inflight      int          `json:"inflight"`
+	Workers       int          `json:"workers"`
+	Jobs          int          `json:"jobs"`
+	CacheHits     int64        `json:"cache_hits"`
+	CacheMisses   int64        `json:"cache_misses"`
+	Store         *storeStatus `json:"store,omitempty"`
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -346,6 +367,18 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Jobs:          st.Jobs,
 		CacheHits:     st.CacheHits,
 		CacheMisses:   st.CacheMisses,
+	}
+	if s.store != nil {
+		resp.Store = &storeStatus{
+			Dir:       s.store.Dir(),
+			Entries:   st.Store.Entries,
+			Bytes:     st.Store.Bytes,
+			Hits:      st.Store.Hits,
+			Misses:    st.Store.Misses,
+			Puts:      st.Store.Puts,
+			Evictions: st.Store.Evictions,
+			Corrupt:   st.Store.Corrupt,
+		}
 	}
 	status := http.StatusOK
 	if st.Draining {

@@ -25,6 +25,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -34,11 +35,13 @@ import (
 
 	"repro"
 	"repro/internal/netlist"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
 // Metric families emitted by the service layer. Endpoint label values are
-// the route names: submit, job, result, cancel, benchmarks, healthz.
+// the route names: submit, job, result, cancel, benchmarks, healthz,
+// cluster.
 const (
 	MetricQueueDepth     = "scanpower_service_queue_depth" // gauge
 	MetricInflight       = "scanpower_service_inflight"    // gauge
@@ -48,6 +51,16 @@ const (
 	MetricJobsByState    = "scanpower_service_jobs_total"      // counter{state}
 	MetricRequestSeconds = "scanpower_service_request_seconds" // histogram{endpoint}
 	MetricResponses      = "scanpower_service_responses_total" // counter{endpoint,code}
+
+	// Persistent result store (PR 6): disk hits served with no Engine
+	// work, misses that fell through to compute, and entries persisted.
+	MetricStoreHits   = "scanpower_service_store_hits_total"
+	MetricStoreMisses = "scanpower_service_store_misses_total"
+	MetricStorePuts   = "scanpower_service_store_puts_total"
+	// Cluster forwarding: submits shipped to their owning peer, and
+	// failovers past an unhealthy peer to the next ring replica.
+	MetricForwarded        = "scanpower_service_forwarded_total"
+	MetricForwardFailovers = "scanpower_service_forward_failovers_total"
 )
 
 // JobState enumerates the lifecycle of a job. Terminal states are
@@ -102,6 +115,20 @@ type Options struct {
 	Trace *telemetry.TraceWriter
 	// Runner overrides job execution (nil = the shared Engine).
 	Runner Runner
+	// Store persists completed results across restarts (nil = none).
+	// Submits whose key is already stored become done jobs immediately,
+	// with the stored wire bytes served verbatim and no Engine work.
+	Store *store.Store
+	// Self is this node's externally reachable base URL (for example
+	// http://10.0.0.1:8344). Job responses carry it as the owning node so
+	// cluster clients can direct polls at the right daemon. Optional for
+	// single-node deployments; required for cluster mode.
+	Self string
+	// Peers lists the other cluster nodes' base URLs. Non-empty (with
+	// Self set) enables cluster mode: submits are consistent-hash-sharded
+	// by circuit fingerprint across Self+Peers, and non-owned submits are
+	// forwarded to their owner with failover to ring successors.
+	Peers []string
 }
 
 // jobKey identifies coalesceable submissions: the frozen circuit's
@@ -127,6 +154,7 @@ type Job struct {
 
 	state    JobState
 	result   *scanpower.Comparison
+	wire     []byte // canonical comparison/v1 bytes, set when state is done
 	err      error
 	created  time.Time
 	started  time.Time
@@ -146,6 +174,7 @@ type Snapshot struct {
 	State    JobState
 	Err      error
 	Result   *scanpower.Comparison
+	Wire     []byte // canonical comparison/v1 bytes (done jobs only)
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
@@ -176,11 +205,17 @@ type Service struct {
 	draining bool
 	stopped  bool
 
+	store   *store.Store
+	cluster *cluster
+
 	queueDepth    *telemetry.Gauge
 	inflightGauge *telemetry.Gauge
 	submitted     *telemetry.Counter
 	coalesced     *telemetry.Counter
 	rejected      *telemetry.Counter
+	storeHits     *telemetry.Counter
+	storeMisses   *telemetry.Counter
+	storePuts     *telemetry.Counter
 }
 
 // New builds the service, wires the Engine's hooks into a Recorder over
@@ -210,11 +245,19 @@ func New(opts Options) *Service {
 		byID:     make(map[string]*Job),
 		byKey:    make(map[jobKey]*Job),
 
+		store: opts.Store,
+
 		queueDepth:    opts.Registry.Gauge(MetricQueueDepth),
 		inflightGauge: opts.Registry.Gauge(MetricInflight),
 		submitted:     opts.Registry.Counter(MetricJobsSubmitted),
 		coalesced:     opts.Registry.Counter(MetricJobsCoalesced),
 		rejected:      opts.Registry.Counter(MetricJobsRejected),
+		storeHits:     opts.Registry.Counter(MetricStoreHits),
+		storeMisses:   opts.Registry.Counter(MetricStoreMisses),
+		storePuts:     opts.Registry.Counter(MetricStorePuts),
+	}
+	if len(opts.Peers) > 0 && opts.Self != "" {
+		s.cluster = newCluster(opts.Self, opts.Peers, opts.Registry)
 	}
 	s.eng.Hooks = s.rec.Hooks()
 	s.run = opts.Runner
@@ -293,6 +336,29 @@ func (s *Service) Submit(c *netlist.Circuit, measure scanpower.MeasureBackend, t
 		return j, true, nil
 	}
 
+	if s.store != nil {
+		// Disk lookup outside the lock: verification reads the entry file.
+		// The byKey miss above may be stale afterwards, so re-check before
+		// inserting — a racing identical submit coalesces as usual.
+		s.mu.Unlock()
+		wire, _, hit := s.store.Get(store.Key{Fingerprint: key.fp, Measure: string(measure)})
+		s.mu.Lock()
+		if s.draining || s.stopped {
+			return nil, false, errDraining
+		}
+		if j, ok := s.byKey[key]; ok {
+			s.coalesced.Inc()
+			return j, true, nil
+		}
+		if hit {
+			if j, ok := s.storedJobLocked(c, measure, timeout, key, wire); ok {
+				s.storeHits.Inc()
+				return j, false, nil
+			}
+		}
+		s.storeMisses.Inc()
+	}
+
 	s.seq++
 	ctx := s.baseCtx
 	var cancel context.CancelFunc
@@ -333,6 +399,46 @@ func (s *Service) Submit(c *netlist.Circuit, measure scanpower.MeasureBackend, t
 	return j, false, nil
 }
 
+// storedJobLocked materializes a store hit as an already-done job: the
+// stored wire bytes are kept verbatim (handleResult serves them
+// unre-encoded, so the response is bit-identical to the original
+// computation) and no Engine work happens. Callers hold s.mu. Returns
+// ok=false if the stored bytes do not decode as a Comparison — the
+// checksum guards integrity, not decodability, so this is a degenerate
+// case treated as a miss.
+func (s *Service) storedJobLocked(c *netlist.Circuit, measure scanpower.MeasureBackend, timeout time.Duration, key jobKey, wire []byte) (*Job, bool) {
+	var cmp scanpower.Comparison
+	if err := json.Unmarshal(wire, &cmp); err != nil {
+		return nil, false
+	}
+	s.seq++
+	now := time.Now()
+	j := &Job{
+		ID:       "job-" + strconv.FormatInt(s.seq, 10),
+		Circuit:  c.Name,
+		Measure:  measure,
+		Timeout:  timeout,
+		key:      key,
+		circ:     c,
+		state:    StateDone,
+		result:   &cmp,
+		wire:     wire,
+		created:  now,
+		finished: now,
+		done:     make(chan struct{}),
+		ctx:      s.baseCtx,
+		cancel:   func() {},
+	}
+	close(j.done)
+	s.byID[j.ID] = j
+	s.byKey[key] = j
+	s.order = append(s.order, j.ID)
+	s.submitted.Inc()
+	s.reg.Counter(fmt.Sprintf(MetricJobsByState+`{state=%q}`, StateDone)).Inc()
+	s.evictLocked()
+	return j, true
+}
+
 // evictLocked drops the oldest terminal jobs beyond the retention bound.
 // Callers hold s.mu.
 func (s *Service) evictLocked() {
@@ -370,7 +476,7 @@ func (s *Service) Snapshot(j *Job) Snapshot {
 	defer s.mu.Unlock()
 	return Snapshot{
 		ID: j.ID, Circuit: j.Circuit, Measure: j.Measure, Timeout: j.Timeout,
-		State: j.state, Err: j.err, Result: j.result,
+		State: j.state, Err: j.err, Result: j.result, Wire: j.wire,
 		Created: j.created, Started: j.started, Finished: j.finished,
 	}
 }
@@ -408,11 +514,15 @@ type Stats struct {
 	Draining      bool
 	CacheHits     int64
 	CacheMisses   int64
+	// Store mirrors the persistent result store's counters; zero when no
+	// store is configured.
+	Store store.Stats
 }
 
 // Stats returns the current queue/inflight/job counts.
 func (s *Service) Stats() Stats {
 	hits, misses := s.eng.CacheStats()
+	st := s.store.Stats() // nil-safe
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
@@ -424,6 +534,7 @@ func (s *Service) Stats() Stats {
 		Draining:      s.draining,
 		CacheHits:     hits,
 		CacheMisses:   misses,
+		Store:         st,
 	}
 }
 
@@ -467,6 +578,20 @@ func (s *Service) runJob(j *Job) {
 	cfg.Measure = j.Measure
 	cmp, err := s.run(j.ctx, j.circ, cfg)
 
+	// Marshal the result once: the same bytes become the HTTP response
+	// body and the persisted store entry, so a later warm-start serve is
+	// bit-identical to this run's.
+	var wire []byte
+	if err == nil {
+		if wire, err = json.Marshal(cmp); err == nil && s.store != nil {
+			key := store.Key{Fingerprint: j.key.fp, Measure: string(j.Measure)}
+			meta := store.Meta{Circuit: j.Circuit, Elapsed: time.Since(j.started)}
+			if perr := s.store.Put(key, meta, wire); perr == nil {
+				s.storePuts.Inc()
+			}
+		}
+	}
+
 	s.mu.Lock()
 	s.inflight--
 	s.inflightGauge.Set(float64(s.inflight))
@@ -476,6 +601,7 @@ func (s *Service) runJob(j *Job) {
 	case err != nil:
 		s.finishLocked(j, failureState(err), nil, err)
 	default:
+		j.wire = wire
 		s.finishLocked(j, StateDone, cmp, nil)
 	}
 	s.mu.Unlock()

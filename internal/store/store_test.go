@@ -1,0 +1,264 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const wireSchema = "scanpower/comparison/v1"
+
+// wireBytes builds a compact stand-in for a v1 result document, the way
+// the service produces one (a single json.Marshal).
+func wireBytes(t *testing.T, circuit string, pad int) []byte {
+	t.Helper()
+	b, err := json.Marshal(map[string]any{
+		"schema":  wireSchema,
+		"circuit": circuit,
+		"pad":     strings.Repeat("x", pad),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	if opts.WireSchema == "" {
+		opts.WireSchema = wireSchema
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	key := Key{Fingerprint: 0xdeadbeef, Measure: "packed"}
+	want := wireBytes(t, "s344", 0)
+
+	if _, _, ok := s.Get(key); ok {
+		t.Fatal("Get on empty store hit")
+	}
+	if err := s.Put(key, Meta{Circuit: "s344", Elapsed: 42 * time.Millisecond}, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, meta, ok := s.Get(key)
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("round trip not bit-identical:\nput: %s\ngot: %s", want, got)
+	}
+	if meta.Circuit != "s344" || meta.Elapsed != 42*time.Millisecond {
+		t.Errorf("meta = %+v", meta)
+	}
+
+	// A different measure backend is a different entry.
+	if _, _, ok := s.Get(Key{Fingerprint: 0xdeadbeef, Measure: "dense"}); ok {
+		t.Error("distinct-measure key hit the packed entry")
+	}
+
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 2 || st.Puts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestRestartWarmHit closes over nothing — a fresh Open on the same
+// directory must serve the entry written by the previous Store.
+func TestRestartWarmHit(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Fingerprint: 7, Measure: "packed"}
+	want := wireBytes(t, "s27", 0)
+
+	s1 := open(t, dir, Options{})
+	if err := s1.Put(key, Meta{Circuit: "s27"}, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	s2 := open(t, dir, Options{})
+	if s2.Len() != 1 {
+		t.Fatalf("restarted store indexed %d entries, want 1", s2.Len())
+	}
+	got, _, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("restarted store missed the warm entry")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("warm hit not bit-identical:\nput: %s\ngot: %s", want, got)
+	}
+}
+
+// TestCorruptionEvicted flips and truncates entries and requires both to
+// read as misses, with the files deleted — never served.
+func TestCorruptionEvicted(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"bit-flip", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip a bit inside the embedded result payload.
+			i := bytes.Index(raw, []byte(`"result"`))
+			if i < 0 || i+20 >= len(raw) {
+				t.Fatalf("no result field to corrupt in %s", raw)
+			}
+			raw[i+15] ^= 0x01
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncate", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, Options{})
+			key := Key{Fingerprint: 99, Measure: "packed"}
+			if err := s.Put(key, Meta{}, wireBytes(t, "s344", 0)); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			path := filepath.Join(dir, key.id()+".json")
+			tc.corrupt(t, path)
+
+			if _, _, ok := s.Get(key); ok {
+				t.Fatal("corrupted entry was served")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupted entry file survived: %v", err)
+			}
+			if st := s.Stats(); st.Corrupt != 1 || st.Entries != 0 {
+				t.Errorf("stats after corruption = %+v", st)
+			}
+
+			// A restart scan also refuses a corrupted entry.
+			if err := s.Put(key, Meta{}, wireBytes(t, "s344", 0)); err != nil {
+				t.Fatalf("re-Put: %v", err)
+			}
+			tc.corrupt(t, path)
+			s2 := open(t, dir, Options{})
+			if s2.Len() != 0 {
+				t.Errorf("restart indexed a corrupted entry")
+			}
+			if st := s2.Stats(); st.Corrupt != 1 {
+				t.Errorf("restart stats = %+v", st)
+			}
+		})
+	}
+}
+
+// TestWireSchemaMismatchInvalidated bumps the expected wire schema and
+// requires old entries to be invalidated, not served.
+func TestWireSchemaMismatchInvalidated(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Fingerprint: 5, Measure: "packed"}
+	s1 := open(t, dir, Options{WireSchema: wireSchema})
+	if err := s1.Put(key, Meta{}, wireBytes(t, "s344", 0)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	s2 := open(t, dir, Options{WireSchema: "scanpower/comparison/v2"})
+	if s2.Len() != 0 {
+		t.Fatalf("v2 store served a v1 entry")
+	}
+	if _, _, ok := s2.Get(key); ok {
+		t.Fatal("schema-mismatched entry was served")
+	}
+}
+
+// TestLRUEviction caps the store and checks the least-recently-used
+// entry goes first.
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	keyA := Key{Fingerprint: 1, Measure: "packed"}
+	keyB := Key{Fingerprint: 2, Measure: "packed"}
+	keyC := Key{Fingerprint: 3, Measure: "packed"}
+
+	// Each entry is ~600 bytes with the pad; cap to about two entries.
+	s := open(t, dir, Options{MaxBytes: 1400})
+	for _, k := range []Key{keyA, keyB} {
+		if err := s.Put(k, Meta{}, wireBytes(t, "c", 400)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Touch A so B is the least recently used.
+	if _, _, ok := s.Get(keyA); !ok {
+		t.Fatal("A missing before eviction")
+	}
+	if err := s.Put(keyC, Meta{}, wireBytes(t, "c", 400)); err != nil {
+		t.Fatalf("Put C: %v", err)
+	}
+
+	if _, _, ok := s.Get(keyB); ok {
+		t.Error("LRU entry B survived the cap")
+	}
+	if _, _, ok := s.Get(keyA); !ok {
+		t.Error("recently used entry A was evicted")
+	}
+	if _, _, ok := s.Get(keyC); !ok {
+		t.Error("fresh entry C was evicted")
+	}
+	if st := s.Stats(); st.Evictions == 0 || st.Bytes > 1400 {
+		t.Errorf("stats after eviction = %+v", st)
+	}
+}
+
+// TestNilStore checks the no-op contract of a nil *Store.
+func TestNilStore(t *testing.T) {
+	var s *Store
+	if err := s.Put(Key{}, Meta{}, []byte("{}")); err != nil {
+		t.Errorf("nil Put: %v", err)
+	}
+	if _, _, ok := s.Get(Key{}); ok {
+		t.Error("nil Get hit")
+	}
+	if s.Len() != 0 || s.Dir() != "" || s.Stats() != (Stats{}) {
+		t.Error("nil accessors not zero")
+	}
+}
+
+// TestPutOverwrite replaces an entry and checks size accounting.
+func TestPutOverwrite(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	key := Key{Fingerprint: 11, Measure: "fast"}
+	if err := s.Put(key, Meta{}, wireBytes(t, "a", 100)); err != nil {
+		t.Fatal(err)
+	}
+	want := wireBytes(t, "b", 10)
+	if err := s.Put(key, Meta{}, want); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("overwrite not visible: ok=%v got=%s", ok, got)
+	}
+	st := s.Stats()
+	if st.Entries != 1 {
+		t.Errorf("entries = %d after overwrite", st.Entries)
+	}
+	fi, err := os.Stat(filepath.Join(s.Dir(), key.id()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes != fi.Size() {
+		t.Errorf("size accounting %d != file size %d", st.Bytes, fi.Size())
+	}
+}

@@ -137,6 +137,66 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// values from the bucket counts, interpolating linearly inside the
+// winning bucket. Observations above the largest finite bound clamp to
+// that bound — the +Inf bucket has no width to interpolate over. Returns
+// 0 with no observations or on a nil receiver. The estimate reads the
+// counters without a snapshot, so concurrent Observes may skew it by a
+// few observations; that is fine for the latency-percentile reporting it
+// exists for.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: clamp to the largest finite bound.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Registry holds named metric series. The zero value is ready to use; a
 // nil *Registry is a valid no-op registry (every lookup returns a nil
 // handle, and nil handles discard updates).

@@ -176,6 +176,59 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil Quantile = %g, want 0", got)
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+
+	// 100 observations uniformly placed in the (1,2] bucket: the median
+	// interpolates to the middle of that bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got < 1 || got > 2 {
+		t.Errorf("median = %g, want within (1,2]", got)
+	}
+
+	// Spread across buckets: 50 in (0,1], 30 in (1,2], 20 in (2,4].
+	h2 := r.Histogram("q2_seconds", []float64{1, 2, 4})
+	for i := 0; i < 50; i++ {
+		h2.Observe(0.5)
+	}
+	for i := 0; i < 30; i++ {
+		h2.Observe(1.5)
+	}
+	for i := 0; i < 20; i++ {
+		h2.Observe(3)
+	}
+	if p50 := h2.Quantile(0.5); p50 > 1 {
+		t.Errorf("p50 = %g, want <= 1 (50%% of mass in first bucket)", p50)
+	}
+	p90 := h2.Quantile(0.9)
+	if p90 <= 2 || p90 > 4 {
+		t.Errorf("p90 = %g, want within (2,4]", p90)
+	}
+	if p99, p90 := h2.Quantile(0.99), h2.Quantile(0.90); p99 < p90 {
+		t.Errorf("quantiles not monotone: p99 %g < p90 %g", p99, p90)
+	}
+
+	// Values past the last finite bound clamp to it.
+	h3 := r.Histogram("q3_seconds", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h3.Observe(100)
+	}
+	if got := h3.Quantile(0.5); got != 2 {
+		t.Errorf("overflow-bucket quantile = %g, want clamp to 2", got)
+	}
+}
+
 func BenchmarkCounterInc(b *testing.B) {
 	c := NewRegistry().Counter("bench_total")
 	b.ReportAllocs()

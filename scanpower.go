@@ -24,9 +24,9 @@
 // cancellation and deadlines reach down into the hot loops (ATPG's
 // random-pattern and PODEM phases, the justification search, scan-mode
 // measurement), so a hung or oversized circuit aborts cleanly with ctx's
-// error. Pass context.Background() when no cancellation is needed. The
-// pre-v1 CompareContext and WriteTableContext names remain as deprecated
-// thin wrappers; see README's "v1 API" table for the stable surface.
+// error. Pass context.Background() when no cancellation is needed. See
+// README's "v1 API" table for the stable surface; the pre-v1
+// CompareContext/WriteTableContext aliases are gone.
 //
 // # Engine
 //
@@ -223,13 +223,6 @@ func Compare(ctx context.Context, c *netlist.Circuit, cfg Config) (*Comparison, 
 	return compareWith(ctx, c, cfg, directPatterns(cfg, Hooks{}), Hooks{})
 }
 
-// CompareContext is an alias for Compare kept for pre-v1 callers.
-//
-// Deprecated: use Compare, which is context-first since v1.
-func CompareContext(ctx context.Context, c *netlist.Circuit, cfg Config) (*Comparison, error) {
-	return Compare(ctx, c, cfg)
-}
-
 // compareWith is the shared Table I pipeline: gen supplies the patterns
 // (the Engine's memoized layer, or the direct generator), hooks observe
 // the measurement stages.
@@ -412,13 +405,6 @@ func WriteTable(ctx context.Context, w io.Writer, names []string, cfg Config) er
 		}
 	}
 	return nil
-}
-
-// WriteTableContext is an alias for WriteTable kept for pre-v1 callers.
-//
-// Deprecated: use WriteTable, which is context-first since v1.
-func WriteTableContext(ctx context.Context, w io.Writer, names []string, cfg Config) error {
-	return WriteTable(ctx, w, names, cfg)
 }
 
 // TableColumns lists the Table I column headers used by NewTable.

@@ -1,14 +1,15 @@
 // Command servesmoke is the `make serve-smoke` driver: it builds and
 // boots a real scanpowerd on a random port and walks the service contract
-// end to end —
+// end to end through the typed repro/client package —
 //
 //   - healthz and the benchmark listing answer;
 //   - an inline-c17 wait-mode job returns a scanpower/comparison/v1
 //     result byte-identical to an in-process Engine run of the same
 //     circuit and config;
 //   - with -workers 1 -queue 1, a slow running job (s5378) plus one
-//     queued job make a third submit fail with 429 and Retry-After;
-//   - DELETE cancels the queued job;
+//     queued job make a third submit fail typed — client.ErrQueueFull
+//     with the parsed Retry-After;
+//   - Cancel settles the queued job as canceled;
 //   - /metrics carries the service and packed-kernel families;
 //   - SIGTERM while the slow job is still running drains cleanly: exit
 //     code 0, a parseable manifest, and a balanced span trace.
@@ -21,6 +22,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/client"
 	"repro/internal/telemetry"
 )
 
@@ -108,16 +111,22 @@ func run() error {
 	go io.Copy(io.Discard, stderr) // keep the pipe drained
 	fmt.Println("serve-smoke: daemon at", base)
 
-	if err := checkHealthz(base); err != nil {
+	cl, err := client.New([]string{base}, client.Options{PollInterval: 10 * time.Millisecond})
+	if err != nil {
 		return err
 	}
-	if err := checkBenchmarks(base); err != nil {
+	ctx := context.Background()
+
+	if h, err := cl.Health(ctx, base); err != nil || h.Status != "ok" {
+		return fmt.Errorf("healthz: %+v (%v)", h, err)
+	}
+	if names, err := cl.Benchmarks(ctx); err != nil || len(names) != 12 {
+		return fmt.Errorf("benchmarks: %d names (%v)", len(names), err)
+	}
+	if err := checkC17BitIdentical(ctx, cl); err != nil {
 		return err
 	}
-	if err := checkC17BitIdentical(base); err != nil {
-		return err
-	}
-	slowID, err := checkBackpressure(base)
+	slow, err := checkBackpressure(ctx, cl)
 	if err != nil {
 		return err
 	}
@@ -142,7 +151,7 @@ func run() error {
 		daemon.Process.Kill()
 		return fmt.Errorf("scanpowerd did not drain within 60s of SIGTERM")
 	}
-	fmt.Println("serve-smoke: clean SIGTERM drain (slow job", slowID, "in flight)")
+	fmt.Println("serve-smoke: clean SIGTERM drain (slow job", slow.ID, "in flight)")
 
 	if err := checkTraceBalanced(tracePath); err != nil {
 		return err
@@ -178,85 +187,20 @@ func awaitListening(stderr io.Reader) (string, func() string, error) {
 	}
 }
 
-func getJSON(url string, out any) (int, http.Header, error) {
-	resp, err := http.Get(url)
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, resp.Header, fmt.Errorf("decode %s: %w", url, err)
-		}
-	}
-	return resp.StatusCode, resp.Header, nil
-}
-
-func postJob(base string, body map[string]any) (int, http.Header, map[string]any, error) {
-	b, err := json.Marshal(body)
-	if err != nil {
-		return 0, nil, nil, err
-	}
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(b))
-	if err != nil {
-		return 0, nil, nil, err
-	}
-	defer resp.Body.Close()
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return resp.StatusCode, resp.Header, nil, err
-	}
-	return resp.StatusCode, resp.Header, out, nil
-}
-
-func checkHealthz(base string) error {
-	var h map[string]any
-	code, _, err := getJSON(base+"/v1/healthz", &h)
-	if err != nil {
-		return err
-	}
-	if code != http.StatusOK || h["status"] != "ok" {
-		return fmt.Errorf("healthz: status %d body %v", code, h)
-	}
-	return nil
-}
-
-func checkBenchmarks(base string) error {
-	var b struct {
-		Benchmarks []string `json:"benchmarks"`
-	}
-	code, _, err := getJSON(base+"/v1/benchmarks", &b)
-	if err != nil {
-		return err
-	}
-	if code != http.StatusOK || len(b.Benchmarks) != 12 {
-		return fmt.Errorf("benchmarks: status %d, %d names", code, len(b.Benchmarks))
-	}
-	return nil
-}
-
 // checkC17BitIdentical runs c17 through the service and through an
 // in-process Engine under the same config, and requires byte-identical
 // scanpower/comparison/v1 documents.
-func checkC17BitIdentical(base string) error {
-	code, _, job, err := postJob(base, map[string]any{
-		"bench": c17, "name": "c17", "wait": true,
-	})
+func checkC17BitIdentical(ctx context.Context, cl *client.Client) error {
+	job, err := cl.Submit(ctx, client.SubmitRequest{Bench: c17, Name: "c17", Wait: true})
 	if err != nil {
-		return err
+		return fmt.Errorf("c17 wait job: %w", err)
 	}
-	if code != http.StatusOK || job["state"] != "done" {
-		return fmt.Errorf("c17 wait job: status %d body %v", code, job)
+	if job.State != "done" {
+		return fmt.Errorf("c17 wait job settled %s (%s)", job.State, job.Err)
 	}
-	resultURL, _ := job["result_url"].(string)
-	resp, err := http.Get(base + resultURL)
+	_, got, err := cl.Result(ctx, job)
 	if err != nil {
-		return err
-	}
-	got, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("c17 result: status %d: %s", resp.StatusCode, got)
+		return fmt.Errorf("c17 result: %w", err)
 	}
 
 	c, err := scanpower.ParseBench(c17, "c17")
@@ -265,7 +209,7 @@ func checkC17BitIdentical(base string) error {
 	}
 	cfg := scanpower.DefaultConfig()
 	eng := scanpower.NewEngine(cfg)
-	cmp, err := eng.CompareWith(context.Background(), c, cfg)
+	cmp, err := eng.CompareWith(ctx, c, cfg)
 	if err != nil {
 		return fmt.Errorf("in-process c17 run: %w", err)
 	}
@@ -281,70 +225,56 @@ func checkC17BitIdentical(base string) error {
 }
 
 // checkBackpressure parks the single worker on s5378, fills the one
-// queue slot, and requires 429 + Retry-After on the next submit. Returns
-// the slow job's ID (still running when we return).
-func checkBackpressure(base string) (string, error) {
-	code, _, slow, err := postJob(base, map[string]any{"circuit": "s5378"})
+// queue slot, and requires the next submit to fail typed with
+// ErrQueueFull + Retry-After. Returns the slow job (still running).
+func checkBackpressure(ctx context.Context, cl *client.Client) (*client.Job, error) {
+	slow, err := cl.Submit(ctx, client.SubmitRequest{Circuit: "s5378"})
 	if err != nil {
-		return "", err
+		return nil, fmt.Errorf("slow submit: %w", err)
 	}
-	if code != http.StatusAccepted {
-		return "", fmt.Errorf("slow submit: status %d body %v", code, slow)
-	}
-	slowID, _ := slow["id"].(string)
 
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		var j map[string]any
-		if _, _, err := getJSON(base+"/v1/jobs/"+slowID, &j); err != nil {
-			return "", err
+		j, err := cl.Status(ctx, slow)
+		if err != nil {
+			return nil, err
 		}
-		if j["state"] == "running" {
+		if j.State == "running" {
 			break
 		}
-		if j["state"] != "queued" {
-			return "", fmt.Errorf("slow job in unexpected state %v", j["state"])
+		if j.State != "queued" {
+			return nil, fmt.Errorf("slow job in unexpected state %s", j.State)
 		}
 		if time.Now().After(deadline) {
-			return "", fmt.Errorf("slow job never started running")
+			return nil, fmt.Errorf("slow job never started running")
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	code, _, queued, err := postJob(base, map[string]any{"circuit": "s1423"})
+	queued, err := cl.Submit(ctx, client.SubmitRequest{Circuit: "s1423"})
 	if err != nil {
-		return "", err
-	}
-	if code != http.StatusAccepted {
-		return "", fmt.Errorf("queued submit: status %d body %v", code, queued)
+		return nil, fmt.Errorf("queued submit: %w", err)
 	}
 
-	code, hdr, rejected, err := postJob(base, map[string]any{"circuit": "s641"})
-	if err != nil {
-		return "", err
+	_, err = cl.Submit(ctx, client.SubmitRequest{Circuit: "s641"})
+	if !errors.Is(err, client.ErrQueueFull) {
+		return nil, fmt.Errorf("overflow submit error = %v, want ErrQueueFull", err)
 	}
-	if code != http.StatusTooManyRequests {
-		return "", fmt.Errorf("overflow submit: status %d, want 429 (body %v)", code, rejected)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.RetryAfter <= 0 {
+		return nil, fmt.Errorf("queue_full without Retry-After: %+v", apiErr)
 	}
-	if hdr.Get("Retry-After") == "" {
-		return "", fmt.Errorf("429 without Retry-After header")
-	}
-	fmt.Println("serve-smoke: full queue rejected with 429 + Retry-After")
+	fmt.Println("serve-smoke: full queue rejected typed with ErrQueueFull + Retry-After")
 
-	// Free the queue slot again: DELETE the queued job.
-	queuedID, _ := queued["id"].(string)
-	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+queuedID, nil)
-	resp, err := http.DefaultClient.Do(req)
+	// Free the queue slot again: cancel the queued job.
+	canceled, err := cl.Cancel(ctx, queued)
 	if err != nil {
-		return "", err
+		return nil, fmt.Errorf("cancel queued job: %w", err)
 	}
-	var out map[string]any
-	json.NewDecoder(resp.Body).Decode(&out)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || out["state"] != "canceled" {
-		return "", fmt.Errorf("cancel queued job: status %d state %v", resp.StatusCode, out["state"])
+	if canceled.State != "canceled" {
+		return nil, fmt.Errorf("cancel queued job: state %s", canceled.State)
 	}
-	return slowID, nil
+	return slow, nil
 }
 
 func checkMetrics(base string) error {
