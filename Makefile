@@ -5,9 +5,9 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build vet test race bench bench-json telemetry-race fuzz-equiv bench-kernels bench-mc serve-smoke loadsmoke bench-cluster
+.PHONY: check build vet test race bench bench-json telemetry-race fuzz-equiv bench-kernels bench-mc serve-smoke loadsmoke obs-smoke bench-cluster
 
-check: vet build test race telemetry-race fuzz-equiv bench-json serve-smoke loadsmoke
+check: vet build test race telemetry-race fuzz-equiv bench-json serve-smoke loadsmoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,14 @@ serve-smoke:
 # `make bench-cluster` is the full-length run.
 loadsmoke:
 	$(GO) run ./scripts/loadsmoke -short
+
+# Observability contract against a real 3-node cluster: a forwarded job's
+# merged trace spans >= 2 nodes under one trace ID (queried from both the
+# owner and the forwarding node), a client traceparent is adopted, and
+# the fused /v1/cluster/metrics counters and submit-histogram buckets are
+# bit-exact sums of the per-node /v1/node/metrics snapshots.
+obs-smoke:
+	$(GO) run ./scripts/obssmoke
 
 # Full-length cluster benchmark: throughput/latency percentiles of the
 # single node vs the 3-node cluster land in BENCH_<date>_cluster.json.

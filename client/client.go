@@ -160,6 +160,11 @@ type SubmitRequest struct {
 	Timeout time.Duration
 	// Wait blocks the submit until the job settles.
 	Wait bool
+	// TraceParent, when set, joins the job to the caller's distributed
+	// trace: it is sent as the X-Scanpowerd-Trace header in traceparent
+	// form ("00-<32 hex trace id>-<16 hex parent span id>-01"), and the
+	// server's job spans parent to it instead of minting a fresh trace.
+	TraceParent string
 }
 
 // Job is the client-side view of one submitted job. It carries its
@@ -167,6 +172,7 @@ type SubmitRequest struct {
 type Job struct {
 	ID      string
 	Node    string // owning daemon's base URL
+	TraceID string // distributed trace identity (32 hex chars)
 	Circuit string
 	Measure string
 	State   string
@@ -193,6 +199,7 @@ func (j *Job) Terminal() bool {
 type wireJob struct {
 	ID        string `json:"id"`
 	Node      string `json:"node"`
+	TraceID   string `json:"trace_id"`
 	Circuit   string `json:"circuit"`
 	Measure   string `json:"measure"`
 	State     string `json:"state"`
@@ -221,6 +228,7 @@ func (w *wireJob) job(answeredBy string) *Job {
 	return &Job{
 		ID:        w.ID,
 		Node:      node,
+		TraceID:   w.TraceID,
 		Circuit:   w.Circuit,
 		Measure:   w.Measure,
 		State:     w.State,
@@ -258,6 +266,11 @@ func decodeError(resp *http.Response, body []byte) error {
 // do issues one request and returns the response body, mapping non-2xx
 // responses to *APIError.
 func (c *Client) do(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+	return c.doHeaders(ctx, method, url, body, nil)
+}
+
+// doHeaders is do with extra request headers.
+func (c *Client) doHeaders(ctx context.Context, method, url string, body []byte, headers map[string]string) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -268,6 +281,9 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) ([]byt
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -315,9 +331,13 @@ func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*Job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
+	var headers map[string]string
+	if req.TraceParent != "" {
+		headers = map[string]string{"X-Scanpowerd-Trace": req.TraceParent}
+	}
 	var lastErr error
 	for _, ep := range c.rotate() {
-		raw, err := c.do(ctx, http.MethodPost, ep+"/v1/jobs", body)
+		raw, err := c.doHeaders(ctx, http.MethodPost, ep+"/v1/jobs", body, headers)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, err
@@ -442,6 +462,11 @@ type StoreStatus struct {
 // Health is the GET /v1/healthz document.
 type Health struct {
 	Status        string       `json:"status"`
+	Node          string       `json:"node"`
+	UptimeSec     float64      `json:"uptime_sec"`
+	Version       string       `json:"version"`
+	GoVersion     string       `json:"go_version"`
+	Revision      string       `json:"revision"`
 	QueueDepth    int          `json:"queue_depth"`
 	QueueCapacity int          `json:"queue_capacity"`
 	Inflight      int          `json:"inflight"`
@@ -522,4 +547,127 @@ func (c *Client) ClusterStatus(ctx context.Context) (*ClusterStatus, error) {
 		return &cs, nil
 	}
 	return nil, fmt.Errorf("%w: %w", ErrNoEndpoints, lastErr)
+}
+
+// Span is one finished span of a distributed trace.
+type Span struct {
+	SpanID string         `json:"span_id"`
+	Parent string         `json:"parent_id"`
+	Name   string         `json:"name"`
+	Node   string         `json:"node"`
+	Start  time.Time      `json:"start"`
+	DurNS  int64          `json:"dur_ns"`
+	Attrs  map[string]any `json:"attrs"`
+}
+
+// Trace is the GET /v1/jobs/{id}/trace document: the merged cross-node
+// span tree of one job's distributed trace.
+type Trace struct {
+	Schema  string   `json:"schema"`
+	TraceID string   `json:"trace_id"`
+	JobID   string   `json:"job_id"`
+	Nodes   []string `json:"nodes"`
+	Spans   []Span   `json:"spans"`
+}
+
+// Trace fetches the job's merged distributed trace from its owning node,
+// which pulls the remote segments (the forwarding hop's ingress span, for
+// example) from its peers before merging.
+func (c *Client) Trace(ctx context.Context, j *Job) (*Trace, error) {
+	raw, err := c.do(ctx, http.MethodGet, j.Node+"/v1/jobs/"+j.ID+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	var t Trace
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("client: bad trace document: %w", err)
+	}
+	return &t, nil
+}
+
+// HistogramSnapshot is one histogram series in a metrics snapshot:
+// sorted finite upper bounds and len(bounds)+1 bucket counts (the last
+// bucket is +Inf).
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// MetricsSnapshot is one registry's typed export (GET /v1/node/metrics),
+// and the fused block of the cluster metrics document.
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// LatencySummary is the fused percentile view of one endpoint.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_sec"`
+	P95   float64 `json:"p95_sec"`
+	P99   float64 `json:"p99_sec"`
+}
+
+// MetricsSummary is the operator digest of one node (or of the fusion).
+type MetricsSummary struct {
+	QueueDepth   float64                   `json:"queue_depth"`
+	Inflight     float64                   `json:"inflight"`
+	Jobs         map[string]int64          `json:"jobs_by_state"`
+	StoreHits    int64                     `json:"store_hits"`
+	StoreMisses  int64                     `json:"store_misses"`
+	StoreHitRate float64                   `json:"store_hit_rate"`
+	Latency      map[string]LatencySummary `json:"latency"`
+}
+
+// NodeMetrics is one member's row in the cluster metrics document.
+type NodeMetrics struct {
+	Node    string          `json:"node"`
+	Self    bool            `json:"self"`
+	Error   string          `json:"error"`
+	Summary *MetricsSummary `json:"summary"`
+}
+
+// ClusterMetrics is the GET /v1/cluster/metrics document.
+type ClusterMetrics struct {
+	Schema  string           `json:"schema"`
+	Self    string           `json:"self"`
+	Summary MetricsSummary   `json:"summary"`
+	Nodes   []NodeMetrics    `json:"nodes"`
+	Fused   *MetricsSnapshot `json:"fused"`
+}
+
+// ClusterMetrics fetches the fused cluster metrics snapshot from the
+// first reachable endpoint: counters and gauges summed per series across
+// live peers, histogram buckets bit-exact sums, with per-node summaries.
+func (c *Client) ClusterMetrics(ctx context.Context) (*ClusterMetrics, error) {
+	var lastErr error
+	for _, ep := range c.rotate() {
+		raw, err := c.do(ctx, http.MethodGet, ep+"/v1/cluster/metrics", nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var cm ClusterMetrics
+		if err := json.Unmarshal(raw, &cm); err != nil {
+			return nil, fmt.Errorf("client: bad cluster metrics document: %w", err)
+		}
+		return &cm, nil
+	}
+	return nil, fmt.Errorf("%w: %w", ErrNoEndpoints, lastErr)
+}
+
+// NodeMetricsSnapshot fetches one node's raw typed registry snapshot.
+func (c *Client) NodeMetricsSnapshot(ctx context.Context, node string) (*MetricsSnapshot, error) {
+	raw, err := c.do(ctx, http.MethodGet, node+"/v1/node/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	var ms MetricsSnapshot
+	if err := json.Unmarshal(raw, &ms); err != nil {
+		return nil, fmt.Errorf("client: bad metrics document: %w", err)
+	}
+	return &ms, nil
 }

@@ -300,3 +300,82 @@ func TestCancel(t *testing.T) {
 		t.Errorf("result of canceled job = %v, want ErrCanceled", err)
 	}
 }
+
+// TestTraceAndMetrics drives the observability surface through the
+// typed client: trace-context submission, trace retrieval, health
+// identity and the fused metrics snapshot.
+func TestTraceAndMetrics(t *testing.T) {
+	srv := newService(t, service.Options{Node: "alpha"})
+	cl, err := New([]string{srv.URL}, Options{PollInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	tc := telemetry.TraceContext{TraceID: telemetry.NewTraceID(), SpanID: telemetry.NewSpanID()}
+	job, err := cl.Submit(ctx, SubmitRequest{
+		Bench: s27Bench, Name: "s27", Wait: true, TraceParent: tc.Traceparent(),
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if job.TraceID != tc.TraceID {
+		t.Errorf("job TraceID = %q, want adopted %q", job.TraceID, tc.TraceID)
+	}
+
+	tr, err := cl.Trace(ctx, job)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if tr.TraceID != tc.TraceID || tr.JobID != job.ID {
+		t.Errorf("trace identity = %s/%s, want %s/%s", tr.TraceID, tr.JobID, tc.TraceID, job.ID)
+	}
+	if len(tr.Nodes) != 1 || tr.Nodes[0] != "alpha" {
+		t.Errorf("trace nodes = %v", tr.Nodes)
+	}
+	names := map[string]bool{}
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+		if sp.Node != "alpha" {
+			t.Errorf("span %s node = %q", sp.Name, sp.Node)
+		}
+	}
+	for _, want := range []string{"job", "queue", "run"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q: %v", want, names)
+		}
+	}
+
+	h, err := cl.Health(ctx, srv.URL)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Node != "alpha" || h.GoVersion == "" || h.UptimeSec < 0 {
+		t.Errorf("health identity = %+v", h)
+	}
+
+	cm, err := cl.ClusterMetrics(ctx)
+	if err != nil {
+		t.Fatalf("ClusterMetrics: %v", err)
+	}
+	if cm.Schema != service.ClusterMetricsSchemaV1 {
+		t.Errorf("cluster metrics schema = %q", cm.Schema)
+	}
+	if len(cm.Nodes) != 1 || !cm.Nodes[0].Self || cm.Nodes[0].Node != "alpha" {
+		t.Errorf("cluster metrics nodes = %+v", cm.Nodes)
+	}
+	if cm.Fused == nil || cm.Fused.Counters[service.MetricJobsSubmitted] != 1 {
+		t.Errorf("fused submitted = %v", cm.Fused)
+	}
+	if cm.Summary.Jobs["done"] != 1 {
+		t.Errorf("summary jobs = %v", cm.Summary.Jobs)
+	}
+
+	ms, err := cl.NodeMetricsSnapshot(ctx, srv.URL)
+	if err != nil {
+		t.Fatalf("NodeMetricsSnapshot: %v", err)
+	}
+	if ms.Counters[service.MetricJobsSubmitted] != cm.Fused.Counters[service.MetricJobsSubmitted] {
+		t.Errorf("single-node fusion differs from the node snapshot")
+	}
+}

@@ -142,6 +142,13 @@ type runDoc struct {
 		P99  float64 `json:"p99"`
 		Mean float64 `json:"mean"`
 	} `json:"latency_ms"`
+
+	// Cluster is the server-side fused metrics snapshot fetched after the
+	// run — the authoritative cluster-wide view (queue/inflight occupancy,
+	// jobs by state, store hit rate and per-endpoint latency percentiles
+	// fused across every node), as opposed to the client-observed latency
+	// above. Absent when the fetch fails.
+	Cluster *client.ClusterMetrics `json:"cluster,omitempty"`
 }
 
 func main() {
@@ -293,6 +300,16 @@ func run(servers string, duration time.Duration, concurrency int, hot, cancelFra
 	if n := hist.Count(); n > 0 {
 		doc.LatencyMS.Mean = hist.Sum() / float64(n) * 1000
 	}
+
+	// Attach the server-side fused snapshot; a cluster that cannot answer
+	// still gets the client-side document.
+	mctx, mcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if cm, err := cl.ClusterMetrics(mctx); err == nil {
+		doc.Cluster = cm
+	} else {
+		fmt.Fprintf(os.Stderr, "loadgen: cluster metrics unavailable: %v\n", err)
+	}
+	mcancel()
 
 	raw, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {

@@ -46,6 +46,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -70,23 +71,41 @@ func main() {
 	maxJobTimeout := cliflags.Timeout(fs, "max-job-timeout", 10*time.Minute, "cap on client-requested deadlines (0 = no cap)")
 	measure := cliflags.Measure(fs)
 	self := fs.String("self", "", "this node's externally reachable base URL (e.g. http://10.0.0.1:8344); required with -peers")
+	node := fs.String("node", "", "this node's display name on trace spans and log lines (default -self, then \"local\")")
 	cluster := cliflags.ClusterFlags(fs)
 	tracePath := fs.String("trace", "", "write the span trace as JSON Lines to this file")
 	manifestPath := fs.String("manifest", "", "write a run manifest JSON to this file on shutdown")
 	drainTimeout := cliflags.Timeout(fs, "drain-timeout", 30*time.Second, "how long shutdown waits for live jobs before cancelling them")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
 
 	if err := run(*listen, *workers, *queue, *jobTimeout, *maxJobTimeout,
-		*measure, *self, cluster, *tracePath, *manifestPath, *drainTimeout); err != nil {
+		*measure, *self, *node, cluster, *tracePath, *manifestPath, *drainTimeout,
+		*logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "scanpowerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Duration,
-	measure, self string, cluster *cliflags.Cluster, tracePath, manifestPath string,
-	drainTimeout time.Duration) error {
+// newLogger builds the daemon's structured logger: text lines on stderr,
+// each carrying the node name (added by the service) and, where a job is
+// involved, trace_id and job_id fields.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
 
+func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Duration,
+	measure, self, node string, cluster *cliflags.Cluster, tracePath, manifestPath string,
+	drainTimeout time.Duration, logLevel string) error {
+
+	logger, err := newLogger(logLevel)
+	if err != nil {
+		return err
+	}
 	backend, err := cliflags.ValidateMeasure(measure)
 	if err != nil {
 		return err
@@ -117,7 +136,7 @@ func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Durat
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "scanpowerd: result store %s (%d warm entries)\n", cluster.StoreDir, st.Len())
+		logger.Info("result store opened", "dir", cluster.StoreDir, "warm_entries", st.Len())
 	}
 
 	cfg := scanpower.DefaultConfig()
@@ -133,6 +152,8 @@ func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Durat
 		Store:          st,
 		Self:           self,
 		Peers:          peers,
+		Node:           node,
+		Logger:         logger,
 	})
 
 	ln, err := net.Listen("tcp", listen)
@@ -145,16 +166,16 @@ func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Durat
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "scanpowerd: listening on http://%s\n", ln.Addr())
+	logger.Info("listening", "addr", "http://"+ln.Addr().String())
 	if len(peers) > 0 {
-		fmt.Fprintf(os.Stderr, "scanpowerd: cluster member %s with peers %v\n", self, peers)
+		logger.Info("cluster member", "self", self, "peers", peers)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
 	select {
 	case got := <-sig:
-		fmt.Fprintf(os.Stderr, "scanpowerd: %v, draining\n", got)
+		logger.Info("draining", "signal", got.String())
 	case err := <-serveErr:
 		svc.Close()
 		return err
@@ -167,7 +188,7 @@ func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Durat
 	defer cancel()
 	derr := svc.Drain(dctx)
 	if derr != nil {
-		fmt.Fprintf(os.Stderr, "scanpowerd: drain cut short: %v\n", derr)
+		logger.Warn("drain cut short", "error", derr)
 	}
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer scancel()
@@ -182,6 +203,6 @@ func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Durat
 			return err
 		}
 	}
-	fmt.Fprintln(os.Stderr, "scanpowerd: drained, bye")
+	logger.Info("drained, bye")
 	return derr
 }

@@ -22,7 +22,15 @@ const ClusterSchemaV1 = "scanpower/cluster/v1"
 // ForwardedHeader marks a submit that a peer already routed. The receiver
 // always runs such a submit locally, so divergent ring views during a
 // membership change can cost one extra hop but never a forwarding loop.
+// The forwarded flag wins over any trace header: a request carrying both
+// adopts the trace identity but never re-forwards.
 const ForwardedHeader = "X-Scanpowerd-Forwarded"
+
+// TraceHeader carries the distributed trace context across submits, as a
+// traceparent-style value (see telemetry.TraceContext). A forwarding node
+// stamps it so the receiver's job spans parent to the forwarder's span; a
+// client may also set it to join server spans to its own trace.
+const TraceHeader = "X-Scanpowerd-Trace"
 
 const (
 	// ringVnodes is the virtual-node count per member; enough that a
@@ -167,14 +175,18 @@ func (cl *cluster) isDown(node string) bool {
 }
 
 // forward ships one submit body to node, tagged so the receiver runs it
-// locally.
-func (cl *cluster) forward(ctx context.Context, node string, body []byte) (*http.Response, error) {
+// locally and stamped with the trace context the receiver's spans should
+// parent to.
+func (cl *cluster) forward(ctx context.Context, node string, body []byte, traceparent string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedHeader, "1")
+	if traceparent != "" {
+		req.Header.Set(TraceHeader, traceparent)
+	}
 	return cl.hc.Do(req)
 }
 
@@ -183,12 +195,44 @@ func (cl *cluster) forward(ctx context.Context, node string, body []byte) (*http
 // owning peer, or abandoned because the client disconnected — and false
 // when this node should run the job locally: it is the live owner, or
 // every replica ahead of it is down.
-func (s *Service) forwardSubmit(w http.ResponseWriter, r *http.Request, fp uint64, req *submitRequest) bool {
+//
+// Once a forward is attempted, this node contributes an "ingress" trace
+// segment (with one "forward" child per attempt) to tc's trace — minting
+// the trace ID here if the client supplied none — so the merged trace of
+// a forwarded job shows the hop. Every exit path ends both spans, so a
+// client disconnect mid-hop still leaves the segment balanced.
+func (s *Service) forwardSubmit(w http.ResponseWriter, r *http.Request, fp uint64, req *submitRequest, tc *telemetry.TraceContext) bool {
 	cl := s.cluster
 	var body []byte
+	var seg *telemetry.SpanBuilder
+	var ingress *telemetry.BuildSpan
+	ensureSpans := func() {
+		if seg != nil {
+			return
+		}
+		if tc.TraceID == "" {
+			tc.TraceID = telemetry.NewTraceID()
+		}
+		seg = telemetry.NewSpanBuilder(tc.TraceID, s.node)
+		ingress = seg.StartSpan(tc.SpanID, "ingress", map[string]any{
+			"circuit": circuitLabel(req),
+		})
+		s.traces.Add(seg)
+		s.traceSegments.Set(float64(s.traces.Len()))
+	}
+	finish := func(outcome string) {
+		if ingress != nil && outcome == "local" {
+			// Falling back to a local run after failed forward attempts:
+			// parent the local job span under this ingress span so the
+			// failovers show up on the path to the job.
+			tc.SpanID = ingress.ID()
+		}
+		ingress.End(map[string]any{"outcome": outcome})
+	}
 	attempt := 0
 	for _, node := range cl.ring.route(fp) {
 		if node == cl.self {
+			finish("local")
 			return false
 		}
 		if cl.isDown(node) {
@@ -197,45 +241,92 @@ func (s *Service) forwardSubmit(w http.ResponseWriter, r *http.Request, fp uint6
 		if body == nil {
 			b, err := json.Marshal(req)
 			if err != nil {
+				finish("local")
 				return false // degenerate; run locally
 			}
 			body = b
 		}
+		ensureSpans()
 		if attempt > 0 {
 			select {
 			case <-time.After(forwardBackoff << (attempt - 1)):
 			case <-r.Context().Done():
+				finish("abandoned")
 				return true // client gone; nothing left to write
 			}
 		}
 		attempt++
-		resp, err := cl.forward(r.Context(), node, body)
+		fwd := ingress.Start("forward", map[string]any{"peer": node})
+		resp, err := cl.forward(r.Context(), node, body,
+			telemetry.TraceContext{TraceID: tc.TraceID, SpanID: fwd.ID()}.Traceparent())
 		if err != nil {
+			fwd.End(map[string]any{"error": err.Error()})
 			if r.Context().Err() != nil {
+				finish("abandoned")
 				return true
 			}
 			cl.markDown(node)
 			cl.failovers.Inc()
+			s.log.Warn("forward failed", "trace_id", tc.TraceID, "peer", node, "error", err)
 			continue
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			// Draining or not yet serving: the next replica (possibly this
 			// node) takes the job instead of bouncing the client.
 			resp.Body.Close()
+			fwd.End(map[string]any{"status": resp.StatusCode})
 			cl.markDown(node)
 			cl.failovers.Inc()
+			s.log.Warn("forward refused", "trace_id", tc.TraceID, "peer", node,
+				"status", resp.StatusCode)
 			continue
 		}
 		cl.forwarded.Inc()
-		relayResponse(w, resp)
+		relayed := relayResponse(w, resp)
+		jobID := relayedJobID(relayed)
+		if jobID != "" {
+			seg.SetJobID(jobID)
+		}
+		fwd.End(map[string]any{"status": resp.StatusCode, "job_id": jobID})
+		finish("relayed")
+		s.log.Info("job forwarded", "trace_id", tc.TraceID, "peer", node,
+			"job_id", jobID, "status", resp.StatusCode)
 		return true
 	}
+	finish("local")
 	return false
 }
 
+// circuitLabel names the submit for span attributes: the built-in name,
+// the inline bench's name, or "inline".
+func circuitLabel(req *submitRequest) string {
+	switch {
+	case req.Circuit != "":
+		return req.Circuit
+	case req.Name != "":
+		return req.Name
+	default:
+		return "inline"
+	}
+}
+
+// relayedJobID extracts the job ID from a relayed submit response body so
+// the forwarding node's trace segment can be found by job as well as by
+// trace. Non-job bodies (error envelopes) yield "".
+func relayedJobID(body []byte) string {
+	var jr struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		return ""
+	}
+	return jr.ID
+}
+
 // relayResponse copies a forwarded response — status, the headers the
-// API contract uses, and the body — onto the client connection.
-func relayResponse(w http.ResponseWriter, resp *http.Response) {
+// API contract uses, and the body — onto the client connection, returning
+// the relayed body bytes.
+func relayResponse(w http.ResponseWriter, resp *http.Response) []byte {
 	defer resp.Body.Close()
 	for _, h := range []string{"Content-Type", "Retry-After"} {
 		if v := resp.Header.Get(h); v != "" {
@@ -243,7 +334,9 @@ func relayResponse(w http.ResponseWriter, resp *http.Response) {
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	var buf bytes.Buffer
+	io.Copy(w, io.TeeReader(resp.Body, &buf))
+	return buf.Bytes()
 }
 
 // clusterNode is one member's row in the GET /v1/cluster response.

@@ -25,9 +25,13 @@ const maxBenchBytes = 8 << 20
 //	GET    /v1/jobs/{id}       job status
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/jobs/{id}/result  scanpower/comparison/v1 result document
+//	GET    /v1/jobs/{id}/trace   scanpower/trace/v1 merged cross-node span tree
+//	GET    /v1/traces/{id}     this node's raw segments of one trace
 //	GET    /v1/benchmarks      built-in Table I circuits
 //	GET    /v1/healthz         queue/inflight/cache/store stats; 503 while draining
 //	GET    /v1/cluster         membership, peer health and store status
+//	GET    /v1/node/metrics    this node's typed registry snapshot
+//	GET    /v1/cluster/metrics scanpower/cluster-metrics/v1 fused snapshot
 //
 // Errors are `{"error":{"code":..., "message":...}}` envelopes.
 func (s *Service) Handler() http.Handler {
@@ -36,9 +40,13 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
 	mux.Handle("GET /v1/jobs/{id}/result", s.instrument("result", s.handleResult))
+	mux.Handle("GET /v1/jobs/{id}/trace", s.instrument("trace", s.handleJobTrace))
+	mux.Handle("GET /v1/traces/{id}", s.instrument("trace_segments", s.handleTraceSegments))
 	mux.Handle("GET /v1/benchmarks", s.instrument("benchmarks", s.handleBenchmarks))
 	mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /v1/cluster", s.instrument("cluster", s.handleCluster))
+	mux.Handle("GET /v1/node/metrics", s.instrument("node_metrics", s.handleNodeMetrics))
+	mux.Handle("GET /v1/cluster/metrics", s.instrument("cluster_metrics", s.handleClusterMetrics))
 	return mux
 }
 
@@ -110,6 +118,7 @@ type submitRequest struct {
 type jobResponse struct {
 	ID        string `json:"id"`
 	Node      string `json:"node,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
 	Circuit   string `json:"circuit"`
 	Measure   string `json:"measure"`
 	State     string `json:"state"`
@@ -134,6 +143,7 @@ func (s *Service) jobJSON(j *Job, coalesced bool) jobResponse {
 	resp := jobResponse{
 		ID:        snap.ID,
 		Node:      s.opts.Self,
+		TraceID:   snap.TraceID,
 		Circuit:   snap.Circuit,
 		Measure:   string(effectiveMeasure(snap.Measure)),
 		State:     string(snap.State),
@@ -229,14 +239,21 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Adopt an incoming trace context if the header parses; otherwise a
+	// fresh trace is minted at the first span. The forwarded flag always
+	// wins over the trace header: a request carrying ForwardedHeader runs
+	// locally even if the trace header is absent or malformed (the job
+	// simply starts a fresh trace), so a disagreement between the two can
+	// cost correlation but never a forwarding loop.
+	tc, _ := telemetry.ParseTraceparent(r.Header.Get(TraceHeader))
 	if s.cluster != nil && r.Header.Get(ForwardedHeader) == "" {
-		if s.forwardSubmit(w, r, c.Fingerprint(), &req) {
+		if s.forwardSubmit(w, r, c.Fingerprint(), &req, &tc) {
 			return
 		}
 	}
 
-	j, coalesced, err := s.Submit(c, scanpower.MeasureBackend(req.Measure),
-		time.Duration(req.TimeoutMS)*time.Millisecond)
+	j, coalesced, err := s.SubmitTraced(c, scanpower.MeasureBackend(req.Measure),
+		time.Duration(req.TimeoutMS)*time.Millisecond, tc)
 	if err != nil {
 		var serr *SubmitError
 		if errors.As(err, &serr) {
@@ -346,6 +363,11 @@ func (s *Service) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 // healthzResponse is the GET /v1/healthz body.
 type healthzResponse struct {
 	Status        string       `json:"status"`
+	Node          string       `json:"node,omitempty"`
+	UptimeSec     float64      `json:"uptime_sec"`
+	Version       string       `json:"version,omitempty"`
+	GoVersion     string       `json:"go_version,omitempty"`
+	Revision      string       `json:"revision,omitempty"`
 	QueueDepth    int          `json:"queue_depth"`
 	QueueCapacity int          `json:"queue_capacity"`
 	Inflight      int          `json:"inflight"`
@@ -360,6 +382,11 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	resp := healthzResponse{
 		Status:        "ok",
+		Node:          s.node,
+		UptimeSec:     time.Since(s.started).Seconds(),
+		Version:       s.build.Version,
+		GoVersion:     s.build.GoVersion,
+		Revision:      s.build.Revision,
 		QueueDepth:    st.QueueDepth,
 		QueueCapacity: st.QueueCapacity,
 		Inflight:      st.Inflight,

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// ClusterMetricsSchemaV1 tags the GET /v1/cluster/metrics response.
+const ClusterMetricsSchemaV1 = "scanpower/cluster-metrics/v1"
+
+// latencySummary is the fused view of one endpoint's request-latency
+// histogram.
+type latencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_sec"`
+	P95   float64 `json:"p95_sec"`
+	P99   float64 `json:"p99_sec"`
+}
+
+// metricsSummary is the operator-facing digest of one registry snapshot:
+// occupancy, job outcomes, store efficiency and request latency. Computed
+// per node and for the fused cluster snapshot with the same code, so the
+// cluster row is exactly the sum of the node rows.
+type metricsSummary struct {
+	QueueDepth   float64                   `json:"queue_depth"`
+	Inflight     float64                   `json:"inflight"`
+	Jobs         map[string]int64          `json:"jobs_by_state,omitempty"`
+	StoreHits    int64                     `json:"store_hits"`
+	StoreMisses  int64                     `json:"store_misses"`
+	StoreHitRate float64                   `json:"store_hit_rate"`
+	Latency      map[string]latencySummary `json:"latency,omitempty"`
+}
+
+// labelValue extracts the first label's value from a series name of the
+// form family{label="value",...}; "" when the series has no labels.
+func labelValue(series, family, label string) (string, bool) {
+	prefix := family + "{" + label + `="`
+	if !strings.HasPrefix(series, prefix) {
+		return "", false
+	}
+	rest := series[len(prefix):]
+	if i := strings.IndexByte(rest, '"'); i >= 0 {
+		return rest[:i], true
+	}
+	return "", false
+}
+
+// summarize digests a registry snapshot into the summary block.
+func summarize(snap *telemetry.RegistrySnapshot) metricsSummary {
+	out := metricsSummary{
+		QueueDepth: snap.Gauges[MetricQueueDepth],
+		Inflight:   snap.Gauges[MetricInflight],
+	}
+	for name, v := range snap.Counters {
+		switch name {
+		case MetricStoreHits:
+			out.StoreHits = v
+		case MetricStoreMisses:
+			out.StoreMisses = v
+		}
+		if state, ok := labelValue(name, MetricJobsByState, "state"); ok {
+			if out.Jobs == nil {
+				out.Jobs = map[string]int64{}
+			}
+			out.Jobs[state] += v
+		}
+	}
+	if total := out.StoreHits + out.StoreMisses; total > 0 {
+		out.StoreHitRate = float64(out.StoreHits) / float64(total)
+	}
+	for name, hs := range snap.Histograms {
+		endpoint, ok := labelValue(name, MetricRequestSeconds, "endpoint")
+		if !ok || hs.Count == 0 {
+			continue
+		}
+		if out.Latency == nil {
+			out.Latency = map[string]latencySummary{}
+		}
+		out.Latency[endpoint] = latencySummary{
+			Count: hs.Count,
+			P50:   hs.Quantile(0.50),
+			P95:   hs.Quantile(0.95),
+			P99:   hs.Quantile(0.99),
+		}
+	}
+	return out
+}
+
+// nodeMetricsRow is one member's block in the cluster metrics response.
+type nodeMetricsRow struct {
+	Node    string          `json:"node"`
+	Self    bool            `json:"self,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Summary *metricsSummary `json:"summary,omitempty"`
+}
+
+// clusterMetricsResponse is the GET /v1/cluster/metrics body: the fused
+// registry snapshot (counters and gauges summed per series, histogram
+// buckets bit-exact sums), an operator summary of the fusion, and the
+// per-node breakdown.
+type clusterMetricsResponse struct {
+	Schema  string                      `json:"schema"`
+	Self    string                      `json:"self,omitempty"`
+	Summary metricsSummary              `json:"summary"`
+	Nodes   []nodeMetricsRow            `json:"nodes"`
+	Fused   *telemetry.RegistrySnapshot `json:"fused"`
+}
+
+// handleNodeMetrics serves this node's typed registry snapshot — the raw
+// unit of cluster fusion, unlike /metrics which is Prometheus text.
+func (s *Service) handleNodeMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Export())
+}
+
+// handleClusterMetrics serves the fused snapshot: this node's export
+// merged with every live peer's, plus per-node summaries. A peer that
+// cannot be pulled (or whose histogram layouts disagree) contributes an
+// error row instead of failing the query.
+func (s *Service) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	self := s.reg.Export()
+	resp := clusterMetricsResponse{
+		Schema: ClusterMetricsSchemaV1,
+		Self:   s.opts.Self,
+	}
+	selfSummary := summarize(self)
+	resp.Nodes = append(resp.Nodes, nodeMetricsRow{
+		Node: s.node, Self: true, Summary: &selfSummary,
+	})
+	fused := self.Clone()
+
+	if s.cluster != nil {
+		var peers []string
+		for _, node := range s.cluster.ring.nodes {
+			if node != s.cluster.self {
+				peers = append(peers, node)
+			}
+		}
+		snaps := make([]*telemetry.RegistrySnapshot, len(peers))
+		errs := make([]error, len(peers))
+		var wg sync.WaitGroup
+		for i, node := range peers {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				snaps[i], errs[i] = pullNodeMetrics(r.Context(), node)
+			}()
+		}
+		wg.Wait()
+		for i, node := range peers {
+			row := nodeMetricsRow{Node: node}
+			switch {
+			case errs[i] != nil:
+				row.Error = errs[i].Error()
+				s.log.Warn("metrics pull failed", "peer", node, "error", errs[i])
+			default:
+				sum := summarize(snaps[i])
+				row.Summary = &sum
+				if err := fused.Merge(snaps[i]); err != nil {
+					// Merge aborts on the first incompatible series; the
+					// fusion may hold part of this peer, so flag the row.
+					row.Error = err.Error()
+					s.log.Warn("metrics fusion failed", "peer", node, "error", err)
+				}
+			}
+			resp.Nodes = append(resp.Nodes, row)
+		}
+	}
+
+	resp.Summary = summarize(fused)
+	resp.Fused = fused
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// pullNodeMetrics fetches one peer's typed registry snapshot.
+func pullNodeMetrics(ctx context.Context, node string) (*telemetry.RegistrySnapshot, error) {
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/node/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := probeClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap telemetry.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

@@ -28,6 +28,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"strconv"
 	"sync"
@@ -61,6 +63,12 @@ const (
 	// failovers past an unhealthy peer to the next ring replica.
 	MetricForwarded        = "scanpower_service_forwarded_total"
 	MetricForwardFailovers = "scanpower_service_forward_failovers_total"
+	// Distributed tracing: trace segments retained in the in-memory ring
+	// (a gauge tracking the ring occupancy) and remote segments pulled
+	// from peers while answering trace queries.
+	MetricTraceSegments   = "scanpower_service_trace_segments"
+	MetricTracePulls      = "scanpower_service_trace_pulls_total"
+	MetricTracePullErrors = "scanpower_service_trace_pull_errors_total"
 )
 
 // JobState enumerates the lifecycle of a job. Terminal states are
@@ -129,6 +137,15 @@ type Options struct {
 	// by circuit fingerprint across Self+Peers, and non-owned submits are
 	// forwarded to their owner with failover to ring successors.
 	Peers []string
+	// Node is this node's display name, tagged onto every trace span and
+	// log line and reported by healthz. Defaults to Self, then "local".
+	Node string
+	// Logger receives structured service logs, each line carrying node,
+	// and where applicable trace_id and job_id fields (nil drops them).
+	Logger *slog.Logger
+	// TraceCapacity bounds the in-memory ring of retained per-job trace
+	// segments (0 = telemetry.DefTraceCapacity).
+	TraceCapacity int
 }
 
 // jobKey identifies coalesceable submissions: the frozen circuit's
@@ -152,6 +169,15 @@ type Job struct {
 	key  jobKey
 	circ *netlist.Circuit
 
+	// Distributed trace identity and this node's segment of the span
+	// tree. rootSpan covers the job's whole lifetime; queueSpan the wait
+	// for a worker; runSpan the Engine execution.
+	traceID  string
+	spans    *telemetry.SpanBuilder
+	rootSpan *telemetry.BuildSpan
+	quSpan   *telemetry.BuildSpan
+	runSpan  *telemetry.BuildSpan
+
 	state    JobState
 	result   *scanpower.Comparison
 	wire     []byte // canonical comparison/v1 bytes, set when state is done
@@ -168,6 +194,7 @@ type Job struct {
 // Snapshot is a consistent copy of a job's observable state.
 type Snapshot struct {
 	ID       string
+	TraceID  string
 	Circuit  string
 	Measure  scanpower.MeasureBackend
 	Timeout  time.Duration
@@ -188,6 +215,12 @@ type Service struct {
 	rec  *scanpower.Recorder
 	reg  *telemetry.Registry
 	run  Runner
+
+	node    string // display name: opts.Node, else opts.Self, else "local"
+	log     *slog.Logger
+	started time.Time
+	build   telemetry.BuildInfo
+	traces  *telemetry.TraceStore
 
 	baseCtx  context.Context
 	baseStop context.CancelFunc
@@ -216,6 +249,7 @@ type Service struct {
 	storeHits     *telemetry.Counter
 	storeMisses   *telemetry.Counter
 	storePuts     *telemetry.Counter
+	traceSegments *telemetry.Gauge
 }
 
 // New builds the service, wires the Engine's hooks into a Recorder over
@@ -233,12 +267,28 @@ func New(opts Options) *Service {
 	if isZeroConfig(opts.Cfg) {
 		opts.Cfg = scanpower.DefaultConfig()
 	}
+	node := opts.Node
+	if node == "" {
+		node = opts.Self
+	}
+	if node == "" {
+		node = "local"
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Service{
 		opts:     opts,
 		eng:      scanpower.NewEngine(opts.Cfg),
 		rec:      scanpower.NewRecorder(opts.Registry, opts.Trace),
 		reg:      opts.Registry,
+		node:     node,
+		log:      logger.With("node", node),
+		started:  time.Now(),
+		build:    telemetry.RegisterBuildInfo(opts.Registry),
+		traces:   telemetry.NewTraceStore(opts.TraceCapacity),
 		baseCtx:  ctx,
 		baseStop: stop,
 		queue:    make(chan *Job, opts.QueueSize),
@@ -255,6 +305,7 @@ func New(opts Options) *Service {
 		storeHits:     opts.Registry.Counter(MetricStoreHits),
 		storeMisses:   opts.Registry.Counter(MetricStoreMisses),
 		storePuts:     opts.Registry.Counter(MetricStorePuts),
+		traceSegments: opts.Registry.Gauge(MetricTraceSegments),
 	}
 	if len(opts.Peers) > 0 && opts.Self != "" {
 		s.cluster = newCluster(opts.Self, opts.Peers, opts.Registry)
@@ -306,10 +357,20 @@ var (
 )
 
 // Submit admits a job for circuit c under the given overrides, or
-// coalesces it onto an existing identical job. The returned bool reports
-// whether the submission was coalesced. Rejections return a *SubmitError.
-// The circuit must already be library-mapped.
+// coalesces it onto an existing identical job, minting a fresh trace for
+// the job. The returned bool reports whether the submission was
+// coalesced. Rejections return a *SubmitError. The circuit must already
+// be library-mapped.
 func (s *Service) Submit(c *netlist.Circuit, measure scanpower.MeasureBackend, timeout time.Duration) (*Job, bool, error) {
+	return s.SubmitTraced(c, measure, timeout, telemetry.TraceContext{TraceID: telemetry.NewTraceID()})
+}
+
+// SubmitTraced is Submit under an incoming distributed trace context: a
+// job this call creates joins tc's trace (its root span parenting to
+// tc.SpanID), and its segment is retained for GET /v1/jobs/{id}/trace.
+// A coalesced submit attaches to the existing job and keeps that job's
+// original trace.
+func (s *Service) SubmitTraced(c *netlist.Circuit, measure scanpower.MeasureBackend, timeout time.Duration, tc telemetry.TraceContext) (*Job, bool, error) {
 	if measure == "" {
 		// Canonicalize to the server default so "no preference" and an
 		// explicit default coalesce onto the same job.
@@ -351,8 +412,10 @@ func (s *Service) Submit(c *netlist.Circuit, measure scanpower.MeasureBackend, t
 			return j, true, nil
 		}
 		if hit {
-			if j, ok := s.storedJobLocked(c, measure, timeout, key, wire); ok {
+			if j, ok := s.storedJobLocked(c, measure, timeout, key, wire, tc); ok {
 				s.storeHits.Inc()
+				s.log.Info("job served from store",
+					"job_id", j.ID, "trace_id", j.traceID, "circuit", j.Circuit)
 				return j, false, nil
 			}
 		}
@@ -395,8 +458,32 @@ func (s *Service) Submit(c *netlist.Circuit, measure scanpower.MeasureBackend, t
 	s.order = append(s.order, j.ID)
 	s.submitted.Inc()
 	s.queueDepth.Set(float64(len(s.queue)))
+	s.attachTraceLocked(j, tc)
 	s.evictLocked()
+	s.log.Info("job admitted",
+		"job_id", j.ID, "trace_id", j.traceID,
+		"circuit", j.Circuit, "measure", string(j.Measure),
+		"timeout_ms", j.Timeout.Milliseconds())
 	return j, false, nil
+}
+
+// attachTraceLocked joins the job to the given trace context: it builds
+// this node's segment, opens the root "job" span (parented to the remote
+// span when the submit was forwarded here) and the "queue" child, and
+// retains the segment in the trace ring. Callers hold s.mu.
+func (s *Service) attachTraceLocked(j *Job, tc telemetry.TraceContext) {
+	if tc.TraceID == "" {
+		tc.TraceID = telemetry.NewTraceID()
+	}
+	j.traceID = tc.TraceID
+	j.spans = telemetry.NewSpanBuilder(tc.TraceID, s.node)
+	j.spans.SetJobID(j.ID)
+	j.rootSpan = j.spans.StartSpan(tc.SpanID, "job", map[string]any{
+		"circuit": j.Circuit, "measure": string(effectiveMeasure(j.Measure)),
+	})
+	j.quSpan = j.rootSpan.Start("queue", nil)
+	s.traces.Add(j.spans)
+	s.traceSegments.Set(float64(s.traces.Len()))
 }
 
 // storedJobLocked materializes a store hit as an already-done job: the
@@ -406,7 +493,7 @@ func (s *Service) Submit(c *netlist.Circuit, measure scanpower.MeasureBackend, t
 // ok=false if the stored bytes do not decode as a Comparison — the
 // checksum guards integrity, not decodability, so this is a degenerate
 // case treated as a miss.
-func (s *Service) storedJobLocked(c *netlist.Circuit, measure scanpower.MeasureBackend, timeout time.Duration, key jobKey, wire []byte) (*Job, bool) {
+func (s *Service) storedJobLocked(c *netlist.Circuit, measure scanpower.MeasureBackend, timeout time.Duration, key jobKey, wire []byte, tc telemetry.TraceContext) (*Job, bool) {
 	var cmp scanpower.Comparison
 	if err := json.Unmarshal(wire, &cmp); err != nil {
 		return nil, false
@@ -434,6 +521,20 @@ func (s *Service) storedJobLocked(c *netlist.Circuit, measure scanpower.MeasureB
 	s.byKey[key] = j
 	s.order = append(s.order, j.ID)
 	s.submitted.Inc()
+	if tc.TraceID == "" {
+		tc.TraceID = telemetry.NewTraceID()
+	}
+	j.traceID = tc.TraceID
+	j.spans = telemetry.NewSpanBuilder(tc.TraceID, s.node)
+	j.spans.SetJobID(j.ID)
+	root := j.spans.StartSpan(tc.SpanID, "job", map[string]any{
+		"circuit": j.Circuit, "measure": string(effectiveMeasure(j.Measure)),
+	})
+	hit := root.Start("store-hit", nil)
+	hit.End(map[string]any{"bytes": len(wire)})
+	root.End(map[string]any{"state": string(StateDone), "store_hit": true})
+	s.traces.Add(j.spans)
+	s.traceSegments.Set(float64(s.traces.Len()))
 	s.reg.Counter(fmt.Sprintf(MetricJobsByState+`{state=%q}`, StateDone)).Inc()
 	s.evictLocked()
 	return j, true
@@ -475,9 +576,9 @@ func (s *Service) Snapshot(j *Job) Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Snapshot{
-		ID: j.ID, Circuit: j.Circuit, Measure: j.Measure, Timeout: j.Timeout,
-		State: j.state, Err: j.err, Result: j.result, Wire: j.wire,
-		Created: j.created, Started: j.started, Finished: j.finished,
+		ID: j.ID, TraceID: j.traceID, Circuit: j.Circuit, Measure: j.Measure,
+		Timeout: j.Timeout, State: j.state, Err: j.err, Result: j.result,
+		Wire: j.wire, Created: j.created, Started: j.started, Finished: j.finished,
 	}
 }
 
@@ -570,9 +671,12 @@ func (s *Service) runJob(j *Job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.quSpan.End(nil)
+	j.runSpan = j.rootSpan.Start("run", nil)
 	s.inflight++
 	s.inflightGauge.Set(float64(s.inflight))
 	s.mu.Unlock()
+	s.log.Debug("job running", "job_id", j.ID, "trace_id", j.traceID, "circuit", j.Circuit)
 
 	cfg := s.opts.Cfg
 	cfg.Measure = j.Measure
@@ -621,7 +725,10 @@ func failureState(err error) JobState {
 	return StateFailed
 }
 
-// finishLocked settles a job into a terminal state. Callers hold s.mu.
+// finishLocked settles a job into a terminal state and closes its trace
+// spans — the queue span may still be open (canceled while waiting), so
+// every span is ended here and End's idempotence keeps the segment
+// balanced no matter which path settled first. Callers hold s.mu.
 func (s *Service) finishLocked(j *Job, state JobState, cmp *scanpower.Comparison, err error) {
 	if j.state.Terminal() {
 		return
@@ -637,6 +744,23 @@ func (s *Service) finishLocked(j *Job, state JobState, cmp *scanpower.Comparison
 		delete(s.byKey, j.key)
 	}
 	s.reg.Counter(fmt.Sprintf(MetricJobsByState+`{state=%q}`, state)).Inc()
+	j.quSpan.End(map[string]any{"aborted": true})
+	var runAttrs map[string]any
+	rootAttrs := map[string]any{"state": string(state)}
+	if err != nil {
+		runAttrs = map[string]any{"error": err.Error()}
+		rootAttrs["error"] = err.Error()
+	}
+	j.runSpan.End(runAttrs)
+	j.rootSpan.End(rootAttrs)
+	switch state {
+	case StateFailed:
+		s.log.Warn("job failed", "job_id", j.ID, "trace_id", j.traceID,
+			"circuit", j.Circuit, "error", err)
+	default:
+		s.log.Info("job "+string(state), "job_id", j.ID, "trace_id", j.traceID,
+			"circuit", j.Circuit, "elapsed_ms", j.finished.Sub(j.created).Milliseconds())
+	}
 	close(j.done)
 	s.jobs.Done()
 }

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// MetricBuildInfo is the build-metadata gauge family. Following the
+// Prometheus convention, the gauge's value is always 1 and the build's
+// identity lives in the labels.
+const MetricBuildInfo = "scanpower_build_info"
+
+// BuildInfo is the identity RegisterBuildInfo publishes.
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for local builds).
+	Version string
+	// GoVersion built the binary.
+	GoVersion string
+	// Revision is the VCS revision, suffixed "+dirty" for modified trees;
+	// "unknown" when the binary carries no VCS stamp.
+	Revision string
+}
+
+// ReadBuildInfo extracts the build identity from the running binary.
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{Version: "unknown", GoVersion: runtime.Version(), Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		out.GoVersion = bi.GoVersion
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		out.Revision = rev
+	}
+	return out
+}
+
+// RegisterBuildInfo publishes the scanpower_build_info gauge on reg and
+// returns the identity it stamped. Safe on a nil registry.
+func RegisterBuildInfo(reg *Registry) BuildInfo {
+	info := ReadBuildInfo()
+	reg.Gauge(fmt.Sprintf(MetricBuildInfo+`{version=%q,goversion=%q,revision=%q}`,
+		info.Version, info.GoVersion, info.Revision)).Set(1)
+	return info
+}

@@ -1,0 +1,237 @@
+package telemetry
+
+import "fmt"
+
+// Typed registry snapshots and cluster metrics fusion. Export copies a
+// registry into plain values that marshal to JSON and merge additively,
+// so one node can fetch its peers' snapshots and serve a fused view of
+// the whole cluster. Histogram merges are bucket-exact: identical bounds
+// sum count-for-count, mismatched bounds are an error rather than a
+// silently wrong percentile.
+
+// HistogramSnapshot is a point-in-time copy of one histogram series.
+type HistogramSnapshot struct {
+	// Bounds are the sorted finite upper bounds.
+	Bounds []float64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; the last is the +Inf bucket.
+	Counts []int64 `json:"counts"`
+	Sum    float64 `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot copies the histogram's bounds, per-bucket counts, sum and
+// count. Concurrent Observes may be torn across buckets by at most the
+// observations in flight. A nil histogram returns a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// boundsEqual reports whether two bucket layouts are identical.
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge adds o's buckets into h. The bucket bounds must be identical —
+// merging histograms with different layouts cannot be bucket-exact, so
+// it is rejected. An empty (zero-count, boundless) operand merges as a
+// no-op on either side.
+func (h *HistogramSnapshot) Merge(o HistogramSnapshot) error {
+	if o.Count == 0 && len(o.Bounds) == 0 {
+		return nil
+	}
+	if h.Count == 0 && len(h.Bounds) == 0 {
+		h.Bounds = append([]float64(nil), o.Bounds...)
+		h.Counts = append([]int64(nil), o.Counts...)
+		h.Sum, h.Count = o.Sum, o.Count
+		return nil
+	}
+	if !boundsEqual(h.Bounds, o.Bounds) {
+		return fmt.Errorf("telemetry: histogram bounds mismatch: %v vs %v", h.Bounds, o.Bounds)
+	}
+	if len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("telemetry: histogram bucket count mismatch: %d vs %d", len(h.Counts), len(o.Counts))
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Sum += o.Sum
+	h.Count += o.Count
+	return nil
+}
+
+// Quantile estimates the q-th quantile from the snapshot's buckets with
+// the same interpolation rules as Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	var total int64
+	for _, n := range s.Counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(s.Bounds) {
+				if len(s.Bounds) == 0 {
+					return 0
+				}
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// RegistrySnapshot is a typed point-in-time copy of every series in a
+// registry: counters and gauges by full series name, histograms with
+// their exact buckets. It is the wire document of per-node metrics
+// pulls and the unit of cluster fusion.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Export copies every series. A nil registry exports an empty snapshot.
+func (r *Registry) Export() *RegistrySnapshot {
+	out := &RegistrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		out.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		out.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		out.Histograms[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Merge fuses o into s: counters and gauges sum per series (gauges in
+// this system are additive occupancy values — queue depth, inflight — so
+// a cluster-wide sum is the meaningful fusion), histograms merge
+// bucket-exactly. A histogram series whose bounds disagree across nodes
+// aborts the merge with an error.
+func (s *RegistrySnapshot) Merge(o *RegistrySnapshot) error {
+	if o == nil {
+		return nil
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[name] += v
+	}
+	for name, hs := range o.Histograms {
+		cur := s.Histograms[name]
+		if err := cur.Merge(hs); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		s.Histograms[name] = cur
+	}
+	return nil
+}
+
+// Clone deep-copies the snapshot, so fusion can start from one node's
+// export without mutating it.
+func (s *RegistrySnapshot) Clone() *RegistrySnapshot {
+	out := &RegistrySnapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = HistogramSnapshot{
+			Bounds: append([]float64(nil), v.Bounds...),
+			Counts: append([]int64(nil), v.Counts...),
+			Sum:    v.Sum,
+			Count:  v.Count,
+		}
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramSnapshotExact(t *testing.T) {
+	reg := NewRegistry()
+	bounds := []float64{1, 2, 4}
+	h := reg.Histogram("lat", bounds)
+	for _, v := range []float64{0.5, 1.5, 3, 8, 8} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if len(s.Bounds) != 3 || len(s.Counts) != 4 {
+		t.Fatalf("snapshot shape: bounds %d counts %d", len(s.Bounds), len(s.Counts))
+	}
+	wantCounts := []int64{1, 1, 1, 2}
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], want)
+		}
+	}
+	if s.Count != 5 || s.Sum != 21 {
+		t.Errorf("count=%d sum=%v, want 5 and 21", s.Count, s.Sum)
+	}
+	// The snapshot owns its slices — mutating it must not touch the live
+	// histogram.
+	s.Counts[0] = 99
+	if h.Snapshot().Counts[0] != 1 {
+		t.Error("snapshot aliases the live histogram")
+	}
+
+	var nilH *Histogram
+	ns := nilH.Snapshot()
+	if ns.Count != 0 || len(ns.Bounds) != 0 {
+		t.Errorf("nil histogram snapshot = %+v", ns)
+	}
+}
+
+func TestHistogramSnapshotMergeIdenticalBounds(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	bounds := []float64{1, 2, 4}
+	ha := regA.Histogram("lat", bounds)
+	hb := regB.Histogram("lat", bounds)
+	for _, v := range []float64{0.5, 3} {
+		ha.Observe(v)
+	}
+	for _, v := range []float64{1.5, 8} {
+		hb.Observe(v)
+	}
+	sa, sb := ha.Snapshot(), hb.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 1, 1, 1}
+	for i, w := range want {
+		if sa.Counts[i] != w {
+			t.Errorf("merged bucket %d = %d, want %d", i, sa.Counts[i], w)
+		}
+	}
+	if sa.Count != 4 || sa.Sum != 13 {
+		t.Errorf("merged count=%d sum=%v, want 4 and 13", sa.Count, sa.Sum)
+	}
+
+	// Merging into an empty snapshot adopts the operand wholesale, and an
+	// empty operand is a no-op.
+	var empty HistogramSnapshot
+	if err := empty.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Count != sb.Count || empty.Counts[1] != sb.Counts[1] {
+		t.Errorf("empty.Merge = %+v, want copy of %+v", empty, sb)
+	}
+	before := sa.Count
+	if err := sa.Merge(HistogramSnapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Count != before {
+		t.Error("empty operand changed the snapshot")
+	}
+}
+
+func TestHistogramSnapshotMergeRejectsMismatchedBounds(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	ha := regA.Histogram("lat", []float64{1, 2, 4})
+	hb := regB.Histogram("lat", []float64{1, 2, 8})
+	ha.Observe(1)
+	hb.Observe(1)
+	sa, sb := ha.Snapshot(), hb.Snapshot()
+	if err := sa.Merge(sb); err == nil {
+		t.Fatal("mismatched bounds merged without error")
+	} else if !strings.Contains(err.Error(), "bounds mismatch") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestHistogramSnapshotQuantileMatchesLive(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{0.01, 0.1, 1, 10})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 20) // 0 .. 4.95
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got, want := s.Quantile(q), h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, live = %v", q, got, want)
+		}
+	}
+}
+
+func TestRegistryExportAndMerge(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	regA.Counter("jobs_total").Add(3)
+	regB.Counter("jobs_total").Add(4)
+	regB.Counter("only_b_total").Inc()
+	regA.Gauge("depth").Set(2)
+	regB.Gauge("depth").Set(5)
+	bounds := []float64{1, 2}
+	regA.Histogram("lat", bounds).Observe(0.5)
+	regB.Histogram("lat", bounds).Observe(1.5)
+
+	sa, sb := regA.Export(), regB.Export()
+	fused := sa.Clone()
+	if err := fused.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if fused.Counters["jobs_total"] != 7 || fused.Counters["only_b_total"] != 1 {
+		t.Errorf("fused counters = %v", fused.Counters)
+	}
+	if fused.Gauges["depth"] != 7 {
+		t.Errorf("fused depth = %v, want 7", fused.Gauges["depth"])
+	}
+	hs := fused.Histograms["lat"]
+	if hs.Count != 2 || hs.Counts[0] != 1 || hs.Counts[1] != 1 {
+		t.Errorf("fused histogram = %+v", hs)
+	}
+	// Fused buckets are the bit-exact per-bucket sums.
+	for i := range hs.Counts {
+		if hs.Counts[i] != sa.Histograms["lat"].Counts[i]+sb.Histograms["lat"].Counts[i] {
+			t.Errorf("bucket %d not the exact sum", i)
+		}
+	}
+	// Clone isolated the fusion from A's export.
+	if sa.Counters["jobs_total"] != 3 {
+		t.Error("merge mutated the cloned-from snapshot")
+	}
+
+	// A mismatched series aborts with the series name in the error.
+	regC := NewRegistry()
+	regC.Histogram("lat", []float64{1, 2, 3}).Observe(1)
+	if err := fused.Merge(regC.Export()); err == nil {
+		t.Fatal("mismatched series merged")
+	} else if !strings.Contains(err.Error(), "lat") {
+		t.Errorf("error does not name the series: %v", err)
+	}
+
+	// Nil registry exports empty; nil operand merges as a no-op.
+	var nilReg *Registry
+	empty := nilReg.Export()
+	if len(empty.Counters)+len(empty.Gauges)+len(empty.Histograms) != 0 {
+		t.Errorf("nil registry export = %+v", empty)
+	}
+	if err := fused.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	info := RegisterBuildInfo(reg)
+	if info.GoVersion == "" || info.Version == "" || info.Revision == "" {
+		t.Fatalf("build info has empty fields: %+v", info)
+	}
+	snap := reg.Export()
+	found := false
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, MetricBuildInfo+"{") {
+			found = true
+			if v != 1 {
+				t.Errorf("build info gauge = %v, want 1", v)
+			}
+			if !strings.Contains(name, info.GoVersion) {
+				t.Errorf("gauge labels %q missing go version %q", name, info.GoVersion)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s series in %v", MetricBuildInfo, snap.Gauges)
+	}
+	// Nil registry is a no-op but still reports the identity.
+	if got := RegisterBuildInfo(nil); got.GoVersion == "" {
+		t.Errorf("nil registry build info = %+v", got)
+	}
+}

@@ -1,0 +1,384 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Distributed trace context. A trace is identified by a cluster-unique
+// 128-bit ID minted at first ingress; it crosses process boundaries as a
+// W3C-traceparent-style header value
+//
+//	00-<32 hex trace-id>-<16 hex parent-span-id>-01
+//
+// so a job forwarded across the consistent-hash ring carries one identity
+// through every hop. Each node accumulates its own segment of the span
+// tree in a SpanBuilder and retains finished segments in a bounded
+// TraceStore; the node serving a trace query merges its segment with the
+// segments pulled from its peers.
+
+// TraceContext is one position inside a distributed trace: the trace's
+// identity plus the span on the sending side that new spans should parent
+// to. A zero TraceContext means "no incoming context".
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters (128 bits).
+	TraceID string
+	// SpanID is the remote parent span, 16 lowercase hex characters.
+	// Empty at first ingress.
+	SpanID string
+}
+
+// NewTraceID mints a cluster-unique 128-bit trace ID.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID mints a 64-bit span ID.
+func NewSpanID() string { return randHex(8) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID is
+		// still a valid (if unlucky) identifier.
+		for i := range b {
+			b[i] = byte(time.Now().UnixNano() >> (8 * (i % 8)))
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// Traceparent renders the context as the wire header value. An empty
+// SpanID is rendered as all zeroes (a root context).
+func (tc TraceContext) Traceparent() string {
+	span := tc.SpanID
+	if span == "" {
+		span = "0000000000000000"
+	}
+	return "00-" + tc.TraceID + "-" + span + "-01"
+}
+
+// ParseTraceparent parses a traceparent-style header value. It accepts
+// only version 00 with well-formed hex IDs; anything else reports ok
+// false so the receiver mints a fresh trace instead of propagating
+// garbage.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return TraceContext{}, false
+	}
+	trace, span := strings.ToLower(parts[1]), strings.ToLower(parts[2])
+	if len(trace) != 32 || !isHex(trace) || len(span) != 16 || !isHex(span) {
+		return TraceContext{}, false
+	}
+	if trace == strings.Repeat("0", 32) {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: trace}
+	if span != "0000000000000000" {
+		tc.SpanID = span
+	}
+	return tc, true
+}
+
+func isHex(s string) bool {
+	for _, r := range s {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// SpanRecord is one finished span of a distributed trace segment.
+type SpanRecord struct {
+	SpanID string         `json:"span_id"`
+	Parent string         `json:"parent_id,omitempty"`
+	Name   string         `json:"name"`
+	Node   string         `json:"node,omitempty"`
+	Start  time.Time      `json:"start"`
+	DurNS  int64          `json:"dur_ns"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// JobTrace is one node's retained segment of a distributed trace: the
+// finished spans this node contributed, tagged with the node's name.
+type JobTrace struct {
+	TraceID string       `json:"trace_id"`
+	JobID   string       `json:"job_id,omitempty"`
+	Node    string       `json:"node,omitempty"`
+	Spans   []SpanRecord `json:"spans"`
+}
+
+// SpanBuilder accumulates one node's segment of one distributed trace.
+// Spans are recorded when they End; a snapshot of the finished spans is
+// available at any time via Segment, so a trace query racing a live job
+// sees the spans completed so far. A nil *SpanBuilder is a valid no-op
+// sink, and all methods are safe for concurrent use.
+type SpanBuilder struct {
+	mu      sync.Mutex
+	traceID string
+	node    string
+	jobID   string
+	spans   []SpanRecord
+	open    int
+}
+
+// NewSpanBuilder starts an empty segment of the given trace, tagging
+// every span with node.
+func NewSpanBuilder(traceID, node string) *SpanBuilder {
+	return &SpanBuilder{traceID: traceID, node: node}
+}
+
+// TraceID returns the trace this builder contributes to ("" on nil).
+func (b *SpanBuilder) TraceID() string {
+	if b == nil {
+		return ""
+	}
+	return b.traceID
+}
+
+// SetJobID tags the segment with the job it belongs to. Safe on nil.
+func (b *SpanBuilder) SetJobID(id string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.jobID = id
+	b.mu.Unlock()
+}
+
+// JobID returns the segment's job tag ("" on nil or before SetJobID).
+func (b *SpanBuilder) JobID() string {
+	if b == nil {
+		return ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.jobID
+}
+
+// OpenSpans reports spans started but not yet ended — zero once the
+// segment is balanced. Safe on nil (returns 0).
+func (b *SpanBuilder) OpenSpans() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// BuildSpan is one open span under a SpanBuilder. End it exactly once;
+// extra Ends are ignored. A nil *BuildSpan is a valid no-op.
+type BuildSpan struct {
+	b      *SpanBuilder
+	id     string
+	parent string
+	name   string
+	start  time.Time
+	attrs  map[string]any
+
+	mu    sync.Mutex
+	ended bool
+}
+
+// StartSpan opens a span parented to the given remote or local span ID
+// ("" for a root span). Safe on nil (returns nil).
+func (b *SpanBuilder) StartSpan(parent, name string, attrs map[string]any) *BuildSpan {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	b.open++
+	b.mu.Unlock()
+	return &BuildSpan{
+		b: b, id: NewSpanID(), parent: parent, name: name,
+		start: time.Now(), attrs: attrs,
+	}
+}
+
+// Start opens a child of s. Safe on nil (returns nil).
+func (s *BuildSpan) Start(name string, attrs map[string]any) *BuildSpan {
+	if s == nil {
+		return nil
+	}
+	return s.b.StartSpan(s.id, name, attrs)
+}
+
+// ID returns the span's ID ("" on nil), for parenting remote spans.
+func (s *BuildSpan) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// End finishes the span, merging attrs over the start attributes, and
+// records it in the builder. Idempotent and safe on nil.
+func (s *BuildSpan) End(attrs map[string]any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.mu.Unlock()
+
+	merged := s.attrs
+	if len(attrs) > 0 {
+		merged = make(map[string]any, len(s.attrs)+len(attrs))
+		for k, v := range s.attrs {
+			merged[k] = v
+		}
+		for k, v := range attrs {
+			merged[k] = v
+		}
+	}
+	rec := SpanRecord{
+		SpanID: s.id, Parent: s.parent, Name: s.name, Node: s.b.node,
+		Start: s.start, DurNS: time.Since(s.start).Nanoseconds(), Attrs: merged,
+	}
+	s.b.mu.Lock()
+	s.b.open--
+	s.b.spans = append(s.b.spans, rec)
+	s.b.mu.Unlock()
+}
+
+// Segment snapshots the finished spans as a JobTrace.
+func (b *SpanBuilder) Segment() JobTrace {
+	if b == nil {
+		return JobTrace{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return JobTrace{
+		TraceID: b.traceID,
+		JobID:   b.jobID,
+		Node:    b.node,
+		Spans:   append([]SpanRecord(nil), b.spans...),
+	}
+}
+
+// DefTraceCapacity is the default TraceStore ring size.
+const DefTraceCapacity = 512
+
+// TraceStore retains the most recent trace segments in a bounded
+// in-memory ring: adding beyond capacity evicts the oldest segment.
+// Lookups scan the ring (it is small by construction), newest first for
+// job lookups so a re-submitted job ID resolves to its latest trace. A
+// nil *TraceStore is a valid no-op store.
+type TraceStore struct {
+	mu       sync.Mutex
+	capacity int
+	entries  []*SpanBuilder // ring; next is the slot Add writes
+	next     int
+	count    int
+}
+
+// NewTraceStore returns a store retaining up to capacity segments
+// (DefTraceCapacity if capacity <= 0).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefTraceCapacity
+	}
+	return &TraceStore{capacity: capacity, entries: make([]*SpanBuilder, capacity)}
+}
+
+// Add retains a segment builder. The builder stays live — spans ended
+// after Add appear in later lookups, which is what lets a trace query
+// observe a job mid-flight. Safe on nil.
+func (ts *TraceStore) Add(b *SpanBuilder) {
+	if ts == nil || b == nil {
+		return
+	}
+	ts.mu.Lock()
+	ts.entries[ts.next] = b
+	ts.next = (ts.next + 1) % ts.capacity
+	if ts.count < ts.capacity {
+		ts.count++
+	}
+	ts.mu.Unlock()
+}
+
+// Len reports the number of retained segments.
+func (ts *TraceStore) Len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.count
+}
+
+// snapshot returns the retained builders oldest-first.
+func (ts *TraceStore) snapshot() []*SpanBuilder {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]*SpanBuilder, 0, ts.count)
+	start := ts.next - ts.count
+	for i := 0; i < ts.count; i++ {
+		out = append(out, ts.entries[((start+i)%ts.capacity+ts.capacity)%ts.capacity])
+	}
+	return out
+}
+
+// All snapshots every retained segment, oldest first.
+func (ts *TraceStore) All() []JobTrace {
+	if ts == nil {
+		return nil
+	}
+	bs := ts.snapshot()
+	out := make([]JobTrace, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, b.Segment())
+	}
+	return out
+}
+
+// OpenSpans sums the started-but-unended spans across every retained
+// segment — zero when all retained segments are balanced.
+func (ts *TraceStore) OpenSpans() int {
+	if ts == nil {
+		return 0
+	}
+	total := 0
+	for _, b := range ts.snapshot() {
+		total += b.OpenSpans()
+	}
+	return total
+}
+
+// ByJob returns the newest segment tagged with the given job ID.
+func (ts *TraceStore) ByJob(jobID string) (JobTrace, bool) {
+	if ts == nil || jobID == "" {
+		return JobTrace{}, false
+	}
+	bs := ts.snapshot()
+	for i := len(bs) - 1; i >= 0; i-- {
+		if bs[i].JobID() == jobID {
+			return bs[i].Segment(), true
+		}
+	}
+	return JobTrace{}, false
+}
+
+// ByTrace returns every retained segment of the given trace, oldest
+// first. One node can hold several segments of one trace (an ingress
+// segment that forwarded plus a local run after failover).
+func (ts *TraceStore) ByTrace(traceID string) []JobTrace {
+	if ts == nil || traceID == "" {
+		return nil
+	}
+	var out []JobTrace
+	for _, b := range ts.snapshot() {
+		if b.TraceID() == traceID {
+			out = append(out, b.Segment())
+		}
+	}
+	return out
+}

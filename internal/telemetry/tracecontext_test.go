@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 {
+		t.Fatalf("ID lengths: trace %d span %d", len(tc.TraceID), len(tc.SpanID))
+	}
+	got, ok := ParseTraceparent(tc.Traceparent())
+	if !ok || got != tc {
+		t.Fatalf("round trip: %v -> %q -> %v (ok=%v)", tc, tc.Traceparent(), got, ok)
+	}
+
+	// A root context (no parent span) renders a zero span ID and parses
+	// back to an empty SpanID.
+	root := TraceContext{TraceID: tc.TraceID}
+	if !strings.Contains(root.Traceparent(), "-0000000000000000-") {
+		t.Errorf("root traceparent = %q", root.Traceparent())
+	}
+	got, ok = ParseTraceparent(root.Traceparent())
+	if !ok || got.SpanID != "" || got.TraceID != tc.TraceID {
+		t.Errorf("root round trip = %v (ok=%v)", got, ok)
+	}
+}
+
+func TestParseTraceparentRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"01-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01", // wrong version
+		"00-" + strings.Repeat("a", 31) + "-" + strings.Repeat("b", 16) + "-01", // short trace
+		"00-" + strings.Repeat("g", 32) + "-" + strings.Repeat("b", 16) + "-01", // non-hex
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 15) + "-01", // short span
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("b", 16) + "-01", // all-zero trace
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16),         // missing flags
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+}
+
+func TestSpanBuilderBalanceAndIdempotentEnd(t *testing.T) {
+	b := NewSpanBuilder(NewTraceID(), "node-a")
+	b.SetJobID("job-1")
+	root := b.StartSpan("", "job", map[string]any{"circuit": "s27"})
+	child := root.Start("queue", nil)
+	if b.OpenSpans() != 2 {
+		t.Fatalf("open spans = %d, want 2", b.OpenSpans())
+	}
+	child.End(nil)
+	child.End(map[string]any{"twice": true}) // ignored
+	root.End(map[string]any{"state": "done"})
+	root.End(nil) // ignored
+	if b.OpenSpans() != 0 {
+		t.Fatalf("open spans after End = %d, want 0", b.OpenSpans())
+	}
+	seg := b.Segment()
+	if seg.JobID != "job-1" || seg.Node != "node-a" || len(seg.Spans) != 2 {
+		t.Fatalf("segment = %+v", seg)
+	}
+	for _, sp := range seg.Spans {
+		if sp.Node != "node-a" {
+			t.Errorf("span %s node = %q", sp.Name, sp.Node)
+		}
+	}
+	// The child parents to the root; end-attrs merged over start-attrs.
+	var rootRec, childRec SpanRecord
+	for _, sp := range seg.Spans {
+		switch sp.Name {
+		case "job":
+			rootRec = sp
+		case "queue":
+			childRec = sp
+		}
+	}
+	if childRec.Parent != rootRec.SpanID {
+		t.Errorf("child parent = %q, want %q", childRec.Parent, rootRec.SpanID)
+	}
+	if rootRec.Attrs["circuit"] != "s27" || rootRec.Attrs["state"] != "done" {
+		t.Errorf("root attrs = %v", rootRec.Attrs)
+	}
+	if _, ok := childRec.Attrs["twice"]; ok {
+		t.Errorf("second End mutated attrs: %v", childRec.Attrs)
+	}
+}
+
+func TestNilSpanBuilderIsNoOp(t *testing.T) {
+	var b *SpanBuilder
+	b.SetJobID("x")
+	sp := b.StartSpan("", "root", nil)
+	if sp != nil {
+		t.Fatal("nil builder started a span")
+	}
+	sp.End(nil)
+	child := sp.Start("child", nil)
+	child.End(nil)
+	if id := sp.ID(); id != "" {
+		t.Errorf("nil span ID = %q", id)
+	}
+	if seg := b.Segment(); len(seg.Spans) != 0 {
+		t.Errorf("nil segment = %+v", seg)
+	}
+}
+
+func TestTraceStoreEvictionAndLookups(t *testing.T) {
+	ts := NewTraceStore(3)
+	var builders []*SpanBuilder
+	for i := 0; i < 5; i++ {
+		b := NewSpanBuilder(fmt.Sprintf("%032d", i), "node-a")
+		b.SetJobID(fmt.Sprintf("job-%d", i))
+		sp := b.StartSpan("", "job", nil)
+		sp.End(nil)
+		ts.Add(b)
+		builders = append(builders, b)
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (capacity)", ts.Len())
+	}
+	// Oldest two evicted, newest three retained.
+	if _, ok := ts.ByJob("job-0"); ok {
+		t.Error("evicted job-0 still resolvable")
+	}
+	if _, ok := ts.ByJob("job-4"); !ok {
+		t.Error("job-4 not resolvable")
+	}
+	if segs := ts.ByTrace(builders[1].TraceID()); len(segs) != 0 {
+		t.Errorf("evicted trace has %d segments", len(segs))
+	}
+	if segs := ts.ByTrace(builders[3].TraceID()); len(segs) != 1 {
+		t.Errorf("trace 3 has %d segments, want 1", len(segs))
+	}
+
+	// A job ID reused across traces resolves to the newest segment.
+	reused := NewSpanBuilder(strings.Repeat("f", 32), "node-b")
+	reused.SetJobID("job-4")
+	ts.Add(reused)
+	seg, ok := ts.ByJob("job-4")
+	if !ok || seg.TraceID != reused.TraceID() {
+		t.Errorf("ByJob(job-4) = %+v (ok=%v), want newest trace", seg, ok)
+	}
+
+	// A segment added live keeps accumulating: spans ended after Add are
+	// visible in later lookups.
+	live := NewSpanBuilder(strings.Repeat("e", 32), "node-c")
+	live.SetJobID("job-live")
+	open := live.StartSpan("", "job", nil)
+	ts.Add(live)
+	if seg, _ := ts.ByJob("job-live"); len(seg.Spans) != 0 {
+		t.Fatalf("unfinished span already visible: %+v", seg)
+	}
+	open.End(nil)
+	if seg, _ := ts.ByJob("job-live"); len(seg.Spans) != 1 {
+		t.Errorf("span ended after Add not visible: %+v", seg)
+	}
+
+	// Nil store is a no-op.
+	var nilTS *TraceStore
+	nilTS.Add(live)
+	if nilTS.Len() != 0 {
+		t.Error("nil store has entries")
+	}
+	if _, ok := nilTS.ByJob("job-live"); ok {
+		t.Error("nil store resolved a job")
+	}
+}

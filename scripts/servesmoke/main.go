@@ -102,8 +102,9 @@ func run() error {
 		}
 	}()
 
-	// The daemon announces its bound port on stderr:
-	//   scanpowerd: listening on http://127.0.0.1:PORT
+	// The daemon announces its bound port on stderr as a structured
+	// log line:
+	//   time=... level=INFO msg=listening addr=http://127.0.0.1:PORT
 	base, lines, err := awaitListening(stderr)
 	if err != nil {
 		return err
@@ -168,9 +169,18 @@ func awaitListening(stderr io.Reader) (string, func() string, error) {
 	found := make(chan string, 1)
 	go func() {
 		for sc.Scan() {
-			line := sc.Text()
-			if rest, ok := strings.CutPrefix(line, "scanpowerd: listening on "); ok {
-				found <- strings.TrimSpace(rest)
+			fields := strings.Fields(sc.Text())
+			var msg, addr string
+			for _, f := range fields {
+				if v, ok := strings.CutPrefix(f, "msg="); ok {
+					msg = v
+				}
+				if v, ok := strings.CutPrefix(f, "addr="); ok {
+					addr = v
+				}
+			}
+			if msg == "listening" && addr != "" {
+				found <- addr
 				return
 			}
 		}
