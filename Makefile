@@ -5,9 +5,9 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build vet test race bench bench-json telemetry-race fuzz-equiv bench-kernels bench-mc serve-smoke loadsmoke obs-smoke bench-cluster
+.PHONY: check build vet test race atpg-race bench bench-json telemetry-race fuzz-equiv bench-kernels bench-mc bench-atpg serve-smoke loadsmoke obs-smoke bench-cluster
 
-check: vet build test race telemetry-race fuzz-equiv bench-json serve-smoke loadsmoke obs-smoke
+check: vet build test race atpg-race telemetry-race fuzz-equiv bench-json serve-smoke loadsmoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The fault-parallel ATPG scheduler under the race detector: worker
+# bit-identity at several worker counts, the MaxPodemFaults cap with
+# in-flight speculation, and the engine's worker-normalized pattern cache.
+atpg-race:
+	$(GO) test -race -run 'Workers|Podem|Scheduler|DetectAllMask|RandomPhase' ./internal/atpg/ .
 
 # Engine acceptance benchmark: sequential vs GOMAXPROCS Table I.
 bench:
@@ -75,6 +81,7 @@ bench-cluster:
 fuzz-equiv:
 	$(GO) test ./internal/power/ -run '^$$' -fuzz FuzzMeasureScanPackedEquivalence -fuzztime 10s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzMCPackedEquivalence -fuzztime 10s
+	$(GO) test ./internal/atpg/ -run '^$$' -fuzz FuzzFaultSimEquivalence -fuzztime 10s
 
 # Kernel comparison benchmark: dense vs event-driven vs packed on an
 # ISCAS stream with 64 patterns (acceptance: packed >= 5x fast).
@@ -87,3 +94,10 @@ bench-kernels:
 bench-mc:
 	$(GO) test ./internal/obs/ -run '^$$' -bench BenchmarkObsKernels -benchtime 2s
 	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkFillKernels -benchtime 2s
+
+# ATPG pipeline benchmark: incremental event-driven PODEM + batched fault
+# dropping vs the preserved legacy baseline on s1423/s5378, plus the
+# Workers=1 vs Workers=4 bit-identity gate (acceptance: podem phase >= 5x
+# on s1423; report lands in BENCH_<date>_atpg.json).
+bench-atpg:
+	ATPG_BENCH_OUT=$(CURDIR)/BENCH_$(DATE)_atpg.json $(GO) test ./internal/atpg/ -run TestBenchATPGJSON -count=1 -v

@@ -18,6 +18,7 @@ import (
 
 	"repro"
 	"repro/internal/atpg"
+	"repro/internal/cliflags"
 	"repro/internal/netlist"
 	"repro/internal/vectors"
 )
@@ -29,7 +30,9 @@ func main() {
 	noCompact := flag.Bool("no-compact", false, "disable reverse-order compaction")
 	out := flag.String("o", "", "write patterns to this file (vectors v1 format) instead of stdout")
 	fill := flag.String("fill", "random", "don't-care fill for deterministic patterns: random, 0, 1, adjacent")
+	fillChains := flag.Int("fill-chains", 1, "scan-chain count adjacent fill follows (round-robin partition, matching the measurement chains)")
 	nDetect := flag.Int("ndetect", 1, "require each fault be detected by at least N patterns")
+	atpgWorkers := cliflags.ATPGWorkers(flag.CommandLine)
 	flag.Parse()
 
 	var (
@@ -54,6 +57,11 @@ func main() {
 	opts.Seed = *seed
 	opts.Compact = !*noCompact
 	opts.NDetect = *nDetect
+	opts.FillChains = *fillChains
+	if opts.Workers, err = cliflags.ValidateATPGWorkers(*atpgWorkers); err != nil {
+		fmt.Fprintln(os.Stderr, "atpggen:", err)
+		os.Exit(2)
+	}
 	switch *fill {
 	case "random":
 		opts.Fill = atpg.FillRandom

@@ -61,6 +61,7 @@ func main() {
 	manifestPath := fs.String("manifest", "", "write the run manifest JSON to this file")
 	measure := cliflags.Measure(fs)
 	mcBackend := cliflags.MC(fs)
+	atpgWorkers := cliflags.ATPGWorkers(fs)
 	server := fs.String("server", "", "submit to these scanpowerd base URLs (comma-separated) instead of computing in-process")
 	flag.Parse()
 
@@ -137,6 +138,10 @@ func main() {
 
 	cfg, err := cliflags.BackendConfig(*measure, *mcBackend)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "scanpower:", err)
+		os.Exit(2)
+	}
+	if cfg.ATPG.Workers, err = cliflags.ValidateATPGWorkers(*atpgWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "scanpower:", err)
 		os.Exit(2)
 	}

@@ -70,6 +70,7 @@ func main() {
 	jobTimeout := cliflags.Timeout(fs, "job-timeout", 0, "default per-job deadline for requests without timeout_ms (0 = none)")
 	maxJobTimeout := cliflags.Timeout(fs, "max-job-timeout", 10*time.Minute, "cap on client-requested deadlines (0 = no cap)")
 	measure := cliflags.Measure(fs)
+	atpgWorkers := cliflags.ATPGWorkers(fs)
 	self := fs.String("self", "", "this node's externally reachable base URL (e.g. http://10.0.0.1:8344); required with -peers")
 	node := fs.String("node", "", "this node's display name on trace spans and log lines (default -self, then \"local\")")
 	cluster := cliflags.ClusterFlags(fs)
@@ -79,7 +80,7 @@ func main() {
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
 
-	if err := run(*listen, *workers, *queue, *jobTimeout, *maxJobTimeout,
+	if err := run(*listen, *workers, *queue, *atpgWorkers, *jobTimeout, *maxJobTimeout,
 		*measure, *self, *node, cluster, *tracePath, *manifestPath, *drainTimeout,
 		*logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "scanpowerd:", err)
@@ -98,7 +99,7 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
-func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Duration,
+func run(listen string, workers, queue, atpgWorkers int, jobTimeout, maxJobTimeout time.Duration,
 	measure, self, node string, cluster *cliflags.Cluster, tracePath, manifestPath string,
 	drainTimeout time.Duration, logLevel string) error {
 
@@ -107,6 +108,10 @@ func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Durat
 		return err
 	}
 	backend, err := cliflags.ValidateMeasure(measure)
+	if err != nil {
+		return err
+	}
+	atpgWorkers, err = cliflags.ValidateATPGWorkers(atpgWorkers)
 	if err != nil {
 		return err
 	}
@@ -141,6 +146,7 @@ func run(listen string, workers, queue int, jobTimeout, maxJobTimeout time.Durat
 
 	cfg := scanpower.DefaultConfig()
 	cfg.Measure = backend
+	cfg.ATPG.Workers = atpgWorkers
 	svc := service.New(service.Options{
 		Cfg:            cfg,
 		Workers:        workers,

@@ -49,6 +49,7 @@ func main() {
 	manifestPath := fs.String("manifest", "", "write the run manifest JSON to this file")
 	measure := cliflags.Measure(fs)
 	mcBackend := cliflags.MC(fs)
+	atpgWorkers := cliflags.ATPGWorkers(fs)
 	flag.Parse()
 
 	names := scanpower.BenchmarkNames()
@@ -90,6 +91,10 @@ func main() {
 
 	cfg, err := cliflags.BackendConfig(*measure, *mcBackend)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "tableone:", err)
+		os.Exit(2)
+	}
+	if cfg.ATPG.Workers, err = cliflags.ValidateATPGWorkers(*atpgWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "tableone:", err)
 		os.Exit(2)
 	}

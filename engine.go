@@ -110,6 +110,16 @@ type Hooks struct {
 	// elapsed the batch's evaluation wall time. The scalar MC backend
 	// never fires it.
 	OnMCBatch func(circuit, stage, kind string, lanes int, elapsed time.Duration)
+	// OnFaultSimBatch fires after each packed fault-dropping pass of the
+	// ATPG stage: kind is "drop" (deterministic-phase buffer flush) or
+	// "compact" (static compaction), lanes the pattern lanes the pass
+	// simulated (never for cache-served stages).
+	OnFaultSimBatch func(circuit, kind string, lanes int, elapsed time.Duration)
+	// OnPodemChunk fires after a fault-parallel ATPG scheduler worker
+	// finishes one chunk of the residual fault queue (only when
+	// Config.ATPG.Workers > 1). It is invoked concurrently from worker
+	// goroutines; implementations must be goroutine-safe.
+	OnPodemChunk func(circuit string, start, n int, elapsed time.Duration)
 }
 
 // empty reports whether no callback is set (func fields make Hooks
@@ -118,7 +128,7 @@ func (h Hooks) empty() bool {
 	return h.OnStageStart == nil && h.OnStageDone == nil && h.OnProgress == nil &&
 		h.OnSubStage == nil && h.OnPodemFault == nil && h.OnJustify == nil &&
 		h.OnObsSamples == nil && h.OnPattern == nil && h.OnMeasureBatch == nil &&
-		h.OnMCBatch == nil
+		h.OnMCBatch == nil && h.OnFaultSimBatch == nil && h.OnPodemChunk == nil
 }
 
 func (h Hooks) stageStart(circuit, stage string) {
@@ -158,6 +168,18 @@ func (h Hooks) atpgObserver(c *netlist.Circuit) atpg.Observer {
 		hook := h.OnSubStage
 		ob.OnPhase = func(phase string, elapsed time.Duration, patterns int) {
 			hook(c.Name, StageATPG, phase, elapsed, StageInfo{Patterns: patterns})
+		}
+	}
+	if h.OnFaultSimBatch != nil {
+		hook := h.OnFaultSimBatch
+		ob.OnFaultSimBatch = func(kind string, lanes int, elapsed time.Duration) {
+			hook(c.Name, kind, lanes, elapsed)
+		}
+	}
+	if h.OnPodemChunk != nil {
+		hook := h.OnPodemChunk
+		ob.OnPodemChunk = func(start, n int, elapsed time.Duration) {
+			hook(c.Name, start, n, elapsed)
 		}
 	}
 	return ob
@@ -323,6 +345,26 @@ func MergeHooks(hs ...Hooks) Hooks {
 				next(circuit, stage, kind, lanes, elapsed)
 			}
 		}
+		if h.OnFaultSimBatch != nil {
+			prev := out.OnFaultSimBatch
+			next := h.OnFaultSimBatch
+			out.OnFaultSimBatch = func(circuit, kind string, lanes int, elapsed time.Duration) {
+				if prev != nil {
+					prev(circuit, kind, lanes, elapsed)
+				}
+				next(circuit, kind, lanes, elapsed)
+			}
+		}
+		if h.OnPodemChunk != nil {
+			prev := out.OnPodemChunk
+			next := h.OnPodemChunk
+			out.OnPodemChunk = func(circuit string, start, n int, elapsed time.Duration) {
+				if prev != nil {
+					prev(circuit, start, n, elapsed)
+				}
+				next(circuit, start, n, elapsed)
+			}
+		}
 	}
 	return out
 }
@@ -349,10 +391,17 @@ func directPatterns(cfg Config, hooks Hooks) patternSource {
 
 // patternKey identifies one memoized ATPG run: the frozen circuit's
 // structural fingerprint plus the exact generation options (which the
-// large-circuit scaling may vary per circuit).
+// large-circuit scaling may vary per circuit). Options.Workers is
+// normalized out of the key — it changes wall time only, never a result
+// bit, so runs that differ only in worker count share one entry.
 type patternKey struct {
 	fp   uint64
 	opts atpg.Options
+}
+
+func newPatternKey(fp uint64, opts atpg.Options) patternKey {
+	opts.Workers = 0
+	return patternKey{fp: fp, opts: opts}
 }
 
 // patternEntry is one cache slot. done is closed when res/err are final.
@@ -457,7 +506,7 @@ func (e *Engine) patterns(ctx context.Context, c *netlist.Circuit) (*atpg.Result
 func (e *Engine) patternsFor(cfg Config) patternSource {
 	return func(ctx context.Context, c *netlist.Circuit) (*atpg.Result, error) {
 		opts := scaledATPG(c, cfg)
-		key := patternKey{fp: c.Fingerprint(), opts: opts}
+		key := newPatternKey(c.Fingerprint(), opts)
 		gen := func() (*atpg.Result, error) {
 			e.Hooks.stageStart(c.Name, StageATPG)
 			start := time.Now()

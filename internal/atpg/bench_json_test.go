@@ -1,0 +1,174 @@
+package atpg
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBenchATPGJSON measures the deterministic-phase (PODEM + fault
+// dropping) speedup of the incremental batched pipeline over the
+// preserved legacy baseline on the two profiling circuits, checks the
+// worker bit-identity gate, and writes a kernel-bench/v1 report.
+// `make bench-atpg` runs it; without ATPG_BENCH_OUT it is skipped so
+// normal test runs stay fast.
+func TestBenchATPGJSON(t *testing.T) {
+	out := os.Getenv("ATPG_BENCH_OUT")
+	if out == "" {
+		t.Skip("set ATPG_BENCH_OUT to run the ATPG pipeline benchmark")
+	}
+
+	type row struct {
+		refPodemMS float64
+		newPodemMS float64
+		refTotalMS float64
+		newTotalMS float64
+		refCov     float64
+		newCov     float64
+		speedup    float64
+	}
+	circuits := []string{"s1423", "s5378"}
+	rows := map[string]row{}
+
+	for _, name := range circuits {
+		c := loadISCAS(t, name)
+		opts := DefaultOptions()
+		timed := func(gen func(Observer) (*Result, error)) (podem, total time.Duration, res *Result) {
+			ob := Observer{OnPhase: func(phase string, d time.Duration, _ int) {
+				if phase == "podem" {
+					podem = d
+				}
+			}}
+			start := time.Now()
+			res, err := gen(ob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return podem, time.Since(start), res
+		}
+		refP, refT, refRes := timed(func(ob Observer) (*Result, error) {
+			return generateReference(context.Background(), c, opts, ob)
+		})
+		newP, newT, newRes := timed(func(ob Observer) (*Result, error) {
+			return GenerateObserved(context.Background(), c, opts, ob)
+		})
+		if d := newRes.Coverage() - refRes.Coverage(); d < -0.02 || d > 0.02 {
+			t.Errorf("%s: coverage moved from %.4f to %.4f", name, refRes.Coverage(), newRes.Coverage())
+		}
+		rows[name] = row{
+			refPodemMS: float64(refP) / float64(time.Millisecond),
+			newPodemMS: float64(newP) / float64(time.Millisecond),
+			refTotalMS: float64(refT) / float64(time.Millisecond),
+			newTotalMS: float64(newT) / float64(time.Millisecond),
+			refCov:     refRes.Coverage(),
+			newCov:     newRes.Coverage(),
+			speedup:    float64(refP) / float64(newP),
+		}
+		t.Logf("%s: podem phase %.1fms -> %.1fms (%.2fx), total %.1fms -> %.1fms",
+			name, rows[name].refPodemMS, rows[name].newPodemMS, rows[name].speedup,
+			rows[name].refTotalMS, rows[name].newTotalMS)
+	}
+
+	// Correctness gate rides along: worker parallelism must not move a
+	// single bit of the result on the benchmark circuit.
+	identity := true
+	{
+		c := loadISCAS(t, "s1423")
+		opts := DefaultOptions()
+		opts.Workers = 1
+		j1, err := Generate(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Workers = 4
+		j4, err := Generate(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(j1, j4) {
+			identity = false
+			t.Error("s1423: Workers=4 result diverges from Workers=1")
+		}
+	}
+
+	const wantSpeedup = 5.0
+	met := rows["s1423"].speedup >= wantSpeedup && identity
+	if rows["s1423"].speedup < wantSpeedup {
+		t.Errorf("s1423 podem-phase speedup %.2fx below the %.0fx acceptance bar",
+			rows["s1423"].speedup, wantSpeedup)
+	}
+
+	report := map[string]any{
+		"schema":     "scanpower/kernel-bench/v1",
+		"label":      "atpg-incremental-podem",
+		"created_at": time.Now().Format("2006-01-02"),
+		"go_version": runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"cpu":        cpuModel(),
+		"benchmark":  "TestBenchATPGJSON",
+		"workload": map[string]any{
+			"circuits": circuits,
+			"options":  "DefaultOptions (MaxBacktracks=64, MaxRandomPatterns=512, RandomStall=32, Compact, SCOAP)",
+			"phase":    "podem (deterministic PODEM + fault dropping), wall time via Observer.OnPhase",
+			"baseline": "generateReference: full re-implication PODEM + serial per-pattern fault dropping",
+			"command":  "make bench-atpg",
+		},
+		"results_ms": map[string]any{
+			"s1423_ref_podem": rows["s1423"].refPodemMS,
+			"s1423_new_podem": rows["s1423"].newPodemMS,
+			"s1423_ref_total": rows["s1423"].refTotalMS,
+			"s1423_new_total": rows["s1423"].newTotalMS,
+			"s5378_ref_podem": rows["s5378"].refPodemMS,
+			"s5378_new_podem": rows["s5378"].newPodemMS,
+			"s5378_ref_total": rows["s5378"].refTotalMS,
+			"s5378_new_total": rows["s5378"].newTotalMS,
+		},
+		"coverage": map[string]any{
+			"s1423_ref": rows["s1423"].refCov,
+			"s1423_new": rows["s1423"].newCov,
+			"s5378_ref": rows["s5378"].refCov,
+			"s5378_new": rows["s5378"].newCov,
+		},
+		"speedup_podem_s1423":                 round2(rows["s1423"].speedup),
+		"speedup_podem_s5378":                 round2(rows["s5378"].speedup),
+		"workers_bit_identity_s1423_j1_vs_j4": identity,
+		"acceptance": map[string]any{
+			"criterion": "incremental podem phase >= 5x over legacy baseline on s1423, with Workers=1 vs Workers=4 bit-identity",
+			"met":       met,
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+func round2(x float64) float64 {
+	return float64(int(x*100+0.5)) / 100
+}
+
+// cpuModel best-effort reads the CPU model name for the report header.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return "unknown"
+}

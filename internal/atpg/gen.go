@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
+	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/scan"
 	"repro/internal/testability"
@@ -27,7 +29,11 @@ const (
 	// FillOne ties don't-cares high.
 	FillOne
 	// FillAdjacent repeats the last specified value along the scan order
-	// (minimum-transition fill).
+	// (minimum-transition fill). Adjacency is chain adjacency: each chain
+	// of the configured partition (Options.FillChains, or the explicit
+	// groups of GenerateChains) is filled independently in chain-position
+	// order, and cells before a chain's first specified bit take that
+	// bit's value, so no spurious transition enters from the padding.
 	FillAdjacent
 )
 
@@ -37,6 +43,11 @@ type Options struct {
 	// patterns (the random phase is unaffected: its patterns are fully
 	// random by construction).
 	Fill FillMode
+	// FillChains tells FillAdjacent how the flops are partitioned into
+	// scan chains: the round-robin partition scan.NewChains(c, n) builds
+	// (0 or 1 = a single chain in flop-index order). For an arbitrary
+	// partition use GenerateChains, which takes the groups explicitly.
+	FillChains int
 	// MaxBacktracks bounds each PODEM run (default 64).
 	MaxBacktracks int
 	// MaxRandomPatterns bounds the random-pattern phase (default 512).
@@ -46,8 +57,6 @@ type Options struct {
 	RandomStall int
 	// MaxPodemFaults caps how many residual faults the deterministic
 	// phase attempts (0 = all). Faults beyond the cap count as aborted.
-	// PODEM re-implies the full cone per decision, so on very large
-	// circuits this cap bounds generation time at a small coverage cost.
 	MaxPodemFaults int
 	// NDetect asks that each fault be detected by at least N patterns
 	// (0 or 1 = classic single detection). Higher N improves unmodeled
@@ -59,6 +68,12 @@ type Options struct {
 	// UseSCOAP steers PODEM's backtrace with SCOAP controllability
 	// (default on in DefaultOptions).
 	UseSCOAP bool
+	// Workers sets the fault-parallel PODEM worker count for the
+	// deterministic phase (0 or 1 = serial). The result is bit-identical
+	// for every value: workers only run the rng-free PODEM searches
+	// speculatively, while patterns are committed, filled, and credited
+	// on one goroutine in canonical fault order.
+	Workers int
 	// Seed drives random fill and the random phase; runs are fully
 	// deterministic for a given seed.
 	Seed int64
@@ -130,11 +145,28 @@ func GenerateContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Re
 	return GenerateObserved(ctx, c, opts, Observer{})
 }
 
+// GenerateChains is GenerateContext for an explicit multi-chain scan
+// configuration: groups[k][p] is the flop index at position p of chain k
+// (the layout of scan.Chains.Groups), and FillAdjacent fills along each
+// chain's true shift order. Options.FillChains is ignored when groups is
+// non-nil. Patterns, coverage, and bookkeeping are otherwise identical to
+// GenerateContext — the chain partition only steers don't-care fill.
+func GenerateChains(ctx context.Context, c *netlist.Circuit, opts Options, groups [][]int) (*Result, error) {
+	return GenerateObservedChains(ctx, c, opts, groups, Observer{})
+}
+
 // GenerateObserved is GenerateContext with a telemetry Observer: per-fault
-// PODEM outcomes, random-phase batches, and phase wall times flow to ob's
-// callbacks as they happen. A zero Observer adds no work and no
-// allocations to the generation hot paths.
+// PODEM outcomes, random-phase batches, packed fault-simulation flushes,
+// and phase wall times flow to ob's callbacks as they happen. A zero
+// Observer adds no work and no allocations to the generation hot paths.
 func GenerateObserved(ctx context.Context, c *netlist.Circuit, opts Options, ob Observer) (*Result, error) {
+	return GenerateObservedChains(ctx, c, opts, nil, ob)
+}
+
+// GenerateObservedChains is the full-surface entry point: observer plus
+// an optional explicit chain partition for FillAdjacent (nil derives the
+// round-robin partition from Options.FillChains).
+func GenerateObservedChains(ctx context.Context, c *netlist.Circuit, opts Options, groups [][]int, ob Observer) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -153,11 +185,14 @@ func GenerateObserved(ctx context.Context, c *netlist.Circuit, opts Options, ob 
 	if opts.NDetect < 1 {
 		opts.NDetect = 1
 	}
+	plan, err := newFillPlan(c, opts, groups)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	faults := AllFaults(c)
 	detected := make([]bool, len(faults))
 	detCount := make([]int, len(faults))
-	fs := NewFaultSim(c)
 
 	nPI, nFF := len(c.PIs), c.NumFFs()
 	var patterns []scan.Pattern
@@ -165,10 +200,20 @@ func GenerateObserved(ctx context.Context, c *netlist.Circuit, opts Options, ob 
 	// Phase 1: random patterns, 64 lanes at a time on the bit-parallel
 	// fault simulator. A fault's detection is credited to the
 	// lowest-indexed detecting lane, and only credited patterns are kept.
+	// Stall accounting is per pattern, exactly as a serial generator
+	// processing the same rng stream would count it: every uncredited
+	// pattern bumps the consecutive-useless counter, every credited one
+	// resets it, and the batch is cut at the pattern where the threshold
+	// trips.
 	stopRandom := ob.phaseTimer("random")
 	fs64 := NewFaultSim64(c)
 	stall := 0
 	batch := make([]scan.Pattern, 0, 64)
+	type randHit struct {
+		fault int
+		mask  uint64
+	}
+	var hits []randHit
 	for tries := 0; tries < opts.MaxRandomPatterns && stall < opts.RandomStall; {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -184,10 +229,11 @@ func GenerateObserved(ctx context.Context, c *netlist.Circuit, opts Options, ob 
 			randFill(rng, p.State)
 			batch = append(batch, p)
 		}
-		tries += bsize
 		fs64.SetPatterns(batch)
+		// Pass 1: detection masks, and the lanes serial in-order crediting
+		// would award (per fault: the lowest lanes up to its quota).
+		hits = hits[:0]
 		credited := uint64(0)
-		newDet := 0
 		for i, f := range faults {
 			if detCount[i] >= opts.NDetect {
 				continue
@@ -196,58 +242,122 @@ func GenerateObserved(ctx context.Context, c *netlist.Circuit, opts Options, ob 
 			if mask == 0 {
 				continue
 			}
-			newDet++
-			// Credit the lowest detecting lanes until the quota is met.
-			for mask != 0 && detCount[i] < opts.NDetect {
-				low := mask & (-mask)
+			hits = append(hits, randHit{i, mask})
+			m, quota := mask, opts.NDetect-detCount[i]
+			for m != 0 && quota > 0 {
+				low := m & (-m)
 				credited |= low
-				mask &^= low
-				detCount[i]++
+				m &^= low
+				quota--
 			}
-			detected[i] = true
 		}
-		if newDet > 0 {
-			stall = 0
-			for lane := 0; lane < bsize; lane++ {
-				if credited&(1<<lane) != 0 {
-					patterns = append(patterns, batch[lane])
+		// Pass 2: walk the lanes in pattern order counting consecutive
+		// uncredited patterns; the phase ends at the pattern where the
+		// stall threshold trips, not at the batch boundary.
+		limit := bsize
+		for lane := 0; lane < bsize; lane++ {
+			if credited&(1<<lane) != 0 {
+				stall = 0
+			} else {
+				stall++
+				if stall >= opts.RandomStall {
+					limit = lane + 1
+					break
 				}
 			}
-		} else {
-			stall += bsize
 		}
+		// Pass 3: apply credits from the surviving prefix only. A lane
+		// below the cut is credited here iff pass 1 credited it: per
+		// fault, the credited lanes are the lowest bits of its mask, so
+		// restricting to a prefix keeps exactly the serial credits.
+		prefix := lowLanes(limit)
+		newDet := 0
+		for _, h := range hits {
+			m := h.mask & prefix
+			if m == 0 {
+				continue
+			}
+			for m != 0 && detCount[h.fault] < opts.NDetect {
+				low := m & (-m)
+				m &^= low
+				detCount[h.fault]++
+			}
+			detected[h.fault] = true
+			newDet++
+		}
+		for lane := 0; lane < limit; lane++ {
+			if credited&(1<<lane) != 0 {
+				patterns = append(patterns, batch[lane])
+			}
+		}
+		tries += limit
 		if ob.OnRandomBatch != nil {
-			ob.OnRandomBatch(bsize, newDet)
+			ob.OnRandomBatch(limit, newDet)
 		}
 	}
 	stopRandom(len(patterns))
 
-	// Phase 2: deterministic PODEM for the residue. For NDetect > 1 each
-	// remaining fault gets one PODEM run per missing detection; the
-	// random X-fill diversifies the resulting patterns.
+	// Phase 2: deterministic PODEM for the residue. Fault dropping is
+	// batched: deterministic patterns accumulate in a ≤64-slot buffer and
+	// one packed DetectAllMask pass credits them against every residual
+	// fault when the buffer fills (or the phase ends), replacing the
+	// serial per-pattern sweep. With Workers > 1 the PODEM searches
+	// themselves run speculatively on a fault-parallel scheduler; every
+	// credit, fill, and rng draw stays on this goroutine in canonical
+	// fault order, so the result is bit-identical to the serial schedule.
 	res := &Result{Faults: faults, Detected: detected, DetCounts: detCount}
-	detectAllCount := func(pat scan.Pattern) int {
-		fs.SetPattern(pat.PI, pat.State)
-		n := 0
-		for i, f := range faults {
-			if detCount[i] >= opts.NDetect {
-				continue
-			}
-			if fs.Detects(f) {
-				detCount[i]++
-				detected[i] = true
-				n++
-			}
-		}
-		return n
-	}
 	var scoap *testability.Analysis
 	if opts.UseSCOAP {
 		scoap = testability.Compute(c)
 	}
 	stopPodem := ob.phaseTimer("podem")
+
+	var residual []int
+	for i := range faults {
+		if detCount[i] < opts.NDetect {
+			residual = append(residual, i)
+		}
+	}
+	env := newPodemEnv(c, scoap, opts.MaxBacktracks)
+	inline := env.newPodem(false)
+	var sched *podemScheduler
+	if opts.Workers > 1 && len(residual) > 1 {
+		sched = newPodemScheduler(env, faults, residual, opts.Workers, ob)
+		defer sched.shutdown()
+	}
+
+	verify := NewFaultSim(c)
+	pending := make([]scan.Pattern, 0, 64)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		var t0 time.Time
+		if ob.OnFaultSimBatch != nil {
+			t0 = time.Now()
+		}
+		fs64.SetPatterns(pending)
+		credited := fs64.DetectAllMask(faults, detCount, detected, opts.NDetect)
+		for lane := range pending {
+			if credited&(1<<lane) != 0 {
+				patterns = append(patterns, pending[lane])
+			}
+		}
+		if ob.OnFaultSimBatch != nil {
+			ob.OnFaultSimBatch("drop", len(pending), time.Since(t0))
+		}
+		pending = pending[:0]
+		if sched != nil {
+			sched.publishSaturation(detCount, opts.NDetect)
+		}
+	}
+
 	attempted := 0
-	for i, f := range faults {
+	capped := false
+	for r, i := range residual {
+		if len(pending) == 64 {
+			flush()
+		}
 		if detCount[i] >= opts.NDetect {
 			continue
 		}
@@ -255,40 +365,58 @@ func GenerateObserved(ctx context.Context, c *netlist.Circuit, opts Options, ob 
 			return nil, err
 		}
 		if opts.MaxPodemFaults > 0 && attempted >= opts.MaxPodemFaults {
+			if !capped {
+				capped = true
+				if sched != nil {
+					sched.stop()
+				}
+				// Classify the capped tail against the up-to-date fault
+				// status, not a buffer-stale one.
+				flush()
+				if detCount[i] >= opts.NDetect {
+					continue
+				}
+			}
 			if !detected[i] {
 				res.Aborted++
 			}
 			if ob.OnPodemFault != nil {
-				ob.OnPodemFault(f, PodemSkipped, 0)
+				ob.OnPodemFault(faults[i], PodemSkipped, 0)
 			}
 			continue
 		}
 		attempted++
-		p := newPodem(c, f, opts.MaxBacktracks, scoap)
-		status := p.run()
-		res.Backtracks += p.backtracks
-		if ob.OnPodemFault != nil {
-			ob.OnPodemFault(f, podemOutcomeOf(status), p.backtracks)
+		var att podemAttempt
+		if sched != nil {
+			att = sched.attempt(r, i, inline)
+		} else {
+			st := inline.run(faults[i])
+			att = podemAttempt{status: st, backtracks: inline.backtracks, assign: inline.assign}
 		}
-		switch status {
+		res.Backtracks += att.backtracks
+		if ob.OnPodemFault != nil {
+			ob.OnPodemFault(faults[i], podemOutcomeOf(att.status), att.backtracks)
+		}
+		switch att.status {
 		case podemSuccess:
-			for detCount[i] < opts.NDetect {
-				pat := extractPattern(c, p, rng, opts.Fill)
-				before := detCount[i]
-				if detectAllCount(pat) > 0 {
-					patterns = append(patterns, pat)
+			buffered := 0
+			for detCount[i]+buffered < opts.NDetect {
+				if len(pending) == 64 {
+					flush()
+					buffered = 0
+					continue
 				}
-				if detCount[i] == before {
-					if !detected[i] {
-						// The X-fill must not mask the target fault — PODEM
-						// left the detecting assignment in place, so this
-						// indicates a bug; flag it loudly rather than
-						// silently losing coverage.
-						return nil, fmt.Errorf("atpg: internal: PODEM pattern misses its target fault %s",
-							f.Name(c))
-					}
-					break // repeated fills no longer add detections
+				pat := extractPattern(c, att.assign, rng, opts.Fill, plan)
+				// The X-fill must not mask the target fault — PODEM left
+				// the detecting assignment in place, so a miss indicates a
+				// bug; flag it loudly rather than silently losing coverage.
+				verify.SetPattern(pat.PI, pat.State)
+				if !verify.Detects(faults[i]) {
+					return nil, fmt.Errorf("atpg: internal: PODEM pattern misses its target fault %s",
+						faults[i].Name(c))
 				}
+				pending = append(pending, pat)
+				buffered++
 			}
 		case podemUntestable:
 			res.Untestable++
@@ -296,17 +424,37 @@ func GenerateObserved(ctx context.Context, c *netlist.Circuit, opts Options, ob 
 			res.Aborted++
 		}
 	}
-
+	flush()
+	if sched != nil {
+		sched.shutdown()
+	}
 	stopPodem(len(patterns))
 
-	// Phase 3: reverse-order static compaction (quota-aware for NDetect).
+	// Phase 3: reverse-order static compaction (quota-aware for NDetect),
+	// batched 64 patterns per packed pass.
 	stopCompact := ob.phaseTimer("compact")
 	if opts.Compact && len(patterns) > 1 {
+		var t0 time.Time
+		if ob.OnFaultSimBatch != nil {
+			t0 = time.Now()
+		}
+		n := len(patterns)
 		patterns = compact(c, patterns, faults, opts.NDetect)
+		if ob.OnFaultSimBatch != nil {
+			ob.OnFaultSimBatch("compact", n, time.Since(t0))
+		}
 	}
 	stopCompact(len(patterns))
 	res.Patterns = patterns
 	return res, nil
+}
+
+// lowLanes returns the mask of the n lowest lanes.
+func lowLanes(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<n - 1
 }
 
 // podemOutcomeOf maps the internal search status to the observer enum.
@@ -327,15 +475,62 @@ func randFill(rng *rand.Rand, dst []bool) {
 	}
 }
 
-// extractPattern splits PODEM's input assignment into PI/state parts and
-// completes don't-cares per the fill mode.
-func extractPattern(c *netlist.Circuit, p *podem, rng *rand.Rand, mode FillMode) scan.Pattern {
+// fillPlan precomputes the chain partition FillAdjacent follows: each
+// chain lists its flop indices in chain-position order (position 0
+// nearest the scan input), matching scan.Chains.Groups.
+type fillPlan struct {
+	chains [][]int
+}
+
+// newFillPlan derives the partition from an explicit group list (which
+// must cover every flop exactly once) or from Options.FillChains as the
+// round-robin partition scan.NewChains builds.
+func newFillPlan(c *netlist.Circuit, opts Options, groups [][]int) (*fillPlan, error) {
+	nFF := c.NumFFs()
+	if groups == nil {
+		n := opts.FillChains
+		if n < 1 {
+			n = 1
+		}
+		if n > nFF && nFF > 0 {
+			n = nFF
+		}
+		groups = make([][]int, n)
+		for f := 0; f < nFF; f++ {
+			groups[f%n] = append(groups[f%n], f)
+		}
+		return &fillPlan{chains: groups}, nil
+	}
+	seen := make([]bool, nFF)
+	for _, g := range groups {
+		for _, f := range g {
+			if f < 0 || f >= nFF || seen[f] {
+				return nil, fmt.Errorf("atpg: fill groups are not a partition (flop %d)", f)
+			}
+			seen[f] = true
+		}
+	}
+	for f, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("atpg: flop %d missing from every fill group", f)
+		}
+	}
+	return &fillPlan{chains: groups}, nil
+}
+
+// extractPattern splits PODEM's input assignment (in CombInputs order)
+// into PI/state parts and completes don't-cares per the fill mode.
+// FillAdjacent fills the scan state per chain in true chain-position
+// order: within a chain the last specified value is carried forward, and
+// the cells before the first specified bit take that bit's value so the
+// leading padding causes no transition. PI don't-cares (which never shift
+// through a chain) carry forward in PI order from a zero seed.
+func extractPattern(c *netlist.Circuit, assign []logic.Value, rng *rand.Rand, mode FillMode, plan *fillPlan) scan.Pattern {
 	nPI := len(c.PIs)
 	pat := scan.Pattern{PI: make([]bool, nPI), State: make([]bool, c.NumFFs())}
-	// Adjacent fill carries the last specified value forward, PI bits
-	// first, then the scan state in chain (flop-index) order.
 	last := false
-	for i, v := range p.assign {
+	for i := 0; i < nPI; i++ {
+		v := assign[i]
 		var b bool
 		switch {
 		case v.IsBinary():
@@ -350,40 +545,85 @@ func extractPattern(c *netlist.Circuit, p *podem, rng *rand.Rand, mode FillMode)
 		default:
 			b = rng.Intn(2) == 1
 		}
-		if i < nPI {
-			pat.PI[i] = b
-		} else {
-			pat.State[i-nPI] = b
+		pat.PI[i] = b
+	}
+	if mode != FillAdjacent {
+		for f := 0; f < c.NumFFs(); f++ {
+			v := assign[nPI+f]
+			var b bool
+			switch {
+			case v.IsBinary():
+				b = v.Bool()
+			case mode == FillZero:
+				b = false
+			case mode == FillOne:
+				b = true
+			default:
+				b = rng.Intn(2) == 1
+			}
+			pat.State[f] = b
+		}
+		return pat
+	}
+	for _, chain := range plan.chains {
+		firstPos := -1
+		for pos, f := range chain {
+			if assign[nPI+f].IsBinary() {
+				firstPos = pos
+				break
+			}
+		}
+		if firstPos == -1 {
+			for _, f := range chain {
+				pat.State[f] = false
+			}
+			continue
+		}
+		carry := assign[nPI+chain[firstPos]].Bool()
+		for pos := 0; pos < firstPos; pos++ {
+			pat.State[chain[pos]] = carry
+		}
+		for pos := firstPos; pos < len(chain); pos++ {
+			f := chain[pos]
+			if v := assign[nPI+f]; v.IsBinary() {
+				carry = v.Bool()
+			}
+			pat.State[f] = carry
 		}
 	}
 	return pat
 }
 
-// compact re-fault-simulates the patterns in reverse order and keeps only
-// those that detect a fault not already covered by a kept pattern.
+// compact re-fault-simulates the patterns in reverse order, 64 lanes per
+// packed pass, and keeps only those that detect a fault not already
+// covered (to its quota) by a kept pattern. Lane 0 of each chunk is the
+// latest unprocessed pattern and DetectAllMask credits lowest lanes
+// first, so the kept set is bit-identical to the serial reverse sweep.
 func compact(c *netlist.Circuit, patterns []scan.Pattern, faults []Fault, nDetect int) []scan.Pattern {
 	if nDetect < 1 {
 		nDetect = 1
 	}
-	fs := NewFaultSim(c)
+	fs := NewFaultSim64(c)
 	seen := make([]int, len(faults))
-	var kept []scan.Pattern
-	for i := len(patterns) - 1; i >= 0; i-- {
-		p := patterns[i]
-		fs.SetPattern(p.PI, p.State)
-		useful := 0
-		for fi, f := range faults {
-			if seen[fi] >= nDetect {
-				continue
-			}
-			if fs.Detects(f) {
-				seen[fi]++
-				useful++
+	kept := make([]scan.Pattern, 0, len(patterns))
+	buf := make([]scan.Pattern, 0, 64)
+	for end := len(patterns); end > 0; {
+		n := end
+		if n > 64 {
+			n = 64
+		}
+		buf = buf[:0]
+		for k := 0; k < n; k++ {
+			buf = append(buf, patterns[end-1-k])
+		}
+		fs.SetPatterns(buf)
+		credited := fs.DetectAllMask(faults, seen, nil, nDetect)
+		for k := 0; k < n; k++ {
+			if credited&(1<<k) != 0 {
+				kept = append(kept, buf[k])
 			}
 		}
-		if useful > 0 {
-			kept = append(kept, p)
-		}
+		end -= n
 	}
 	// Restore application order.
 	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
@@ -392,19 +632,27 @@ func compact(c *netlist.Circuit, patterns []scan.Pattern, faults []Fault, nDetec
 	return kept
 }
 
-// CoverageOf fault-simulates an arbitrary pattern set from scratch and
-// returns its fault coverage over AllFaults(c). Used to demonstrate that
-// a DFT modification leaves coverage unchanged.
+// CoverageOf fault-simulates an arbitrary pattern set from scratch — 64
+// patterns per packed pass — and returns its fault coverage over
+// AllFaults(c). Used to demonstrate that a DFT modification leaves
+// coverage unchanged.
 func CoverageOf(c *netlist.Circuit, patterns []scan.Pattern) float64 {
 	faults := AllFaults(c)
 	if len(faults) == 0 {
 		return 1
 	}
 	detected := make([]bool, len(faults))
-	fs := NewFaultSim(c)
-	for _, p := range patterns {
-		fs.SetPattern(p.PI, p.State)
-		fs.DetectAll(faults, detected)
+	if len(patterns) > 0 {
+		fs := NewFaultSim64(c)
+		counts := make([]int, len(faults))
+		for start := 0; start < len(patterns); start += 64 {
+			end := start + 64
+			if end > len(patterns) {
+				end = len(patterns)
+			}
+			fs.SetPatterns(patterns[start:end])
+			fs.DetectAllMask(faults, counts, detected, 1)
+		}
 	}
 	n := 0
 	for _, d := range detected {

@@ -200,3 +200,42 @@ func (fs *FaultSim64) DetectMask(f Fault) uint64 {
 	}
 	return detected
 }
+
+// DetectAllMask is the batched fault-dropping pass: one packed sweep over
+// every fault still short of its nDetect quota, under the ≤64 patterns
+// loaded by SetPatterns. Per fault, detections are credited to the
+// lowest-indexed detecting lanes until the quota is met — exactly the
+// order a serial per-pattern sweep credits them, so the updated detCount
+// values (and, when non-nil, the detected flags) are bit-identical to
+// processing the loaded patterns one at a time in lane order. The return
+// value is the mask of lanes that received at least one credit, i.e. the
+// patterns that earned their place in the set.
+func (fs *FaultSim64) DetectAllMask(faults []Fault, detCount []int, detected []bool, nDetect int) uint64 {
+	if nDetect < 1 {
+		nDetect = 1
+	}
+	credited := uint64(0)
+	for i, f := range faults {
+		if detCount[i] >= nDetect {
+			continue
+		}
+		mask := fs.DetectMask(f)
+		if mask == 0 {
+			continue
+		}
+		for mask != 0 && detCount[i] < nDetect {
+			low := mask & (-mask)
+			credited |= low
+			mask &^= low
+			detCount[i]++
+		}
+		if detected != nil {
+			detected[i] = true
+		}
+	}
+	return credited
+}
+
+// Lanes returns the number of loaded pattern lanes (0 before the first
+// SetPatterns call); telemetry uses it to count packed work.
+func (fs *FaultSim64) Lanes() int { return fs.n }

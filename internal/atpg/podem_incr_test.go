@@ -1,0 +1,50 @@
+package atpg
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/testability"
+)
+
+// TestIncrementalPodemMatchesFull is the differential for the
+// event-driven PODEM engine: for every fault, with and without SCOAP
+// guidance, the incremental engine must reach the same status with the
+// same backtrack count and (on success) the same input assignment as the
+// whole-circuit re-implication engine it replaced. Both engines are
+// reused across faults, the way generation uses them, so reset hygiene
+// is covered too.
+func TestIncrementalPodemMatchesFull(t *testing.T) {
+	circuits := []struct {
+		name string
+		c    *netlist.Circuit
+	}{
+		{"s27", loadS27(t)},
+		{"s382", loadISCAS(t, "s382")},
+		{"s510", loadISCAS(t, "s510")},
+	}
+	for _, tc := range circuits {
+		for _, useSCOAP := range []bool{false, true} {
+			var sc *testability.Analysis
+			if useSCOAP {
+				sc = testability.Compute(tc.c)
+			}
+			env := newPodemEnv(tc.c, sc, 64)
+			inc := env.newPodem(false)
+			full := env.newPodem(true)
+			for _, f := range AllFaults(tc.c) {
+				si := inc.run(f)
+				sf := full.run(f)
+				if si != sf || inc.backtracks != full.backtracks {
+					t.Fatalf("%s scoap=%v fault %s: incremental (status=%d bt=%d) vs full (status=%d bt=%d)",
+						tc.name, useSCOAP, f.Name(tc.c), si, inc.backtracks, sf, full.backtracks)
+				}
+				if si == podemSuccess && !reflect.DeepEqual(inc.assign, full.assign) {
+					t.Fatalf("%s scoap=%v fault %s: assignments diverge",
+						tc.name, useSCOAP, f.Name(tc.c))
+				}
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,6 +36,26 @@ func MC(fs *flag.FlagSet) *string {
 // batch tools, "workers" for the daemon) and returns its value.
 func Workers(fs *flag.FlagSet, name string, def int, usage string) *int {
 	return fs.Int(name, def, usage)
+}
+
+// ATPGWorkers registers the -atpg-workers knob — the fault-parallel
+// PODEM worker count inside the ATPG stage — and returns its value.
+// Resolve with ValidateATPGWorkers after fs.Parse.
+func ATPGWorkers(fs *flag.FlagSet) *int {
+	return fs.Int("atpg-workers", 1,
+		"fault-parallel PODEM workers inside the ATPG stage (0 = GOMAXPROCS, 1 = serial); patterns are bit-identical for every value")
+}
+
+// ValidateATPGWorkers resolves an -atpg-workers value: 0 means
+// GOMAXPROCS, positive counts pass through, negative is an error.
+func ValidateATPGWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("-atpg-workers must be >= 0, got %d", n)
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return n, nil
 }
 
 // Timeout registers a duration flag under name and returns its value.

@@ -27,6 +27,10 @@ const (
 	// MetricPackedLanes counts scan cycles evaluated by the bit-parallel
 	// measurement kernel (64 per full batch); serial backends leave it 0.
 	MetricPackedLanes = "scanpower_power_packed_lanes_total"
+	// MetricATPGFaultSimLanes counts pattern lanes evaluated by the
+	// packed fault-dropping passes of the ATPG stage ("drop" buffer
+	// flushes plus "compact" compaction chunks).
+	MetricATPGFaultSimLanes = "scanpower_atpg_faultsim_lanes_total"
 	// MetricMCLanes counts Monte-Carlo lanes (observability vectors plus
 	// fill trials) evaluated by the packed MC kernels inside the structure
 	// builds; the scalar MC backend leaves it 0.
@@ -66,6 +70,7 @@ type Recorder struct {
 	circuitsDone           *telemetry.Counter
 	packedLanes            *telemetry.Counter
 	mcLanes                *telemetry.Counter
+	faultSimLanes          *telemetry.Counter
 
 	mu       sync.Mutex
 	circuits map[string]*circuitRecord
@@ -107,6 +112,7 @@ func NewRecorder(reg *telemetry.Registry, tw *telemetry.TraceWriter) *Recorder {
 		circuitsDone:      reg.Counter(MetricCircuitsDone),
 		packedLanes:       reg.Counter(MetricPackedLanes),
 		mcLanes:           reg.Counter(MetricMCLanes),
+		faultSimLanes:     reg.Counter(MetricATPGFaultSimLanes),
 
 		circuits: make(map[string]*circuitRecord),
 	}
@@ -118,16 +124,18 @@ func NewRecorder(reg *telemetry.Registry, tw *telemetry.TraceWriter) *Recorder {
 // other hooks via MergeHooks.
 func (r *Recorder) Hooks() Hooks {
 	return Hooks{
-		OnStageStart:   r.onStageStart,
-		OnStageDone:    r.onStageDone,
-		OnProgress:     r.onProgress,
-		OnSubStage:     r.onSubStage,
-		OnPodemFault:   r.onPodemFault,
-		OnJustify:      r.onJustify,
-		OnObsSamples:   r.onObsSamples,
-		OnPattern:      r.onPattern,
-		OnMeasureBatch: r.onMeasureBatch,
-		OnMCBatch:      r.onMCBatch,
+		OnStageStart:    r.onStageStart,
+		OnStageDone:     r.onStageDone,
+		OnProgress:      r.onProgress,
+		OnSubStage:      r.onSubStage,
+		OnPodemFault:    r.onPodemFault,
+		OnJustify:       r.onJustify,
+		OnObsSamples:    r.onObsSamples,
+		OnPattern:       r.onPattern,
+		OnMeasureBatch:  r.onMeasureBatch,
+		OnMCBatch:       r.onMCBatch,
+		OnFaultSimBatch: r.onFaultSimBatch,
+		OnPodemChunk:    r.onPodemChunk,
 	}
 }
 
@@ -230,6 +238,45 @@ func (r *Recorder) onMCBatch(circuit, stage, kind string, lanes int, elapsed tim
 	}
 	parent.Completed("mc-batch", elapsed, map[string]any{
 		"stage": stage, "kind": kind, "lanes": lanes,
+	})
+}
+
+// onFaultSimBatch counts packed fault-simulation lanes and, when tracing,
+// emits one completed span per fault-dropping pass under the ATPG stage
+// span, tagged with the pass kind ("drop" or "compact").
+func (r *Recorder) onFaultSimBatch(circuit, kind string, lanes int, elapsed time.Duration) {
+	r.faultSimLanes.Add(int64(lanes))
+	if r.tw == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cr := r.circuit(circuit)
+	parent := cr.span
+	if st := cr.stages[StageATPG]; len(st) > 0 {
+		parent = st[len(st)-1]
+	}
+	parent.Completed("faultsim-batch", elapsed, map[string]any{
+		"stage": StageATPG, "kind": kind, "lanes": lanes,
+	})
+}
+
+// onPodemChunk emits one completed span per fault-parallel PODEM chunk
+// under the ATPG stage span. It arrives concurrently from scheduler
+// workers; r.mu makes it safe like every other handler.
+func (r *Recorder) onPodemChunk(circuit string, start, n int, elapsed time.Duration) {
+	if r.tw == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cr := r.circuit(circuit)
+	parent := cr.span
+	if st := cr.stages[StageATPG]; len(st) > 0 {
+		parent = st[len(st)-1]
+	}
+	parent.Completed("podem-chunk", elapsed, map[string]any{
+		"stage": StageATPG, "start": start, "faults": n,
 	})
 }
 
