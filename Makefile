@@ -5,9 +5,9 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build vet test race atpg-race bench bench-json telemetry-race fuzz-equiv bench-kernels bench-mc bench-atpg serve-smoke loadsmoke obs-smoke bench-cluster
+.PHONY: check build vet test race atpg-race bench bench-json telemetry-race fuzz-equiv bench-kernels bench-mc bench-atpg api-compat serve-smoke loadsmoke obs-smoke bench-cluster
 
-check: vet build test race atpg-race telemetry-race fuzz-equiv bench-json serve-smoke loadsmoke obs-smoke
+check: vet build test race atpg-race telemetry-race fuzz-equiv api-compat bench-json serve-smoke loadsmoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,15 @@ bench-json:
 # so the bit-parallel paths and the job queue are raced too.
 telemetry-race:
 	$(GO) test -race -run 'Telemetry|Recorder|Trace|Registry|Packed|StageHooks|PatternCache|Submit|Queue|Coalesc|Drain|Deadline|Disconnect|Cancel|MCPacked|MCBatch|MCBackend' . ./internal/telemetry/ ./internal/power/ ./internal/service/ ./internal/obs/ ./internal/core/
+
+# Wire-compatibility gate for the v1 job API: golden JSON fixtures under
+# api/testdata round-tripped through the repro/api marshallers and the
+# shared validator, so a refactor that moves a byte on the wire — field
+# renamed, omitempty dropped, error message reworded — fails here before
+# it ships. Regenerate intentionally with:
+#   go test ./api/ -run TestAPICompat -update
+api-compat:
+	$(GO) test ./api/ -run 'TestAPICompat|TestValidate' -count=1
 
 # Full service contract against a real scanpowerd process: boots the
 # daemon on a random port, checks the inline-c17 result is bit-identical

@@ -1,0 +1,76 @@
+package scanpower
+
+// Integration coverage for the activity-weighted extension columns at
+// the Compare level: the annotation is purely additive, and the
+// per-structure weighted figures reflect the shift-blocking each
+// structure achieves.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/power"
+)
+
+func TestActivityWeightedColumns(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainCfg := DefaultConfig()
+	plain, err := Compare(context.Background(), c, plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Activity != nil {
+		t.Fatal("unannotated Compare grew an Activity block")
+	}
+
+	cfg := DefaultConfig()
+	cfg.Activity = &power.ActivityProfile{Source: "profile", Default: 0.3,
+		Inputs: map[string]float64{}}
+	cmp, err := Compare(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cmp.Activity
+	if a == nil {
+		t.Fatal("annotated Compare has no Activity block")
+	}
+	if a.WTMTotal <= 0 || a.WTMPerPattern <= 0 {
+		t.Errorf("WTM missing: %+v", a)
+	}
+
+	// The annotation must not steer the experiment: every simulated
+	// column and the pattern set stay identical.
+	annotated := *cmp
+	annotated.Activity = nil
+	if !reflect.DeepEqual(&annotated, plain) {
+		t.Errorf("activity annotation changed the simulated comparison:\nplain:     %+v\nannotated: %+v", plain, &annotated)
+	}
+
+	// The weighted columns reflect each structure's shift blocking: the
+	// engineered structures freeze part of the logic during scan, so
+	// their weighted figures must come in strictly under traditional
+	// scan, with the proposed structure (input control + MUX gating)
+	// under input control alone — the paper's Table I ordering.
+	if !(a.TraditionalWeightedPerHz > a.InputControlWeightedPerHz &&
+		a.InputControlWeightedPerHz > a.ProposedWeightedPerHz &&
+		a.ProposedWeightedPerHz > 0) {
+		t.Errorf("weighted ordering violated: trad %g, ic %g, prop %g",
+			a.TraditionalWeightedPerHz, a.InputControlWeightedPerHz, a.ProposedWeightedPerHz)
+	}
+
+	// Higher input activity can only increase the traditional figure.
+	hot := DefaultConfig()
+	hot.Activity = &power.ActivityProfile{Source: "profile", Default: 0.9}
+	hotCmp, err := Compare(context.Background(), c, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hotCmp.Activity.TraditionalWeightedPerHz <= a.TraditionalWeightedPerHz {
+		t.Errorf("raising every input activity did not raise the weighted figure: %g vs %g",
+			hotCmp.Activity.TraditionalWeightedPerHz, a.TraditionalWeightedPerHz)
+	}
+}

@@ -1,0 +1,231 @@
+package api_test
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/api"
+)
+
+const tinyBench = "INPUT(G0)\nOUTPUT(G1)\nG1 = NOT(G0)\n"
+
+func TestValidateLegacyForms(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    api.SubmitBody
+		status  int
+		code    string
+		message string
+	}{
+		{"circuit ok", api.SubmitBody{Circuit: "s344"}, 0, "", ""},
+		{"bench ok", api.SubmitBody{Bench: tinyBench, Name: "t"}, 0, "", ""},
+		{"both set", api.SubmitBody{Circuit: "s344", Bench: tinyBench},
+			http.StatusBadRequest, api.CodeBadRequest, "exactly one of circuit or bench must be set"},
+		{"neither set", api.SubmitBody{},
+			http.StatusBadRequest, api.CodeBadRequest, "one of circuit or bench must be set"},
+		{"bad measure", api.SubmitBody{Circuit: "s344", Measure: "nope"},
+			http.StatusBadRequest, api.CodeBadRequest, `unknown measure backend "nope"`},
+		{"negative timeout", api.SubmitBody{Circuit: "s344", TimeoutMS: -1},
+			http.StatusBadRequest, api.CodeBadRequest, "timeout_ms must be >= 0"},
+		// The server historically checks measure before the source shape;
+		// the consolidated validator must keep that order so legacy error
+		// bytes never change.
+		{"measure beats source shape", api.SubmitBody{Measure: "nope"},
+			http.StatusBadRequest, api.CodeBadRequest, `unknown measure backend "nope"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.body.Validate()
+			if tc.code == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected %s", tc.code)
+			}
+			if err.Status != tc.status || err.Code != tc.code || err.Message != tc.message {
+				t.Fatalf("got (%d, %s, %q), want (%d, %s, %q)",
+					err.Status, err.Code, err.Message, tc.status, tc.code, tc.message)
+			}
+		})
+	}
+}
+
+func TestValidateSourceUnion(t *testing.T) {
+	v := "module t (a, y);\n input a;\n output y;\n not u1 (y, a);\nendmodule\n"
+	cases := []struct {
+		name string
+		body api.SubmitBody
+		code string
+	}{
+		{"union circuit ok", api.SubmitBody{Source: &api.Source{Circuit: "s344"}}, ""},
+		{"union bench ok", api.SubmitBody{Source: &api.Source{Bench: tinyBench, Name: "t"}}, ""},
+		{"union verilog ok", api.SubmitBody{Source: &api.Source{Verilog: v}}, ""},
+		{"empty union", api.SubmitBody{Source: &api.Source{}}, api.CodeBadSource},
+		{"two discriminants", api.SubmitBody{Source: &api.Source{Circuit: "s344", Bench: tinyBench}}, api.CodeBadSource},
+		{"three discriminants", api.SubmitBody{Source: &api.Source{Circuit: "s344", Bench: tinyBench, Verilog: v}}, api.CodeBadSource},
+		{"name on builtin", api.SubmitBody{Source: &api.Source{Circuit: "s344", Name: "x"}}, api.CodeBadSource},
+		{"union plus legacy circuit", api.SubmitBody{Circuit: "s344", Source: &api.Source{Circuit: "s344"}}, api.CodeBadSource},
+		{"union plus legacy bench", api.SubmitBody{Bench: tinyBench, Source: &api.Source{Circuit: "s344"}}, api.CodeBadSource},
+		{"union plus legacy name", api.SubmitBody{Name: "x", Source: &api.Source{Bench: tinyBench}}, api.CodeBadSource},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.body.Validate()
+			if tc.code == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || err.Code != tc.code {
+				t.Fatalf("got %v, want code %s", err, tc.code)
+			}
+			if err.Status != http.StatusUnprocessableEntity {
+				t.Fatalf("status %d, want 422", err.Status)
+			}
+		})
+	}
+}
+
+func TestValidateActivity(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	src := &api.Source{Circuit: "s344"}
+	cases := []struct {
+		name string
+		act  api.Activity
+		code string
+	}{
+		{"default only", api.Activity{DefaultInput: f(0.2)}, ""},
+		{"inputs only", api.Activity{Inputs: map[string]float64{"G0": 0.5}}, ""},
+		{"vcd only", api.Activity{VCD: "$var wire 1 ! G0 $end\n$enddefinitions $end\n#0\n0!\n#1\n"}, ""},
+		{"zero default explicit", api.Activity{DefaultInput: f(0)}, ""},
+		{"empty block", api.Activity{}, api.CodeBadActivity},
+		{"vcd plus inputs", api.Activity{VCD: "x", Inputs: map[string]float64{"G0": 0.5}}, api.CodeBadActivity},
+		{"vcd plus default", api.Activity{VCD: "x", DefaultInput: f(0.2)}, api.CodeBadActivity},
+		{"factor above one", api.Activity{Inputs: map[string]float64{"G0": 1.5}}, api.CodeBadActivity},
+		{"negative factor", api.Activity{Inputs: map[string]float64{"G0": -0.1}}, api.CodeBadActivity},
+		{"negative default", api.Activity{DefaultInput: f(-1)}, api.CodeBadActivity},
+		{"empty input name", api.Activity{Inputs: map[string]float64{"": 0.5}}, api.CodeBadActivity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			act := tc.act
+			body := api.SubmitBody{Source: src, Activity: &act}
+			err := body.Validate()
+			if tc.code == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || err.Code != tc.code {
+				t.Fatalf("got %v, want code %s", err, tc.code)
+			}
+		})
+	}
+	// Activity also rides on legacy flat bodies.
+	body := api.SubmitBody{Circuit: "s344", Activity: &api.Activity{DefaultInput: f(0.3)}}
+	if err := body.Validate(); err != nil {
+		t.Fatalf("activity on a legacy body must validate: %v", err)
+	}
+}
+
+func TestResolved(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    api.SubmitBody
+		kind    api.SourceKind
+		payload string
+		label   string
+	}{
+		{"legacy circuit", api.SubmitBody{Circuit: "s344"}, api.SourceCircuit, "s344", ""},
+		{"legacy bench named", api.SubmitBody{Bench: tinyBench, Name: "t"}, api.SourceBench, tinyBench, "t"},
+		{"legacy bench unnamed", api.SubmitBody{Bench: tinyBench}, api.SourceBench, tinyBench, "inline"},
+		{"union circuit", api.SubmitBody{Source: &api.Source{Circuit: "s344"}}, api.SourceCircuit, "s344", ""},
+		{"union bench", api.SubmitBody{Source: &api.Source{Bench: tinyBench, Name: "b"}}, api.SourceBench, tinyBench, "b"},
+		{"union verilog unnamed", api.SubmitBody{Source: &api.Source{Verilog: "module..."}}, api.SourceVerilog, "module...", "inline"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			kind, payload, label := tc.body.Resolved()
+			if kind != tc.kind || payload != tc.payload || label != tc.label {
+				t.Fatalf("got (%s, %q, %q), want (%s, %q, %q)",
+					kind, payload, label, tc.kind, tc.payload, tc.label)
+			}
+		})
+	}
+}
+
+func TestActivityProfileResolution(t *testing.T) {
+	pis := []string{"G0", "G1", "G2"}
+
+	t.Run("explicit factors", func(t *testing.T) {
+		d := 0.4
+		a := api.Activity{DefaultInput: &d, Inputs: map[string]float64{"G0": 0.9}}
+		p, err := a.Profile(pis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Source != "profile" || p.Default != 0.4 || p.For("G0") != 0.9 || p.For("G1") != 0.4 {
+			t.Fatalf("bad profile: %+v", p)
+		}
+	})
+
+	t.Run("implicit default is 0.2", func(t *testing.T) {
+		a := api.Activity{Inputs: map[string]float64{"G0": 0.9}}
+		p, err := a.Profile(pis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Default != api.DefaultInputActivity {
+			t.Fatalf("default %v, want %v", p.Default, api.DefaultInputActivity)
+		}
+	})
+
+	t.Run("unknown input rejected", func(t *testing.T) {
+		a := api.Activity{Inputs: map[string]float64{"nope": 0.5, "also": 0.2}}
+		_, err := a.Profile(pis)
+		if err == nil || err.Code != api.CodeBadActivity {
+			t.Fatalf("got %v, want bad_activity", err)
+		}
+		if !strings.Contains(err.Message, "also, nope") {
+			t.Fatalf("unknown names should be sorted in %q", err.Message)
+		}
+	})
+
+	t.Run("vcd matched", func(t *testing.T) {
+		a := api.Activity{VCD: "$var wire 1 ! G0 $end\n$var wire 1 \" other $end\n" +
+			"$enddefinitions $end\n#0\n0!\n0\"\n#1\n1!\n#2\n"}
+		p, err := a.Profile(pis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Source != "vcd" || p.Default != 0 {
+			t.Fatalf("bad vcd profile: %+v", p)
+		}
+		if p.For("G0") != 0.5 {
+			t.Fatalf("G0 activity %v, want 0.5", p.For("G0"))
+		}
+		if _, ok := p.Inputs["other"]; ok {
+			t.Fatalf("non-PI signal leaked into the profile")
+		}
+	})
+
+	t.Run("vcd matching nothing rejected", func(t *testing.T) {
+		a := api.Activity{VCD: "$var wire 1 ! other $end\n$enddefinitions $end\n#0\n0!\n#1\n"}
+		if _, err := a.Profile(pis); err == nil || err.Code != api.CodeBadActivity {
+			t.Fatalf("got %v, want bad_activity", err)
+		}
+	})
+
+	t.Run("garbage vcd rejected", func(t *testing.T) {
+		a := api.Activity{VCD: "not a vcd"}
+		if _, err := a.Profile(pis); err == nil || err.Code != api.CodeBadActivity {
+			t.Fatalf("got %v, want bad_activity", err)
+		}
+	})
+}

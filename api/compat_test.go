@@ -1,0 +1,201 @@
+package api_test
+
+// The api-compat gate (`make api-compat`): every v1 request/response body
+// shape — legacy flat and source-union submits, activity blocks, the
+// structured benchmarks response, error envelopes, and comparison/v1
+// result documents with and without the activity extension — is pinned as
+// a golden JSON fixture. Each fixture must (a) byte-match what the current
+// marshaller emits for its Go value and (b) survive a decode→re-encode
+// round trip unchanged, so an accidental field rename, type change or
+// dropped field fails here before it ships as a wire break. Regenerate
+// deliberately with `go test ./api/ -run TestAPICompat -update` after an
+// intentional, versioned contract change.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/api"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/power"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden API fixtures")
+
+func f64(v float64) *float64 { return &v }
+
+// fixtureComparison builds a plausible, fully-populated comparison/v1
+// document; withActivity adds the activity extension block.
+func fixtureComparison(withActivity bool) *scanpower.Comparison {
+	cmp := &scanpower.Comparison{
+		Circuit: "s344",
+		Stats: netlist.Stats{
+			Name: "s344", PIs: 9, POs: 11, FFs: 15, Gates: 181, Nets: 205,
+			Depth: 12, Fanout: 1.7, MaxFan: 9, MaxArit: 4,
+			ByType: map[logic.GateType]int{logic.Nand: 120, logic.Nor: 40, logic.Not: 21},
+		},
+		Patterns:      27,
+		FaultCoverage: 0.987,
+		Traditional: power.Report{
+			DynamicPerHz: 1.01e-7, PeakDynamicPerHz: 2.5e-7, StaticUW: 11.5,
+			Cycles: 432, MeanTogglesPerCycle: 41.25, MeanLeakNA: 12784.0,
+		},
+		InputControl: power.Report{
+			DynamicPerHz: 7.2e-8, PeakDynamicPerHz: 2.1e-7, StaticUW: 10.1,
+			Cycles: 432, MeanTogglesPerCycle: 30.5, MeanLeakNA: 11222.0,
+		},
+		Proposed: power.Report{
+			DynamicPerHz: 2.3e-8, PeakDynamicPerHz: 1.4e-7, StaticUW: 8.75,
+			Cycles: 432, MeanTogglesPerCycle: 9.8, MeanLeakNA: 9720.0,
+		},
+	}
+	if withActivity {
+		cmp.Activity = &scanpower.ActivityResult{
+			Source:                    "profile",
+			DefaultInput:              0.2,
+			Inputs:                    map[string]float64{"G0": 0.5, "G1": 0.1},
+			WTMTotal:                  2961,
+			WTMPerPattern:             109.7,
+			TraditionalWeightedPerHz:  9.1e-8,
+			InputControlWeightedPerHz: 6.6e-8,
+			ProposedWeightedPerHz:     2.0e-8,
+		}
+	}
+	return cmp
+}
+
+func TestAPICompat(t *testing.T) {
+	cases := []struct {
+		file  string
+		val   any
+		fresh func() any
+	}{
+		{
+			file: "submit_legacy_circuit.json",
+			val:  &api.SubmitBody{Circuit: "s1423", Wait: true},
+		},
+		{
+			file: "submit_legacy_bench.json",
+			val: &api.SubmitBody{Bench: "INPUT(G0)\nOUTPUT(G1)\nG1 = NOT(G0)\n",
+				Name: "tiny", Measure: "packed", TimeoutMS: 5000},
+		},
+		{
+			file: "submit_union_circuit.json",
+			val:  &api.SubmitBody{Source: &api.Source{Circuit: "s344"}, Wait: true},
+		},
+		{
+			file: "submit_union_bench.json",
+			val: &api.SubmitBody{Source: &api.Source{
+				Bench: "INPUT(G0)\nOUTPUT(G1)\nG1 = NOT(G0)\n", Name: "tiny"}},
+		},
+		{
+			file: "submit_union_verilog_activity.json",
+			val: &api.SubmitBody{
+				Source: &api.Source{
+					Verilog: "module t (a, y);\n  input a;\n  output y;\n  not u1 (y, a);\nendmodule\n",
+					Name:    "t",
+				},
+				Activity: &api.Activity{
+					DefaultInput: f64(0.2),
+					Inputs:       map[string]float64{"a": 0.5},
+				},
+				Measure: "packed",
+				Wait:    true,
+			},
+		},
+		{
+			file: "submit_activity_vcd.json",
+			val: &api.SubmitBody{
+				Source: &api.Source{Circuit: "s344"},
+				Activity: &api.Activity{
+					VCD: "$var wire 1 ! G0 $end\n$enddefinitions $end\n#0\n0!\n#1\n1!\n",
+				},
+			},
+		},
+		{
+			file: "benchmarks_response.json",
+			val: &api.BenchmarksResponse{
+				Benchmarks: []api.Benchmark{
+					{Name: "s1423", Gates: 657, ScanCells: 74, Chains: 1},
+					{Name: "s344", Gates: 160, ScanCells: 15, Chains: 1},
+				},
+				Names: []string{"s1423", "s344"},
+			},
+		},
+		{
+			file: "error_envelope.json",
+			val: &api.Envelope{Error: api.EnvelopeBody{
+				Code: "bad_source", Message: "exactly one of source.circuit, source.bench or source.verilog must be set",
+			}},
+		},
+		{
+			file: "comparison_v1.json",
+			val:  fixtureComparison(false),
+		},
+		{
+			file: "comparison_v1_activity.json",
+			val:  fixtureComparison(true),
+		},
+	}
+	// fresh decode targets mirror the value types.
+	for i := range cases {
+		c := &cases[i]
+		switch c.val.(type) {
+		case *api.SubmitBody:
+			c.fresh = func() any { return &api.SubmitBody{} }
+		case *api.BenchmarksResponse:
+			c.fresh = func() any { return &api.BenchmarksResponse{} }
+		case *api.Envelope:
+			c.fresh = func() any { return &api.Envelope{} }
+		case *scanpower.Comparison:
+			c.fresh = func() any { return &scanpower.Comparison{} }
+		}
+	}
+
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			got, err := json.MarshalIndent(c.val, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", c.file)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read fixture (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire bytes drifted from the frozen fixture %s:\n got: %s\nwant: %s",
+					c.file, got, want)
+			}
+
+			// Decode → re-encode must reproduce the fixture exactly.
+			dst := c.fresh()
+			if err := json.Unmarshal(want, dst); err != nil {
+				t.Fatalf("decode fixture: %v", err)
+			}
+			again, err := json.MarshalIndent(dst, "", "  ")
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			again = append(again, '\n')
+			if !bytes.Equal(again, want) {
+				t.Errorf("round trip is lossy for %s:\n got: %s\nwant: %s", c.file, again, want)
+			}
+		})
+	}
+}

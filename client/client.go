@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/api"
 )
 
 // Sentinel errors, one per server error code. Match with errors.Is
@@ -46,11 +47,19 @@ var (
 	ErrBadRequest       = errors.New("client: request rejected")
 	ErrUnknownBenchmark = errors.New("client: unknown benchmark")
 	ErrBadBench         = errors.New("client: bench source rejected")
+	ErrBadSource        = errors.New("client: source union rejected")
+	ErrBadVerilog       = errors.New("client: verilog source rejected")
+	ErrBadActivity      = errors.New("client: activity block rejected")
 	ErrUnknownJob       = errors.New("client: unknown job")
 	ErrNotReady         = errors.New("client: result not ready")
 	ErrCanceled         = errors.New("client: job was canceled")
 	ErrDeadline         = errors.New("client: job deadline exceeded")
 	ErrJobFailed        = errors.New("client: job failed")
+	// ErrConflictingSource reports a SubmitRequest that sets both the
+	// typed Source union and the deprecated flat Circuit/Bench/Name
+	// fields; pick one form. It wraps ErrBadSource, so errors.Is matches
+	// either.
+	ErrConflictingSource = fmt.Errorf("%w: both Source and the deprecated Circuit/Bench/Name fields are set", ErrBadSource)
 	// ErrNoEndpoints reports that every configured endpoint failed at
 	// the transport level (or rejected the submit as draining).
 	ErrNoEndpoints = errors.New("client: no reachable endpoint")
@@ -63,6 +72,9 @@ var codeSentinels = map[string]error{
 	"bad_request":       ErrBadRequest,
 	"unknown_benchmark": ErrUnknownBenchmark,
 	"bad_bench":         ErrBadBench,
+	"bad_source":        ErrBadSource,
+	"bad_verilog":       ErrBadVerilog,
+	"bad_activity":      ErrBadActivity,
 	"unknown_job":       ErrUnknownJob,
 	"not_ready":         ErrNotReady,
 	"canceled":          ErrCanceled,
@@ -147,13 +159,28 @@ func (c *Client) Endpoints() []string {
 	return out
 }
 
-// SubmitRequest describes one job. Exactly one of Circuit (a built-in
-// Table I name) or Bench (inline .bench source, optionally Named)
-// selects the circuit.
+// SubmitRequest describes one job. The circuit comes from Source — a
+// discriminated union over built-in names, inline .bench and inline
+// Verilog — or from the deprecated flat Circuit/Bench/Name trio; setting
+// both forms fails with ErrConflictingSource before any request is sent.
 type SubmitRequest struct {
+	// Circuit, Bench and Name are the flat source fields of the original
+	// v1 submit body.
+	//
+	// Deprecated: use Source, which adds Verilog and keeps the three
+	// variants from being set at once. The flat form stays supported
+	// (the server accepts it forever) but cannot be combined with Source.
 	Circuit string
 	Bench   string
 	Name    string
+	// Source selects the circuit: exactly one of Source.Circuit (built-in
+	// Table I name), Source.Bench or Source.Verilog (inline sources,
+	// optionally named via Source.Name).
+	Source *api.Source
+	// Activity optionally annotates the job with switching activity —
+	// explicit per-input factors or a VCD — and adds the weighted
+	// transition metrics block to the job's result document.
+	Activity *api.Activity
 	// Measure selects the measurement backend ("" = server default).
 	Measure string
 	// Timeout bounds the job's runtime (0 = server default).
@@ -319,15 +346,29 @@ func (c *Client) rotate() []string {
 // are unreachable or draining. Other rejections (bad request, full
 // queue) return immediately: they are authoritative answers, not node
 // failures.
+//
+// The body is validated client-side with the same shared validator the
+// server runs (repro/api), so a malformed source union or activity block
+// fails as an *APIError — matching the server's envelope code and the
+// package sentinels — without a round trip.
 func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*Job, error) {
-	body, err := json.Marshal(map[string]any{
-		"circuit":    req.Circuit,
-		"bench":      req.Bench,
-		"name":       req.Name,
-		"measure":    req.Measure,
-		"timeout_ms": req.Timeout.Milliseconds(),
-		"wait":       req.Wait,
-	})
+	if req.Source != nil && (req.Circuit != "" || req.Bench != "" || req.Name != "") {
+		return nil, ErrConflictingSource
+	}
+	wire := api.SubmitBody{
+		Circuit:   req.Circuit,
+		Bench:     req.Bench,
+		Name:      req.Name,
+		Source:    req.Source,
+		Activity:  req.Activity,
+		Measure:   req.Measure,
+		TimeoutMS: req.Timeout.Milliseconds(),
+		Wait:      req.Wait,
+	}
+	if verr := wire.Validate(); verr != nil {
+		return nil, &APIError{Status: verr.Status, Code: verr.Code, Message: verr.Message}
+	}
+	body, err := json.Marshal(&wire)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
@@ -427,8 +468,10 @@ func (c *Client) Result(ctx context.Context, j *Job) (*scanpower.Comparison, []b
 	return &cmp, raw, nil
 }
 
-// Benchmarks lists the built-in Table I circuits.
-func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
+// Benchmarks lists the built-in Table I circuits as structured entries
+// (name plus published gate/scan-cell/chain counts). BenchmarkNames
+// returns the bare name list for callers that only route on names.
+func (c *Client) Benchmarks(ctx context.Context) ([]api.Benchmark, error) {
 	var lastErr error
 	for _, ep := range c.rotate() {
 		raw, err := c.do(ctx, http.MethodGet, ep+"/v1/benchmarks", nil)
@@ -436,15 +479,27 @@ func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
 			lastErr = err
 			continue
 		}
-		var out struct {
-			Benchmarks []string `json:"benchmarks"`
-		}
+		var out api.BenchmarksResponse
 		if err := json.Unmarshal(raw, &out); err != nil {
 			return nil, fmt.Errorf("client: %w", err)
 		}
 		return out.Benchmarks, nil
 	}
 	return nil, fmt.Errorf("%w: %w", ErrNoEndpoints, lastErr)
+}
+
+// BenchmarkNames lists the built-in circuit names (the `names` field of
+// the v1 benchmarks response, which preserves the pre-structured shape).
+func (c *Client) BenchmarkNames(ctx context.Context) ([]string, error) {
+	entries, err := c.Benchmarks(ctx)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	return names, nil
 }
 
 // StoreStatus is a daemon's persistent result store view.

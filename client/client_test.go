@@ -132,9 +132,18 @@ func TestSubmitWaitResult(t *testing.T) {
 		t.Errorf("wait submit = %+v, want coalesced done %s", job2, job.ID)
 	}
 
-	names, err := cl.Benchmarks(ctx)
-	if err != nil || len(names) != 12 {
-		t.Errorf("Benchmarks = %v (%v)", names, err)
+	entries, err := cl.Benchmarks(ctx)
+	if err != nil || len(entries) != 12 {
+		t.Errorf("Benchmarks = %v (%v)", entries, err)
+	}
+	for _, e := range entries {
+		if e.Name == "" || e.Gates <= 0 || e.ScanCells <= 0 || e.Chains != 1 {
+			t.Errorf("benchmark entry missing stats: %+v", e)
+		}
+	}
+	names, err := cl.BenchmarkNames(ctx)
+	if err != nil || len(names) != 12 || names[0] != "s1196" {
+		t.Errorf("BenchmarkNames = %v (%v)", names, err)
 	}
 	h, err := cl.Health(ctx, srv.URL)
 	if err != nil || h.Status != "ok" {

@@ -1,0 +1,126 @@
+package client
+
+// Tests of the typed source union and activity block on the client side:
+// the shared validator runs before any request is sent, the deprecated
+// flat fields conflict with the union, and an annotated job's result
+// carries the activity columns end to end.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/internal/service"
+)
+
+const s27Verilog = `module s27v (G0, G1, G2, G3, G17);
+  input G0, G1, G2, G3;
+  output G17;
+  wire G5, G6, G7, G8, G9, G10, G11, G12, G13, G14, G15, G16;
+  dff d1 (G5, G10);
+  dff d2 (G6, G11);
+  dff d3 (G7, G13);
+  not n1 (G14, G0);
+  not n2 (G17, G11);
+  and a1 (G8, G14, G6);
+  or o1 (G15, G12, G8);
+  or o2 (G16, G3, G8);
+  nand na1 (G9, G16, G15);
+  nor no1 (G10, G14, G11);
+  nor no2 (G11, G5, G9);
+  nor no3 (G12, G1, G7);
+  nor no4 (G13, G2, G12);
+endmodule
+`
+
+// TestClientSideValidation checks the shared validator fires before any
+// HTTP round trip: the endpoint here refuses connections, so a request
+// that reaches the wire fails with ErrNoEndpoints, not a typed 4xx.
+func TestClientSideValidation(t *testing.T) {
+	cl, err := New([]string{deadEndpoint(t)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := cl.Submit(ctx, SubmitRequest{
+		Circuit: "s344", Source: &api.Source{Circuit: "s344"},
+	}); !errors.Is(err, ErrConflictingSource) || !errors.Is(err, ErrBadSource) {
+		t.Errorf("conflicting forms error = %v", err)
+	}
+	if _, err := cl.Submit(ctx, SubmitRequest{Source: &api.Source{}}); !errors.Is(err, ErrBadSource) {
+		t.Errorf("empty union error = %v", err)
+	}
+	if _, err := cl.Submit(ctx, SubmitRequest{
+		Source:   &api.Source{Circuit: "s344"},
+		Activity: &api.Activity{},
+	}); !errors.Is(err, ErrBadActivity) {
+		t.Errorf("empty activity error = %v", err)
+	}
+	bad := 1.5
+	if _, err := cl.Submit(ctx, SubmitRequest{
+		Source:   &api.Source{Circuit: "s344"},
+		Activity: &api.Activity{DefaultInput: &bad},
+	}); !errors.Is(err, ErrBadActivity) {
+		t.Errorf("out-of-range factor error = %v", err)
+	}
+	var apiErr *APIError
+	if _, err := cl.Submit(ctx, SubmitRequest{Source: &api.Source{}}); !errors.As(err, &apiErr) ||
+		apiErr.Status != http.StatusUnprocessableEntity || apiErr.Code != "bad_source" {
+		t.Errorf("client-side validation should yield the server's envelope shape, got %v", err)
+	}
+}
+
+// TestUnionSubmitEndToEnd runs a Verilog source with an activity profile
+// through a real service and checks the typed result carries the
+// weighted-transition block; server-side rejections map to the new
+// sentinels.
+func TestUnionSubmitEndToEnd(t *testing.T) {
+	srv := newService(t, service.Options{})
+	cl, err := New([]string{srv.URL}, Options{PollInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	job, err := cl.Submit(ctx, SubmitRequest{
+		Source:   &api.Source{Verilog: s27Verilog},
+		Activity: &api.Activity{Inputs: map[string]float64{"G0": 0.9}},
+		Wait:     true,
+	})
+	if err != nil {
+		t.Fatalf("union submit: %v", err)
+	}
+	if job.State != "done" || job.Circuit != "s27v" {
+		t.Fatalf("job = %+v", job)
+	}
+	cmp, _, err := cl.Result(ctx, job)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if cmp.Activity == nil {
+		t.Fatal("result has no Activity block")
+	}
+	if cmp.Activity.Source != "profile" || cmp.Activity.Inputs["G0"] != 0.9 {
+		t.Errorf("Activity = %+v", cmp.Activity)
+	}
+	if cmp.Activity.TraditionalWeightedPerHz <= 0 {
+		t.Errorf("weighted dynamic should be positive: %+v", cmp.Activity)
+	}
+
+	// Server-side rejections that client-side validation cannot catch.
+	if _, err := cl.Submit(ctx, SubmitRequest{
+		Source: &api.Source{Verilog: "module m (a, y);\n input a;\n output y;\n bogus u1 (y, a);\nendmodule\n"},
+	}); !errors.Is(err, ErrBadVerilog) {
+		t.Errorf("bad verilog error = %v", err)
+	}
+	if _, err := cl.Submit(ctx, SubmitRequest{
+		Source:   &api.Source{Circuit: "s344"},
+		Activity: &api.Activity{Inputs: map[string]float64{"nope": 0.5}},
+	}); !errors.Is(err, ErrBadActivity) {
+		t.Errorf("unknown activity input error = %v", err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/api"
 	"repro/client"
 	"repro/internal/cliflags"
 	"repro/internal/telemetry"
@@ -217,16 +218,16 @@ func run(servers string, duration time.Duration, concurrency int, hot, cancelFra
 			rng := rand.New(rand.NewSource(seed + int64(w)))
 			for time.Now().Before(deadline) {
 				req := client.SubmitRequest{
-					Bench:   cold,
+					Source:  &api.Source{Bench: cold},
 					Measure: measure,
 					Timeout: timeout,
 					Wait:    true,
 				}
 				doCancel := rng.Float64() < cancelFrac
 				if !doCancel && rng.Float64() < hot {
-					req.Name = fmt.Sprintf("hot-%d", rng.Intn(hotSet))
+					req.Source.Name = fmt.Sprintf("hot-%d", rng.Intn(hotSet))
 				} else {
-					req.Name = fmt.Sprintf("cold-%d", coldSeq.Add(1))
+					req.Source.Name = fmt.Sprintf("cold-%d", coldSeq.Add(1))
 				}
 
 				atomic.AddInt64(&cnt.submitted, 1)

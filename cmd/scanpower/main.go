@@ -16,17 +16,26 @@
 // from the cluster's persistent result store when warm, and the same
 // comparison table is printed from the returned document.
 //
+// Circuits come from -circuit (built-in Table I name), -bench (ISCAS89
+// netlist) or -verilog (structural Verilog, primitive subset). An
+// optional switching-activity profile — -activity (JSON factors) or
+// -activity-vcd (toggle rates extracted from a VCD) — adds the
+// weighted-transition metrics to the report, locally and remotely.
+//
 // Usage:
 //
 //	scanpower -circuit s344          # synthetic Table I benchmark
 //	scanpower -bench path/to/x.bench # real netlist (mapped automatically)
+//	scanpower -verilog path/to/x.v -activity act.json
 //	scanpower -circuit s9234 -timeout 2m -extensions
 //	scanpower -circuit s344 -listen :8080 -trace s344.jsonl -manifest s344.json
 //	scanpower -circuit s344 -server http://127.0.0.1:8344,http://127.0.0.1:8345
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +44,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/api"
 	"repro/client"
 	"repro/internal/atpg"
 	"repro/internal/cliflags"
@@ -46,12 +56,16 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/vcd"
 	"repro/internal/vectors"
+	"repro/internal/verilog"
 )
 
 func main() {
 	fs := flag.CommandLine
 	circuit := fs.String("circuit", "", "Table I benchmark name (e.g. s344)")
 	benchFile := fs.String("bench", "", "path to an ISCAS89 .bench file")
+	verilogFile := fs.String("verilog", "", "path to a structural Verilog file (primitive subset)")
+	activityJSON := fs.String("activity", "", `path to a JSON activity block, e.g. {"default_input":0.2,"inputs":{"G0":0.5}}`)
+	activityVCD := fs.String("activity-vcd", "", "path to a VCD whose per-input toggle rates become the activity profile")
 	extensions := fs.Bool("extensions", false, "also run the enhanced-scan and reordering extension studies")
 	vcdPath := fs.String("vcd", "", "dump the proposed structure's scan-mode waveforms to this VCD file")
 	patFile := fs.String("patterns", "", "replay patterns from this vectors file instead of running ATPG (power section only)")
@@ -72,23 +86,29 @@ func main() {
 		defer cancel()
 	}
 
+	act, err := loadActivity(*activityJSON, *activityVCD)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scanpower:", err)
+		os.Exit(2)
+	}
+
 	if *server != "" {
 		if *extensions || *vcdPath != "" || *patFile != "" {
 			fmt.Fprintln(os.Stderr, "scanpower: -extensions, -vcd and -patterns run in-process only, not with -server")
 			os.Exit(2)
 		}
-		if err := runRemote(ctx, *server, *circuit, *benchFile, *measure, *timeout); err != nil {
+		if err := runRemote(ctx, *server, *circuit, *benchFile, *verilogFile, *measure, act, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "scanpower:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	var (
-		c   *netlist.Circuit
-		err error
-	)
+	var c *netlist.Circuit
 	switch {
+	case moreThanOne(*circuit != "", *benchFile != "", *verilogFile != ""):
+		fmt.Fprintln(os.Stderr, "scanpower: need exactly one of -circuit, -bench or -verilog")
+		os.Exit(2)
 	case *circuit != "":
 		c, err = scanpower.Benchmark(*circuit)
 	case *benchFile != "":
@@ -96,8 +116,10 @@ func main() {
 		if err == nil && !techmap.IsMapped(c, 4) {
 			c, err = scanpower.Prepare(c)
 		}
+	case *verilogFile != "":
+		c, err = loadVerilog(*verilogFile)
 	default:
-		fmt.Fprintln(os.Stderr, "scanpower: need -circuit or -bench")
+		fmt.Fprintln(os.Stderr, "scanpower: need -circuit, -bench or -verilog")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -144,6 +166,14 @@ func main() {
 	if cfg.ATPG.Workers, err = cliflags.ValidateATPGWorkers(*atpgWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "scanpower:", err)
 		os.Exit(2)
+	}
+	if act != nil {
+		prof, aerr := act.Profile(piNames(c))
+		if aerr != nil {
+			fmt.Fprintln(os.Stderr, "scanpower:", aerr.Message)
+			os.Exit(2)
+		}
+		cfg.Activity = prof
 	}
 	// The direct core.BuildContext call below bypasses Compare's MC
 	// propagation, so mirror the choice into the per-structure options.
@@ -217,6 +247,71 @@ func main() {
 	}
 }
 
+// moreThanOne reports whether two or more of the flags are set.
+func moreThanOne(flags ...bool) bool {
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return n > 1
+}
+
+// piNames lists the circuit's primary-input net names.
+func piNames(c *netlist.Circuit) []string {
+	names := make([]string, len(c.PIs))
+	for i, pi := range c.PIs {
+		names[i] = c.Nets[pi].Name
+	}
+	return names
+}
+
+// loadVerilog parses and library-maps a structural Verilog file.
+func loadVerilog(path string) (*netlist.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	c, err := verilog.Parse(f, name)
+	if err != nil {
+		return nil, err
+	}
+	if !techmap.IsMapped(c, 4) {
+		return scanpower.Prepare(c)
+	}
+	return c, nil
+}
+
+// loadActivity builds the submit-style activity block from the CLI flags.
+func loadActivity(jsonPath, vcdPath string) (*api.Activity, error) {
+	switch {
+	case jsonPath != "" && vcdPath != "":
+		return nil, fmt.Errorf("need at most one of -activity and -activity-vcd")
+	case jsonPath != "":
+		raw, err := os.ReadFile(jsonPath)
+		if err != nil {
+			return nil, err
+		}
+		var a api.Activity
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&a); err != nil {
+			return nil, fmt.Errorf("%s: %w", jsonPath, err)
+		}
+		return &a, nil
+	case vcdPath != "":
+		raw, err := os.ReadFile(vcdPath)
+		if err != nil {
+			return nil, err
+		}
+		return &api.Activity{VCD: string(raw)}, nil
+	}
+	return nil, nil
+}
+
 // printComparison renders the three-structure table — the same lines
 // whether the comparison was computed here or fetched from a daemon.
 func printComparison(cmp *scanpower.Comparison) {
@@ -229,11 +324,20 @@ func printComparison(cmp *scanpower.Comparison) {
 		cmp.DynImprovementVsTraditional(), cmp.StaticImprovementVsTraditional())
 	fmt.Printf("improvement vs input-ctrl:  dynamic %.2f%%, static %.2f%%\n",
 		cmp.DynImprovementVsInputControl(), cmp.StaticImprovementVsInputControl())
+	if a := cmp.Activity; a != nil {
+		fmt.Printf("\nactivity (%s, default %.3g): WTM %d total, %.1f per pattern\n",
+			a.Source, a.DefaultInput, a.WTMTotal, a.WTMPerPattern)
+		fmt.Printf("%-14s %14s\n", "structure", "weighted µW/Hz")
+		fmt.Printf("%-14s %14.3e\n", "traditional", a.TraditionalWeightedPerHz)
+		fmt.Printf("%-14s %14.3e\n", "input-control", a.InputControlWeightedPerHz)
+		fmt.Printf("%-14s %14.3e\n", "proposed", a.ProposedWeightedPerHz)
+	}
 }
 
 // runRemote submits the experiment to a scanpowerd cluster through the
-// typed client and prints the returned comparison.
-func runRemote(ctx context.Context, servers, circuit, benchFile, measure string, timeout time.Duration) error {
+// typed client — as a source-union body, with the activity block when one
+// was given — and prints the returned comparison.
+func runRemote(ctx context.Context, servers, circuit, benchFile, verilogFile, measure string, act *api.Activity, timeout time.Duration) error {
 	if _, err := cliflags.ValidateMeasure(measure); err != nil {
 		return err
 	}
@@ -248,21 +352,28 @@ func runRemote(ctx context.Context, servers, circuit, benchFile, measure string,
 		return err
 	}
 
-	req := client.SubmitRequest{Measure: measure, Timeout: timeout, Wait: true}
+	req := client.SubmitRequest{Measure: measure, Timeout: timeout, Wait: true, Activity: act}
 	switch {
-	case circuit != "" && benchFile != "":
-		return fmt.Errorf("need exactly one of -circuit or -bench")
+	case moreThanOne(circuit != "", benchFile != "", verilogFile != ""):
+		return fmt.Errorf("need exactly one of -circuit, -bench or -verilog")
 	case circuit != "":
-		req.Circuit = circuit
+		req.Source = &api.Source{Circuit: circuit}
 	case benchFile != "":
 		src, err := os.ReadFile(benchFile)
 		if err != nil {
 			return err
 		}
-		req.Bench = string(src)
-		req.Name = strings.TrimSuffix(filepath.Base(benchFile), ".bench")
+		req.Source = &api.Source{Bench: string(src),
+			Name: strings.TrimSuffix(filepath.Base(benchFile), ".bench")}
+	case verilogFile != "":
+		src, err := os.ReadFile(verilogFile)
+		if err != nil {
+			return err
+		}
+		req.Source = &api.Source{Verilog: string(src),
+			Name: strings.TrimSuffix(filepath.Base(verilogFile), filepath.Ext(verilogFile))}
 	default:
-		return fmt.Errorf("need -circuit or -bench")
+		return fmt.Errorf("need -circuit, -bench or -verilog")
 	}
 
 	job, err := cl.Submit(ctx, req)

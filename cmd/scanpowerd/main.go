@@ -1,18 +1,26 @@
 // Command scanpowerd serves the scan-power experiments as a long-running
 // HTTP/JSON job service. Clients submit Table I experiments — a built-in
-// ISCAS89 circuit name or inline .bench source, with optional measurement
-// backend and deadline overrides — and poll for scanpower/comparison/v1
+// ISCAS89 circuit name, inline .bench source or inline structural Verilog,
+// with optional measurement backend, deadline overrides and a
+// switching-activity annotation — and poll for scanpower/comparison/v1
 // results; every job runs on one shared Engine, so repeated circuits hit
 // the memoized ATPG cache.
 //
-// API (see internal/service):
+// API (see internal/service and the repro/api wire package):
 //
-//	POST   /v1/jobs              {"circuit":"s344"} or {"bench":"...","name":"..."}
-//	                             plus "measure", "timeout_ms", "wait"
+//	POST   /v1/jobs              {"source":{"circuit":"s344"}} or
+//	                             {"source":{"bench":"...","name":"..."}} or
+//	                             {"source":{"verilog":"...","name":"..."}},
+//	                             optionally {"activity":{"inputs":{...},
+//	                             "default_input":0.2}} or {"activity":
+//	                             {"vcd":"..."}}, plus "measure",
+//	                             "timeout_ms", "wait". The legacy flat
+//	                             {"circuit":...}/{"bench":...} body is
+//	                             still accepted byte-compatibly.
 //	GET    /v1/jobs/{id}         job status
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/jobs/{id}/result  result document
-//	GET    /v1/benchmarks        built-in circuits
+//	GET    /v1/benchmarks        built-in circuits with structure stats
 //	GET    /v1/healthz           queue/store stats; 503 while draining
 //	GET    /v1/cluster           membership, peer health and store status
 //	GET    /metrics              Prometheus text (plus /debug/vars, /debug/pprof)
@@ -24,9 +32,9 @@
 // are never truncated.
 //
 // -store-dir enables the persistent result store: completed results are
-// written to disk keyed by circuit fingerprint and measurement backend,
-// and a restarted daemon serves previously computed jobs from disk —
-// bit-identical bytes, no recompute.
+// written to disk keyed by circuit fingerprint, measurement backend and
+// activity-profile hash, and a restarted daemon serves previously
+// computed jobs from disk — bit-identical bytes, no recompute.
 //
 // -peers (with -self) enables cluster mode: submits are sharded by
 // circuit fingerprint across the members with consistent hashing, jobs

@@ -1,0 +1,157 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func TestActivityProfileValidate(t *testing.T) {
+	good := []ActivityProfile{
+		{},
+		{Default: 0.2},
+		{Default: 1, Inputs: map[string]float64{"a": 0, "b": 0.5}},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good[%d]: %v", i, err)
+		}
+	}
+	bad := []ActivityProfile{
+		{Default: -0.1},
+		{Default: 1.1},
+		{Default: math.NaN()},
+		{Inputs: map[string]float64{"a": 2}},
+		{Inputs: map[string]float64{"a": math.Inf(1)}},
+		{Inputs: map[string]float64{"": 0.5}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad[%d]: expected error", i)
+		}
+	}
+}
+
+func TestActivityProfileHash(t *testing.T) {
+	a := &ActivityProfile{Source: "profile", Default: 0.2,
+		Inputs: map[string]float64{"x": 0.1, "y": 0.9}}
+	b := &ActivityProfile{Source: "profile", Default: 0.2,
+		Inputs: map[string]float64{"y": 0.9, "x": 0.1}}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("hash is map-order dependent")
+	}
+	variants := []*ActivityProfile{
+		{Source: "vcd", Default: 0.2, Inputs: map[string]float64{"x": 0.1, "y": 0.9}},
+		{Source: "profile", Default: 0.3, Inputs: map[string]float64{"x": 0.1, "y": 0.9}},
+		{Source: "profile", Default: 0.2, Inputs: map[string]float64{"x": 0.1}},
+		{Source: "profile", Default: 0.2, Inputs: map[string]float64{"x": 0.1, "y": 0.8}},
+	}
+	for i, v := range variants {
+		if v.Hash() == a.Hash() {
+			t.Errorf("variant %d collides with base", i)
+		}
+	}
+	var nilP *ActivityProfile
+	if nilP.Hash() != 0 {
+		t.Errorf("nil profile must hash to 0")
+	}
+}
+
+// chainCircuit builds a -> NOT -> y so density passes through unchanged.
+func TestTransitionDensityInverterChain(t *testing.T) {
+	c := netlist.New("chain")
+	c.AddPI("a")
+	c.AddGate(logic.Not, "n1", "a")
+	c.AddGate(logic.Not, "y", "n1")
+	c.MarkPO("y")
+	c.MustFreeze()
+
+	p := &ActivityProfile{Default: 0, Inputs: map[string]float64{"a": 0.4}}
+	dens := TransitionDensity(c, p)
+	na, _ := c.NetByName("a")
+	n1, _ := c.NetByName("n1")
+	ny, _ := c.NetByName("y")
+	for _, n := range []netlist.NetID{na, n1, ny} {
+		if dens[n] != 0.4 {
+			t.Errorf("net %d density %v, want 0.4 (inverters preserve density)", n, dens[n])
+		}
+	}
+}
+
+func TestTransitionDensityNand(t *testing.T) {
+	c := netlist.New("nand")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddGate(logic.Nand, "y", "a", "b")
+	c.MarkPO("y")
+	c.MustFreeze()
+
+	p := &ActivityProfile{Inputs: map[string]float64{"a": 0.6, "b": 0.2}}
+	dens := TransitionDensity(c, p)
+	ny, _ := c.NetByName("y")
+	// D(y) = p_b·D(a) + p_a·D(b) with both probabilities 1/2.
+	want := 0.5*0.6 + 0.5*0.2
+	if math.Abs(dens[ny]-want) > 1e-15 {
+		t.Errorf("nand density %v, want %v", dens[ny], want)
+	}
+}
+
+func TestTransitionDensityXorTransparent(t *testing.T) {
+	c := netlist.New("xor")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddGate(logic.Xor, "y", "a", "b")
+	c.MarkPO("y")
+	c.MustFreeze()
+
+	p := &ActivityProfile{Inputs: map[string]float64{"a": 0.3, "b": 0.5}}
+	dens := TransitionDensity(c, p)
+	ny, _ := c.NetByName("y")
+	if math.Abs(dens[ny]-0.8) > 1e-15 {
+		t.Errorf("xor density %v, want 0.8 (XOR never blocks)", dens[ny])
+	}
+}
+
+func TestTransitionDensityScanCellsUseDefault(t *testing.T) {
+	c := netlist.New("ff")
+	c.AddPI("a")
+	c.AddFF("ff1", "q", "d")
+	c.AddGate(logic.Nand, "d", "a", "q")
+	c.MarkPO("d")
+	c.MustFreeze()
+
+	p := &ActivityProfile{Default: 0.7, Inputs: map[string]float64{"a": 0.1}}
+	dens := TransitionDensity(c, p)
+	nq, _ := c.NetByName("q")
+	if dens[nq] != 0.7 {
+		t.Errorf("scan-cell output density %v, want the profile default 0.7", dens[nq])
+	}
+}
+
+// TestWeightedDynamicDeterministic pins the accumulation as bit-stable and
+// monotone in activity.
+func TestWeightedDynamicDeterministic(t *testing.T) {
+	c := netlist.New("m")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddGate(logic.Nand, "n1", "a", "b")
+	c.AddGate(logic.Nor, "n2", "n1", "a")
+	c.AddGate(logic.Not, "y", "n2")
+	c.MarkPO("y")
+	c.MustFreeze()
+
+	cm := DefaultCapModel()
+	low := &ActivityProfile{Default: 0.1}
+	high := &ActivityProfile{Default: 0.9}
+	l1 := cm.WeightedDynamicPerHz(c, low)
+	l2 := cm.WeightedDynamicPerHz(c, low)
+	h := cm.WeightedDynamicPerHz(c, high)
+	if l1 != l2 {
+		t.Errorf("weighted dynamic not deterministic: %v vs %v", l1, l2)
+	}
+	if !(h > l1 && l1 > 0) {
+		t.Errorf("weighted dynamic not monotone in activity: low %v high %v", l1, h)
+	}
+}

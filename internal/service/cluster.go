@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/api"
 	"repro/internal/telemetry"
 )
 
@@ -297,17 +298,14 @@ func (s *Service) forwardSubmit(w http.ResponseWriter, r *http.Request, fp uint6
 	return false
 }
 
-// circuitLabel names the submit for span attributes: the built-in name,
-// the inline bench's name, or "inline".
+// circuitLabel names the submit for span attributes: the built-in name
+// (flat or union form), or the inline circuit's label.
 func circuitLabel(req *submitRequest) string {
-	switch {
-	case req.Circuit != "":
-		return req.Circuit
-	case req.Name != "":
-		return req.Name
-	default:
-		return "inline"
+	kind, payload, name := req.Resolved()
+	if kind == api.SourceCircuit {
+		return payload
 	}
+	return name
 }
 
 // relayedJobID extracts the job ID from a relayed submit response body so

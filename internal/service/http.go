@@ -9,25 +9,30 @@ import (
 	"time"
 
 	"repro"
+	"repro/api"
 	"repro/internal/netlist"
+	"repro/internal/power"
 	"repro/internal/techmap"
 	"repro/internal/telemetry"
+	"repro/internal/verilog"
 )
 
-// maxBenchBytes bounds inline .bench payloads; the largest ISCAS89 source
-// is well under 1 MiB.
+// maxBenchBytes bounds inline source payloads (.bench, Verilog, VCD); the
+// largest ISCAS89 source is well under 1 MiB.
 const maxBenchBytes = 8 << 20
 
 // Handler returns the service's HTTP API mounted next to the telemetry
 // endpoints (/metrics, /debug/vars, /debug/pprof):
 //
-//	POST   /v1/jobs            submit a job (circuit name or inline bench)
+//	POST   /v1/jobs            submit a job (source union: built-in name,
+//	                           inline .bench or inline Verilog; optional
+//	                           switching-activity block)
 //	GET    /v1/jobs/{id}       job status
 //	DELETE /v1/jobs/{id}       cancel a job
 //	GET    /v1/jobs/{id}/result  scanpower/comparison/v1 result document
 //	GET    /v1/jobs/{id}/trace   scanpower/trace/v1 merged cross-node span tree
 //	GET    /v1/traces/{id}     this node's raw segments of one trace
-//	GET    /v1/benchmarks      built-in Table I circuits
+//	GET    /v1/benchmarks      built-in Table I circuits (structured + names)
 //	GET    /v1/healthz         queue/inflight/cache/store stats; 503 while draining
 //	GET    /v1/cluster         membership, peer health and store status
 //	GET    /v1/node/metrics    this node's typed registry snapshot
@@ -97,19 +102,11 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, env)
 }
 
-// submitRequest is the POST /v1/jobs body. Exactly one of Circuit (a
-// built-in Table I name) or Bench (inline .bench source, optionally
-// named) selects the circuit.
-type submitRequest struct {
-	Circuit   string `json:"circuit,omitempty"`
-	Bench     string `json:"bench,omitempty"`
-	Name      string `json:"name,omitempty"`
-	Measure   string `json:"measure,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
-	// Wait blocks the response until the job settles (or the client
-	// disconnects, which cancels a job this request created).
-	Wait bool `json:"wait,omitempty"`
-}
+// submitRequest is the POST /v1/jobs body: the shared wire type of
+// repro/api, so the server decodes, validates (api.SubmitBody.Validate)
+// and forwards exactly the contract the typed client speaks — the source
+// union, the optional activity block, and the legacy flat fields.
+type submitRequest = api.SubmitBody
 
 // jobResponse is the wire form of a job's observable state. Node is the
 // owning daemon's base URL (when configured): in cluster mode a submit
@@ -181,25 +178,32 @@ func validMeasure(m string) bool {
 	return false
 }
 
-// resolveCircuit turns the request into a library-mapped circuit:
-// built-in names via Benchmark, inline sources via ParseBench + Prepare.
+// resolveCircuit turns a Validate-clean request into a library-mapped
+// circuit: built-in names via Benchmark, inline .bench via ParseBench,
+// inline Verilog via verilog.ParseString, each followed by Prepare when
+// the elaborated netlist is not already library-mapped.
 func resolveCircuit(req *submitRequest) (*netlist.Circuit, int, string, error) {
-	switch {
-	case req.Circuit != "" && req.Bench != "":
-		return nil, http.StatusBadRequest, "bad_request",
-			errors.New("exactly one of circuit or bench must be set")
-	case req.Circuit != "":
-		c, err := scanpower.Benchmark(req.Circuit)
+	kind, payload, name := req.Resolved()
+	switch kind {
+	case api.SourceCircuit:
+		c, err := scanpower.Benchmark(payload)
 		if err != nil {
 			return nil, http.StatusNotFound, "unknown_benchmark", err
 		}
 		return c, 0, "", nil
-	case req.Bench != "":
-		name := req.Name
-		if name == "" {
-			name = "inline"
+	case api.SourceVerilog:
+		c, err := verilog.ParseString(payload, name)
+		if err != nil {
+			return nil, http.StatusUnprocessableEntity, api.CodeBadVerilog, err
 		}
-		c, err := scanpower.ParseBench(req.Bench, name)
+		if !techmap.IsMapped(c, 4) {
+			if c, err = scanpower.Prepare(c); err != nil {
+				return nil, http.StatusUnprocessableEntity, api.CodeBadVerilog, err
+			}
+		}
+		return c, 0, "", nil
+	default: // api.SourceBench
+		c, err := scanpower.ParseBench(payload, name)
 		if err != nil {
 			return nil, http.StatusUnprocessableEntity, "bad_bench", err
 		}
@@ -209,10 +213,21 @@ func resolveCircuit(req *submitRequest) (*netlist.Circuit, int, string, error) {
 			}
 		}
 		return c, 0, "", nil
-	default:
-		return nil, http.StatusBadRequest, "bad_request",
-			errors.New("one of circuit or bench must be set")
 	}
+}
+
+// resolveActivity turns the request's activity block into the engine's
+// profile form against the resolved circuit's primary inputs; nil in,
+// nil out.
+func resolveActivity(req *submitRequest, c *netlist.Circuit) (*power.ActivityProfile, *api.Error) {
+	if req.Activity == nil {
+		return nil, nil
+	}
+	names := make([]string, len(c.PIs))
+	for i, pi := range c.PIs {
+		names[i] = c.Nets[pi].Name
+	}
+	return req.Activity.Profile(names)
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -224,18 +239,18 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
 		return
 	}
-	if !validMeasure(req.Measure) {
-		writeError(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("unknown measure backend %q", req.Measure))
-		return
-	}
-	if req.TimeoutMS < 0 {
-		writeError(w, http.StatusBadRequest, "bad_request", "timeout_ms must be >= 0")
+	if verr := req.Validate(); verr != nil {
+		writeError(w, verr.Status, verr.Code, verr.Message)
 		return
 	}
 	c, status, code, err := resolveCircuit(&req)
 	if err != nil {
 		writeError(w, status, code, err.Error())
+		return
+	}
+	prof, aerr := resolveActivity(&req, c)
+	if aerr != nil {
+		writeError(w, aerr.Status, aerr.Code, aerr.Message)
 		return
 	}
 
@@ -252,8 +267,8 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, coalesced, err := s.SubmitTraced(c, scanpower.MeasureBackend(req.Measure),
-		time.Duration(req.TimeoutMS)*time.Millisecond, tc)
+	j, coalesced, err := s.SubmitActivityTraced(c, scanpower.MeasureBackend(req.Measure),
+		time.Duration(req.TimeoutMS)*time.Millisecond, prof, tc)
 	if err != nil {
 		var serr *SubmitError
 		if errors.As(err, &serr) {
@@ -351,13 +366,11 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// benchmarksResponse lists the built-in circuits.
-type benchmarksResponse struct {
-	Benchmarks []string `json:"benchmarks"`
-}
-
 func (s *Service) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, benchmarksResponse{Benchmarks: s.Benchmarks()})
+	writeJSON(w, http.StatusOK, api.BenchmarksResponse{
+		Benchmarks: s.BenchmarkEntries(),
+		Names:      s.Benchmarks(),
+	})
 }
 
 // healthzResponse is the GET /v1/healthz body.

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
 	"sort"
@@ -36,7 +37,10 @@ import (
 	"time"
 
 	"repro"
+	"repro/api"
+	"repro/internal/iscas"
 	"repro/internal/netlist"
+	"repro/internal/power"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
@@ -155,6 +159,10 @@ type jobKey struct {
 	fp        uint64
 	measure   scanpower.MeasureBackend
 	timeoutMS int64
+	// activity is the switching-activity profile hash (0 = no profile):
+	// an activity annotation adds columns to the result, so annotated and
+	// plain submits of the same circuit must not coalesce.
+	activity uint64
 }
 
 // Job is one queued experiment. All mutable fields are guarded by the
@@ -166,8 +174,9 @@ type Job struct {
 	Measure scanpower.MeasureBackend
 	Timeout time.Duration
 
-	key  jobKey
-	circ *netlist.Circuit
+	key      jobKey
+	circ     *netlist.Circuit
+	activity *power.ActivityProfile // nil = no activity annotation
 
 	// Distributed trace identity and this node's segment of the span
 	// tree. rootSpan covers the job's whole lifetime; queueSpan the wait
@@ -217,7 +226,12 @@ type Service struct {
 	run  Runner
 
 	node    string // display name: opts.Node, else opts.Self, else "local"
-	log     *slog.Logger
+	// idPrefix is "job-" for a standalone daemon; cluster members fold a
+	// hash of their own URL in ("job-<8 hex>-") so job IDs are unique
+	// across the cluster — a forwarding node must be able to tell a
+	// peer's job from a same-numbered local one when resolving traces.
+	idPrefix string
+	log      *slog.Logger
 	started time.Time
 	build   telemetry.BuildInfo
 	traces  *telemetry.TraceStore
@@ -307,8 +321,12 @@ func New(opts Options) *Service {
 		storePuts:     opts.Registry.Counter(MetricStorePuts),
 		traceSegments: opts.Registry.Gauge(MetricTraceSegments),
 	}
+	s.idPrefix = "job-"
 	if len(opts.Peers) > 0 && opts.Self != "" {
 		s.cluster = newCluster(opts.Self, opts.Peers, opts.Registry)
+		h := fnv.New32a()
+		h.Write([]byte(opts.Self))
+		s.idPrefix = fmt.Sprintf("job-%08x-", h.Sum32())
 	}
 	s.eng.Hooks = s.rec.Hooks()
 	s.run = opts.Runner
@@ -362,7 +380,8 @@ var (
 // coalesced. Rejections return a *SubmitError. The circuit must already
 // be library-mapped.
 func (s *Service) Submit(c *netlist.Circuit, measure scanpower.MeasureBackend, timeout time.Duration) (*Job, bool, error) {
-	return s.SubmitTraced(c, measure, timeout, telemetry.TraceContext{TraceID: telemetry.NewTraceID()})
+	return s.SubmitActivityTraced(c, measure, timeout, nil,
+		telemetry.TraceContext{TraceID: telemetry.NewTraceID()})
 }
 
 // SubmitTraced is Submit under an incoming distributed trace context: a
@@ -371,6 +390,15 @@ func (s *Service) Submit(c *netlist.Circuit, measure scanpower.MeasureBackend, t
 // A coalesced submit attaches to the existing job and keeps that job's
 // original trace.
 func (s *Service) SubmitTraced(c *netlist.Circuit, measure scanpower.MeasureBackend, timeout time.Duration, tc telemetry.TraceContext) (*Job, bool, error) {
+	return s.SubmitActivityTraced(c, measure, timeout, nil, tc)
+}
+
+// SubmitActivityTraced is SubmitTraced with an optional switching-activity
+// profile. The profile's hash joins the coalescing key and the store key,
+// so annotated jobs coalesce with (and warm-start from) only identically
+// annotated ones; nil behaves exactly like SubmitTraced, keying and
+// storing under the pre-activity key.
+func (s *Service) SubmitActivityTraced(c *netlist.Circuit, measure scanpower.MeasureBackend, timeout time.Duration, prof *power.ActivityProfile, tc telemetry.TraceContext) (*Job, bool, error) {
 	if measure == "" {
 		// Canonicalize to the server default so "no preference" and an
 		// explicit default coalesce onto the same job.
@@ -385,7 +413,8 @@ func (s *Service) SubmitTraced(c *netlist.Circuit, measure scanpower.MeasureBack
 	if s.opts.MaxTimeout > 0 && (timeout == 0 || timeout > s.opts.MaxTimeout) {
 		timeout = s.opts.MaxTimeout
 	}
-	key := jobKey{fp: c.Fingerprint(), measure: measure, timeoutMS: timeout.Milliseconds()}
+	key := jobKey{fp: c.Fingerprint(), measure: measure,
+		timeoutMS: timeout.Milliseconds(), activity: prof.Hash()}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -402,7 +431,8 @@ func (s *Service) SubmitTraced(c *netlist.Circuit, measure scanpower.MeasureBack
 		// The byKey miss above may be stale afterwards, so re-check before
 		// inserting — a racing identical submit coalesces as usual.
 		s.mu.Unlock()
-		wire, _, hit := s.store.Get(store.Key{Fingerprint: key.fp, Measure: string(measure)})
+		wire, _, hit := s.store.Get(store.Key{
+			Fingerprint: key.fp, Measure: string(measure), Activity: key.activity})
 		s.mu.Lock()
 		if s.draining || s.stopped {
 			return nil, false, errDraining
@@ -433,17 +463,18 @@ func (s *Service) SubmitTraced(c *netlist.Circuit, measure scanpower.MeasureBack
 		ctx, cancel = context.WithCancel(ctx)
 	}
 	j := &Job{
-		ID:      "job-" + strconv.FormatInt(s.seq, 10),
-		Circuit: c.Name,
-		Measure: measure,
-		Timeout: timeout,
-		key:     key,
-		circ:    c,
-		state:   StateQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
-		ctx:     ctx,
-		cancel:  cancel,
+		ID:       s.idPrefix + strconv.FormatInt(s.seq, 10),
+		Circuit:  c.Name,
+		Measure:  measure,
+		Timeout:  timeout,
+		key:      key,
+		circ:     c,
+		activity: prof,
+		state:    StateQueued,
+		created:  time.Now(),
+		done:     make(chan struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
 	}
 	select {
 	case s.queue <- j:
@@ -501,7 +532,7 @@ func (s *Service) storedJobLocked(c *netlist.Circuit, measure scanpower.MeasureB
 	s.seq++
 	now := time.Now()
 	j := &Job{
-		ID:       "job-" + strconv.FormatInt(s.seq, 10),
+		ID:       s.idPrefix + strconv.FormatInt(s.seq, 10),
 		Circuit:  c.Name,
 		Measure:  measure,
 		Timeout:  timeout,
@@ -646,6 +677,21 @@ func (s *Service) Benchmarks() []string {
 	return names
 }
 
+// BenchmarkEntries lists the built-in Table I circuits with their
+// published statistics, sorted by name. Gate and scan-cell counts come
+// from the benchmark profiles (no circuit is generated); every Table I
+// experiment uses a single scan chain.
+func (s *Service) BenchmarkEntries() []api.Benchmark {
+	entries := make([]api.Benchmark, 0, len(iscas.Profiles))
+	for _, p := range iscas.Profiles {
+		entries = append(entries, api.Benchmark{
+			Name: p.Name, Gates: p.Gates, ScanCells: p.FFs, Chains: 1,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries
+}
+
 // worker executes queued jobs until the queue is closed by Drain.
 func (s *Service) worker() {
 	defer s.wg.Done()
@@ -680,6 +726,7 @@ func (s *Service) runJob(j *Job) {
 
 	cfg := s.opts.Cfg
 	cfg.Measure = j.Measure
+	cfg.Activity = j.activity
 	cmp, err := s.run(j.ctx, j.circ, cfg)
 
 	// Marshal the result once: the same bytes become the HTTP response
@@ -688,7 +735,8 @@ func (s *Service) runJob(j *Job) {
 	var wire []byte
 	if err == nil {
 		if wire, err = json.Marshal(cmp); err == nil && s.store != nil {
-			key := store.Key{Fingerprint: j.key.fp, Measure: string(j.Measure)}
+			key := store.Key{Fingerprint: j.key.fp, Measure: string(j.Measure),
+				Activity: j.key.activity}
 			meta := store.Meta{Circuit: j.Circuit, Elapsed: time.Since(j.started)}
 			if perr := s.store.Put(key, meta, wire); perr == nil {
 				s.storePuts.Inc()

@@ -486,25 +486,35 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
-// TestBenchmarksEndpoint checks the circuit listing.
+// TestBenchmarksEndpoint checks the circuit listing: structured entries
+// with published statistics, plus the historical bare name array.
 func TestBenchmarksEndpoint(t *testing.T) {
 	_, srv := newTestServer(t, Options{Workers: 1, QueueSize: 1})
 	code, _, body := getJSON(t, srv.URL+"/v1/benchmarks")
 	if code != http.StatusOK {
 		t.Fatalf("GET /v1/benchmarks: status %d", code)
 	}
-	names, _ := body["benchmarks"].([]any)
-	if len(names) != 12 {
-		t.Fatalf("got %d benchmarks, want 12: %v", len(names), names)
+	entries, _ := body["benchmarks"].([]any)
+	if len(entries) != 12 {
+		t.Fatalf("got %d benchmarks, want 12: %v", len(entries), entries)
 	}
 	found := false
-	for _, n := range names {
-		if n == "s344" {
-			found = true
+	for _, e := range entries {
+		row, _ := e.(map[string]any)
+		if row["name"] != "s344" {
+			continue
+		}
+		found = true
+		if row["gates"] != float64(160) || row["scan_cells"] != float64(15) || row["chains"] != float64(1) {
+			t.Errorf("s344 stats wrong: %v", row)
 		}
 	}
 	if !found {
-		t.Errorf("s344 missing from %v", names)
+		t.Errorf("s344 missing from %v", entries)
+	}
+	names, _ := body["names"].([]any)
+	if len(names) != 12 || names[0] != "s1196" {
+		t.Fatalf("legacy names array wrong: %v", names)
 	}
 }
 

@@ -52,11 +52,21 @@ type Key struct {
 	// building a Key so "no preference" and an explicit default share an
 	// entry.
 	Measure string
+	// Activity is the job's switching-activity profile hash
+	// (power.ActivityProfile.Hash), 0 when the job carries none. An
+	// activity profile adds columns to the result document, so jobs that
+	// differ only in activity must not share an entry.
+	Activity uint64
 }
 
-// id returns the filename-safe form of the key.
+// id returns the filename-safe form of the key. Keys without activity
+// keep the pre-activity two-part form, so stores written before the
+// activity extension stay warm across the upgrade.
 func (k Key) id() string {
-	return fmt.Sprintf("%016x-%s", k.Fingerprint, k.Measure)
+	if k.Activity == 0 {
+		return fmt.Sprintf("%016x-%s", k.Fingerprint, k.Measure)
+	}
+	return fmt.Sprintf("%016x-%s-a%016x", k.Fingerprint, k.Measure, k.Activity)
 }
 
 // Meta is the run metadata stored alongside the result bytes.

@@ -1,0 +1,184 @@
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// rdSig tracks one declared VCD signal while counting toggles.
+type rdSig struct {
+	name    string
+	width   int
+	last    int8 // -1 unknown, 0, 1
+	toggles int
+}
+
+// apply folds one value character into the signal's toggle count. x/z mark
+// the value unknown; a toggle is only counted between two known values.
+func (s *rdSig) apply(v byte) {
+	var cur int8
+	switch v {
+	case '0':
+		cur = 0
+	case '1':
+		cur = 1
+	default: // x, X, z, Z
+		s.last = -1
+		return
+	}
+	if s.last >= 0 && s.last != cur {
+		s.toggles++
+	}
+	s.last = cur
+}
+
+// ReadActivity parses a Value Change Dump stream and returns the per-signal
+// switching activity: for each scalar (1-bit) signal, the number of 0↔1
+// toggles it makes divided by the number of time steps in the dump (the
+// timestamp count minus one), clamped to [0, 1]. The result is what
+// industrial power flows call the signal's activity factor, and is what the
+// service feeds into activity-weighted dynamic-power accounting.
+//
+// The supported subset mirrors what Dumper writes plus the common output of
+// other tools: $var declarations (any scope nesting), #time stamps, scalar
+// changes 0/1/x/z<id>, and vector changes b<bits> <id> (a one-bit vector
+// counts as a scalar; wider vectors are ignored). Unknown $-directives are
+// skipped. x/z values are treated as unknown and do not toggle.
+//
+// Signals that never appear in a change record have activity 0 — a net that
+// is not dumped or never changes did not switch. Duplicate signal names
+// keep the first declaration.
+func ReadActivity(r io.Reader) (map[string]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	byID := map[string]*rdSig{}
+	order := []*rdSig{}
+	timestamps := 0
+	inDefs := true
+	skipUntilEnd := false
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if skipUntilEnd {
+			if strings.Contains(line, "$end") {
+				skipUntilEnd = false
+			}
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "$var"):
+			if !inDefs {
+				return nil, fmt.Errorf("vcd: $var after $enddefinitions")
+			}
+			// $var <type> <width> <id> <name...> $end
+			fields := strings.Fields(line)
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("vcd: malformed declaration %q", line)
+			}
+			var width int
+			if _, err := fmt.Sscanf(fields[2], "%d", &width); err != nil || width < 1 {
+				return nil, fmt.Errorf("vcd: bad width in %q", line)
+			}
+			id := fields[3]
+			nameEnd := len(fields)
+			if fields[nameEnd-1] == "$end" {
+				nameEnd--
+			}
+			// A trailing "[msb:lsb]" range is part of the reference, not
+			// the name.
+			if nameEnd > 5 && strings.HasPrefix(fields[nameEnd-1], "[") {
+				nameEnd--
+			}
+			name := strings.Join(fields[4:nameEnd], " ")
+			if name == "" {
+				return nil, fmt.Errorf("vcd: unnamed signal in %q", line)
+			}
+			if _, dup := byID[id]; dup {
+				return nil, fmt.Errorf("vcd: duplicate identifier %q", id)
+			}
+			s := &rdSig{name: name, width: width, last: -1}
+			byID[id] = s
+			order = append(order, s)
+		case strings.HasPrefix(line, "$enddefinitions"):
+			inDefs = false
+			if !strings.Contains(line, "$end") {
+				skipUntilEnd = true
+			}
+		case strings.HasPrefix(line, "$"):
+			// $date, $timescale, $scope, $upscope, $comment, $dumpvars...
+			// — skipped; their $end may sit on a later line.
+			if !strings.Contains(line[1:], "$end") && line != "$end" {
+				skipUntilEnd = true
+			}
+		case line[0] == '#':
+			var t int
+			if _, err := fmt.Sscanf(line[1:], "%d", &t); err != nil {
+				return nil, fmt.Errorf("vcd: bad timestamp %q", line)
+			}
+			timestamps++
+		case line[0] == '0' || line[0] == '1' || line[0] == 'x' || line[0] == 'X' ||
+			line[0] == 'z' || line[0] == 'Z':
+			id := strings.TrimSpace(line[1:])
+			s, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("vcd: change for undeclared identifier %q", id)
+			}
+			s.apply(line[0])
+		case line[0] == 'b' || line[0] == 'B':
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("vcd: malformed vector change %q", line)
+			}
+			s, ok := byID[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("vcd: change for undeclared identifier %q", fields[1])
+			}
+			bits := fields[0][1:]
+			if len(bits) == 0 {
+				return nil, fmt.Errorf("vcd: malformed vector change %q", line)
+			}
+			if s.width == 1 {
+				s.apply(bits[len(bits)-1])
+			}
+		case line[0] == 'r' || line[0] == 'R':
+			// Real-valued change — carries no toggle information here.
+		default:
+			return nil, fmt.Errorf("vcd: unsupported line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vcd: read: %w", err)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("vcd: no signals declared")
+	}
+	if timestamps < 2 {
+		return nil, fmt.Errorf("vcd: fewer than two timestamps — no time steps to derive activity from")
+	}
+
+	steps := float64(timestamps - 1)
+	out := make(map[string]float64, len(order))
+	for _, s := range order {
+		if s.width != 1 {
+			continue
+		}
+		if _, dup := out[s.name]; dup {
+			continue
+		}
+		a := float64(s.toggles) / steps
+		if a > 1 {
+			a = 1
+		}
+		out[s.name] = a
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("vcd: no scalar signals declared")
+	}
+	return out, nil
+}

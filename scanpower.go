@@ -140,6 +140,13 @@ type Config struct {
 	// Proposed and InputControl configure the two engineered structures.
 	Proposed     core.Options
 	InputControl core.Options
+	// Activity, when non-nil, turns on activity-weighted accounting: the
+	// per-input switching activities are propagated as transition
+	// densities through each structure's logic and reported alongside the
+	// simulated Table I columns (Comparison.Activity), together with the
+	// weighted-transition metric of the test set. Activity never changes
+	// the simulated columns or the generated patterns.
+	Activity *power.ActivityProfile
 	// Leak, Cap and Delay are the shared electrical models.
 	Leak  *leakage.Model
 	Cap   power.CapModel
@@ -190,6 +197,38 @@ type Comparison struct {
 	// themselves (reported separately; Table I counts the combinational
 	// part).
 	MuxOverheadUW float64
+
+	// Activity holds the activity-weighted extension columns; nil unless
+	// Config.Activity was set.
+	Activity *ActivityResult
+}
+
+// ActivityResult extends a Comparison with activity-weighted figures: the
+// stimulus-independent dynamic-power estimate of each structure under the
+// submitted switching-activity profile, plus the weighted-transition
+// metric (Sankaralingam) of the shared test set — the scan-power
+// estimator "Power Management during Scan Based Sequential Circuit
+// Testing" evaluates shift power with.
+type ActivityResult struct {
+	// Source is where the profile came from: "profile" (explicit factors)
+	// or "vcd" (extracted from a dump).
+	Source string
+	// DefaultInput is the activity applied to unlisted inputs and scan
+	// cells.
+	DefaultInput float64
+	// Inputs echoes the per-input activity factors the job resolved to.
+	Inputs map[string]float64
+	// WTMTotal is the weighted transition metric summed over the test
+	// set, for the scan-in order of the traditional chain; WTMPerPattern
+	// is its per-pattern mean.
+	WTMTotal      int
+	WTMPerPattern float64
+	// TraditionalWeightedPerHz, InputControlWeightedPerHz and
+	// ProposedWeightedPerHz are the activity-weighted dynamic estimates
+	// per structure, in µW/Hz like the simulated columns.
+	TraditionalWeightedPerHz  float64
+	InputControlWeightedPerHz float64
+	ProposedWeightedPerHz     float64
 }
 
 // DynImprovementVsTraditional returns the Table I "Improvement Compared
@@ -270,13 +309,15 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 	}
 
 	// Input-control baseline.
+	var icSol *core.Solution
 	if err := stage(StageInputControl, func() error {
 		icOpts := cfg.InputControl
 		icOpts.Observe = hooks.coreObserver(c.Name, StageInputControl)
 		if cfg.MC != "" {
 			icOpts.MC = core.MCBackend(cfg.MC)
 		}
-		icSol, err := core.BuildContext(ctx, c, icOpts)
+		var err error
+		icSol, err = core.BuildContext(ctx, c, icOpts)
 		if err != nil {
 			return fmt.Errorf("scanpower: input-control build: %w", err)
 		}
@@ -309,6 +350,32 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 		return nil, err
 	}
 	cmp.MuxOverheadUW = cfg.Leak.PowerUW(sol.MuxScanLeakNA(cfg.Leak))
+
+	if cfg.Activity != nil {
+		// Activity-weighted extension columns. The WTM uses the scan-in
+		// order of the traditional chain (scan.New's flop order), shared
+		// by every structure: the test set never changes across them.
+		order := make([]int, c.NumFFs())
+		for i := range order {
+			order[i] = i
+		}
+		wtm := power.TestSetWTM(res.Patterns, order)
+		ar := &ActivityResult{
+			Source:       cfg.Activity.Source,
+			DefaultInput: cfg.Activity.Default,
+			Inputs:       cfg.Activity.Inputs,
+			WTMTotal:     wtm,
+		}
+		if n := len(res.Patterns); n > 0 {
+			ar.WTMPerPattern = float64(wtm) / float64(n)
+		}
+		// Traditional scan blocks nothing; the engineered structures only
+		// count the nets their shift configuration leaves toggling.
+		ar.TraditionalWeightedPerHz = cfg.Cap.WeightedDynamicPerHz(c, cfg.Activity)
+		ar.InputControlWeightedPerHz = cfg.Cap.WeightedDynamicPerHzOn(icSol.Circuit, cfg.Activity, icSol.Trans)
+		ar.ProposedWeightedPerHz = cfg.Cap.WeightedDynamicPerHzOn(sol.Circuit, cfg.Activity, sol.Trans)
+		cmp.Activity = ar
+	}
 	return cmp, nil
 }
 

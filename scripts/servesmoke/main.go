@@ -2,17 +2,26 @@
 // boots a real scanpowerd on a random port and walks the service contract
 // end to end through the typed repro/client package —
 //
-//   - healthz and the benchmark listing answer;
+//   - healthz answers and the benchmark listing carries the structured
+//     entries plus the legacy names array;
 //   - an inline-c17 wait-mode job returns a scanpower/comparison/v1
 //     result byte-identical to an in-process Engine run of the same
 //     circuit and config;
+//   - a raw legacy flat {"circuit":...} submit still works and its
+//     result document carries no activity key — the pre-union bytes;
+//   - a Verilog source with an explicit activity profile, and a second
+//     one with a VCD-derived profile, return the activity-weighted
+//     columns;
 //   - with -workers 1 -queue 1, a slow running job (s5378) plus one
 //     queued job make a third submit fail typed — client.ErrQueueFull
 //     with the parsed Retry-After;
 //   - Cancel settles the queued job as canceled;
 //   - /metrics carries the service and packed-kernel families;
 //   - SIGTERM while the slow job is still running drains cleanly: exit
-//     code 0, a parseable manifest, and a balanced span trace.
+//     code 0, a parseable manifest, and a balanced span trace;
+//   - a second daemon booted on the same -store-dir re-serves the
+//     annotated Verilog job byte-identically from the store, without
+//     recomputing.
 //
 // It exits non-zero on the first violated expectation.
 package main
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/api"
 	"repro/client"
 	"repro/internal/telemetry"
 )
@@ -55,6 +65,40 @@ G19 = NAND(G11, G7)
 G22 = NAND(G10, G16)
 G23 = NAND(G16, G19)
 `
+
+// s27Verilog is the s27 test circuit as structural Verilog — unlike c17
+// it has scan cells, so it exercises the activity-weighted columns.
+const s27Verilog = `module s27v (G0, G1, G2, G3, G17);
+  input G0, G1, G2, G3;
+  output G17;
+  wire G5, G6, G7, G8, G9, G10, G11, G12, G13, G14, G15, G16;
+  dff d1 (G5, G10);
+  dff d2 (G6, G11);
+  dff d3 (G7, G13);
+  not n1 (G14, G0);
+  not n2 (G17, G11);
+  and a1 (G8, G14, G6);
+  or o1 (G15, G12, G8);
+  or o2 (G16, G3, G8);
+  nand na1 (G9, G16, G15);
+  nor no1 (G10, G14, G11);
+  nor no2 (G11, G5, G9);
+  nor no3 (G12, G1, G7);
+  nor no4 (G13, G2, G12);
+endmodule
+`
+
+// s27VCD toggles G0 on every cycle and G2 once; G1 never changes.
+const s27VCD = "$timescale 1ns $end\n" +
+	"$var wire 1 ! G0 $end\n" +
+	"$var wire 1 \" G1 $end\n" +
+	"$var wire 1 # G2 $end\n" +
+	"$enddefinitions $end\n" +
+	"#0\n0!\n0\"\n0#\n" +
+	"#1\n1!\n" +
+	"#2\n0!\n1#\n" +
+	"#3\n1!\n" +
+	"#4\n0!\n"
 
 func main() {
 	if err := run(); err != nil {
@@ -80,10 +124,12 @@ func run() error {
 
 	tracePath := filepath.Join(tmp, "trace.jsonl")
 	manifestPath := filepath.Join(tmp, "manifest.json")
+	storeDir := filepath.Join(tmp, "store")
 	daemon := exec.Command(bin,
 		"-listen", "127.0.0.1:0",
 		"-workers", "1",
 		"-queue", "1",
+		"-store-dir", storeDir,
 		"-trace", tracePath,
 		"-manifest", manifestPath,
 	)
@@ -121,10 +167,23 @@ func run() error {
 	if h, err := cl.Health(ctx, base); err != nil || h.Status != "ok" {
 		return fmt.Errorf("healthz: %+v (%v)", h, err)
 	}
-	if names, err := cl.Benchmarks(ctx); err != nil || len(names) != 12 {
-		return fmt.Errorf("benchmarks: %d names (%v)", len(names), err)
+	bms, err := cl.Benchmarks(ctx)
+	if err != nil || len(bms) != 12 {
+		return fmt.Errorf("benchmarks: %d entries (%v)", len(bms), err)
+	}
+	for _, b := range bms {
+		if b.Name == "" || b.Gates <= 0 || b.ScanCells <= 0 || b.Chains != 1 {
+			return fmt.Errorf("benchmark entry lacks structure stats: %+v", b)
+		}
 	}
 	if err := checkC17BitIdentical(ctx, cl); err != nil {
+		return err
+	}
+	if err := checkLegacyFlatSubmit(base); err != nil {
+		return err
+	}
+	annotated, err := checkActivityJobs(ctx, cl)
+	if err != nil {
 		return err
 	}
 	slow, err := checkBackpressure(ctx, cl)
@@ -157,7 +216,59 @@ func run() error {
 	if err := checkTraceBalanced(tracePath); err != nil {
 		return err
 	}
-	return checkManifest(manifestPath)
+	if err := checkManifest(manifestPath); err != nil {
+		return err
+	}
+	return checkWarmRestart(bin, storeDir, annotated)
+}
+
+// checkWarmRestart boots a second daemon on the first one's store
+// directory and requires the annotated Verilog job to come back as a
+// store hit with byte-identical result bytes — no recompute.
+func checkWarmRestart(bin, storeDir string, annotated []byte) error {
+	daemon := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-workers", "1",
+		"-store-dir", storeDir,
+	)
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("restart scanpowerd: %w", err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+	base, _, err := awaitListening(stderr)
+	if err != nil {
+		return err
+	}
+	go io.Copy(io.Discard, stderr)
+
+	cl, err := client.New([]string{base}, client.Options{PollInterval: 10 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	raw, err := submitAnnotated(ctx, cl)
+	if err != nil {
+		return fmt.Errorf("annotated job after restart: %w", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(raw), bytes.TrimSpace(annotated)) {
+		return fmt.Errorf("restarted daemon served different bytes for the annotated job:\nbefore: %s\nafter:  %s", annotated, raw)
+	}
+	cm, err := cl.ClusterMetrics(ctx)
+	if err != nil {
+		return err
+	}
+	if cm.Summary.StoreHits < 1 {
+		return fmt.Errorf("annotated job after restart was recomputed (store hits %d)", cm.Summary.StoreHits)
+	}
+	fmt.Println("serve-smoke: warm restart re-served the annotated job from the store, bit-identical")
+	return nil
 }
 
 // awaitListening scans the daemon's stderr for the listening line and
@@ -232,6 +343,109 @@ func checkC17BitIdentical(ctx context.Context, cl *client.Client) error {
 	}
 	fmt.Println("serve-smoke: c17 result bit-identical to in-process Engine run")
 	return nil
+}
+
+// checkLegacyFlatSubmit posts a raw pre-union flat body and requires the
+// old behavior byte for byte: the submit is accepted and the result
+// document is a plain scanpower/comparison/v1 with no activity key.
+func checkLegacyFlatSubmit(base string) error {
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"circuit":"s344","wait":true}`))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("legacy flat submit: %d %s", resp.StatusCode, body)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &job); err != nil || job.State != "done" {
+		return fmt.Errorf("legacy flat submit settled %q (%v): %s", job.State, err, body)
+	}
+	resp, err = http.Get(base + "/v1/jobs/" + job.ID + "/result")
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("legacy flat result: %d %s", resp.StatusCode, raw)
+	}
+	if !bytes.Contains(raw, []byte(`"schema":"`+scanpower.ComparisonSchemaV1+`"`)) {
+		return fmt.Errorf("legacy flat result lost its schema: %s", raw)
+	}
+	if bytes.Contains(raw, []byte(`"activity"`)) {
+		return fmt.Errorf("legacy flat result grew an activity key: %s", raw)
+	}
+	fmt.Println("serve-smoke: legacy flat submit unchanged (no activity key)")
+	return nil
+}
+
+// submitAnnotated runs the s27 Verilog source with an explicit activity
+// profile through the union API and returns the raw result bytes.
+func submitAnnotated(ctx context.Context, cl *client.Client) ([]byte, error) {
+	job, err := cl.Submit(ctx, client.SubmitRequest{
+		Source:   &api.Source{Verilog: s27Verilog},
+		Activity: &api.Activity{Inputs: map[string]float64{"G0": 0.9}},
+		Wait:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if job.State != "done" {
+		return nil, fmt.Errorf("annotated job settled %s (%s)", job.State, job.Err)
+	}
+	_, raw, err := cl.Result(ctx, job)
+	return raw, err
+}
+
+// checkActivityJobs runs the two annotated submits — explicit profile
+// and VCD-derived — and checks the activity-weighted columns appear.
+// Returns the profile job's raw result bytes for the restart check.
+func checkActivityJobs(ctx context.Context, cl *client.Client) ([]byte, error) {
+	raw, err := submitAnnotated(ctx, cl)
+	if err != nil {
+		return nil, fmt.Errorf("annotated verilog job: %w", err)
+	}
+	var doc struct {
+		Activity *struct {
+			Source                   string  `json:"source"`
+			WTMTotal                 int     `json:"wtm_total"`
+			TraditionalWeightedPerHz float64 `json:"traditional_weighted_per_hz"`
+		} `json:"activity"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	if doc.Activity == nil || doc.Activity.Source != "profile" ||
+		doc.Activity.TraditionalWeightedPerHz <= 0 || doc.Activity.WTMTotal <= 0 {
+		return nil, fmt.Errorf("annotated result lacks activity columns: %s", raw)
+	}
+
+	job, err := cl.Submit(ctx, client.SubmitRequest{
+		Source:   &api.Source{Verilog: s27Verilog},
+		Activity: &api.Activity{VCD: s27VCD},
+		Wait:     true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vcd job: %w", err)
+	}
+	if job.State != "done" {
+		return nil, fmt.Errorf("vcd job settled %s (%s)", job.State, job.Err)
+	}
+	cmp, _, err := cl.Result(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	if cmp.Activity == nil || cmp.Activity.Source != "vcd" || cmp.Activity.Inputs["G0"] != 1.0 {
+		return nil, fmt.Errorf("vcd result activity block wrong: %+v", cmp.Activity)
+	}
+	fmt.Println("serve-smoke: activity-annotated verilog jobs carry weighted columns (profile + vcd)")
+	return raw, nil
 }
 
 // checkBackpressure parks the single worker on s5378, fills the one

@@ -1,0 +1,155 @@
+package scanpower
+
+// Round-trip coverage for the Verilog source path: a Table I circuit
+// written out as structural Verilog and parsed back must fingerprint
+// stably across repeated parses and produce the same Table I comparison
+// as the native generated netlist. This is the contract the source-union
+// API relies on: a client submitting the Verilog form of a design gets
+// the same experiment as one submitting the equivalent .bench.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/techmap"
+	"repro/internal/verilog"
+)
+
+// roundTrip writes c as Verilog and parses it back, preparing the result
+// for measurement if the parse did not land in the mapped library.
+func roundTrip(t *testing.T, name string) (src string, parse func() uint64, compare func() *Comparison) {
+	t.Helper()
+	c, err := Benchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := verilog.Write(&buf, c); err != nil {
+		t.Fatalf("Write(%s): %v", name, err)
+	}
+	src = buf.String()
+
+	parseOnce := func() (fp uint64, cmp *Comparison) {
+		p, err := verilog.ParseString(src, name)
+		if err != nil {
+			t.Fatalf("ParseString(%s): %v", name, err)
+		}
+		if !techmap.IsMapped(p, 4) {
+			if p, err = Prepare(p); err != nil {
+				t.Fatalf("Prepare(%s): %v", name, err)
+			}
+		}
+		fp = p.Fingerprint()
+		res, err := Compare(context.Background(), p, DefaultConfig())
+		if err != nil {
+			t.Fatalf("Compare(%s round trip): %v", name, err)
+		}
+		return fp, res
+	}
+	parse = func() uint64 { fp, _ := parseOnce(); return fp }
+	compare = func() *Comparison { _, cmp := parseOnce(); return cmp }
+	return src, parse, compare
+}
+
+// TestVerilogRoundTripFingerprintStable checks that parsing the same
+// emitted Verilog source repeatedly is deterministic: identical source
+// bytes must always resolve to the identical content fingerprint, since
+// that fingerprint keys job coalescing and the persistent store.
+func TestVerilogRoundTripFingerprintStable(t *testing.T) {
+	for _, name := range []string{"s344", "s1196", "s1423"} {
+		_, parse, _ := roundTrip(t, name)
+		first := parse()
+		if first == 0 {
+			t.Fatalf("%s: zero fingerprint", name)
+		}
+		for i := 0; i < 2; i++ {
+			if again := parse(); again != first {
+				t.Fatalf("%s: fingerprint drifted across parses: %016x != %016x",
+					name, again, first)
+			}
+		}
+	}
+}
+
+// TestVerilogRoundTripMatchesNative checks the round-tripped circuit
+// produces the same Table I comparison as the native generated netlist.
+// Net renumbering through the Verilog writer/parser reorders the
+// floating-point accumulations, so float fields (peak power, leakage
+// means) may differ by a few ulps; every discrete field — pattern count,
+// coverage counts, structure stats, circuit stats — must match exactly.
+func TestVerilogRoundTripMatchesNative(t *testing.T) {
+	const name = "s344"
+	c, err := Benchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := Compare(context.Background(), c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, compare := roundTrip(t, name)
+	rt := compare()
+	equalWithinUlps(t, "Comparison", reflect.ValueOf(*native), reflect.ValueOf(*rt))
+}
+
+// equalWithinUlps walks two values of the same type: float64 leaves may
+// differ by at most 64 ulps (summation-order noise), everything else
+// must be identical.
+func equalWithinUlps(t *testing.T, path string, a, b reflect.Value) {
+	t.Helper()
+	switch a.Kind() {
+	case reflect.Float64, reflect.Float32:
+		if ulps := ulpDistance(a.Float(), b.Float()); ulps > 64 {
+			t.Errorf("%s differs by %d ulps: %v vs %v", path, ulps, a.Float(), b.Float())
+		}
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			equalWithinUlps(t, path+"."+a.Type().Field(i).Name, a.Field(i), b.Field(i))
+		}
+	case reflect.Pointer:
+		if a.IsNil() != b.IsNil() {
+			t.Errorf("%s: nil mismatch", path)
+			return
+		}
+		if !a.IsNil() {
+			equalWithinUlps(t, path, a.Elem(), b.Elem())
+		}
+	case reflect.Slice, reflect.Array:
+		if a.Len() != b.Len() {
+			t.Errorf("%s: length %d vs %d", path, a.Len(), b.Len())
+			return
+		}
+		for i := 0; i < a.Len(); i++ {
+			equalWithinUlps(t, fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i))
+		}
+	default:
+		if !reflect.DeepEqual(a.Interface(), b.Interface()) {
+			t.Errorf("%s: %v vs %v", path, a.Interface(), b.Interface())
+		}
+	}
+}
+
+// ulpDistance returns how many representable float64 values apart a and
+// b are (0 when bit-identical).
+func ulpDistance(a, b float64) uint64 {
+	ab, bb := math.Float64bits(a), math.Float64bits(b)
+	// Map the sign-magnitude bit patterns onto a monotone integer line.
+	if ab>>63 != 0 {
+		ab = ^ab
+	} else {
+		ab |= 1 << 63
+	}
+	if bb>>63 != 0 {
+		bb = ^bb
+	} else {
+		bb |= 1 << 63
+	}
+	if ab > bb {
+		return ab - bb
+	}
+	return bb - ab
+}

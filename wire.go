@@ -154,6 +154,52 @@ type improvementsV1 struct {
 	StatVsInputCtrlPct   float64 `json:"stat_vs_input_control_pct"`
 }
 
+// activityV1 is the frozen JSON form of ActivityResult. The whole block
+// is optional (omitted when the job carried no activity annotation), so
+// legacy documents keep their exact bytes.
+type activityV1 struct {
+	Source                    string             `json:"source"`
+	DefaultInput              float64            `json:"default_input"`
+	Inputs                    map[string]float64 `json:"inputs,omitempty"`
+	WTMTotal                  int                `json:"wtm_total"`
+	WTMPerPattern             float64            `json:"wtm_per_pattern"`
+	TraditionalWeightedPerHz  float64            `json:"traditional_weighted_per_hz"`
+	InputControlWeightedPerHz float64            `json:"input_control_weighted_per_hz"`
+	ProposedWeightedPerHz     float64            `json:"proposed_weighted_per_hz"`
+}
+
+func toActivityV1(a *ActivityResult) *activityV1 {
+	if a == nil {
+		return nil
+	}
+	return &activityV1{
+		Source:                    a.Source,
+		DefaultInput:              a.DefaultInput,
+		Inputs:                    a.Inputs,
+		WTMTotal:                  a.WTMTotal,
+		WTMPerPattern:             a.WTMPerPattern,
+		TraditionalWeightedPerHz:  a.TraditionalWeightedPerHz,
+		InputControlWeightedPerHz: a.InputControlWeightedPerHz,
+		ProposedWeightedPerHz:     a.ProposedWeightedPerHz,
+	}
+}
+
+func (w *activityV1) result() *ActivityResult {
+	if w == nil {
+		return nil
+	}
+	return &ActivityResult{
+		Source:                    w.Source,
+		DefaultInput:              w.DefaultInput,
+		Inputs:                    w.Inputs,
+		WTMTotal:                  w.WTMTotal,
+		WTMPerPattern:             w.WTMPerPattern,
+		TraditionalWeightedPerHz:  w.TraditionalWeightedPerHz,
+		InputControlWeightedPerHz: w.InputControlWeightedPerHz,
+		ProposedWeightedPerHz:     w.ProposedWeightedPerHz,
+	}
+}
+
 // comparisonV1 is the frozen JSON layout of Comparison.
 type comparisonV1 struct {
 	Schema            string         `json:"schema"`
@@ -168,6 +214,7 @@ type comparisonV1 struct {
 	InputControlStats structStatsV1  `json:"input_control_stats"`
 	MuxOverheadUW     float64        `json:"mux_overhead_uw"`
 	Improvements      improvementsV1 `json:"improvements"`
+	Activity          *activityV1    `json:"activity,omitempty"`
 }
 
 // MarshalJSON emits the scanpower/comparison/v1 wire form. This is the
@@ -192,6 +239,7 @@ func (c *Comparison) MarshalJSON() ([]byte, error) {
 			DynVsInputCtrlPct:    c.DynImprovementVsInputControl(),
 			StatVsInputCtrlPct:   c.StaticImprovementVsInputControl(),
 		},
+		Activity: toActivityV1(c.Activity),
 	})
 }
 
@@ -220,6 +268,7 @@ func (c *Comparison) UnmarshalJSON(data []byte) error {
 		ProposedStats:     w.ProposedStats.stats(),
 		InputControlStats: w.InputControlStats.stats(),
 		MuxOverheadUW:     w.MuxOverheadUW,
+		Activity:          w.Activity.result(),
 	}
 	return nil
 }
