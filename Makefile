@@ -5,9 +5,9 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: check build vet test race atpg-race bench bench-json telemetry-race fuzz-equiv bench-kernels bench-mc bench-atpg api-compat serve-smoke loadsmoke obs-smoke bench-cluster
+.PHONY: check build vet test race atpg-race bench bench-json telemetry-race wide-race fuzz-equiv bench-kernels bench-mc bench-atpg bench-wide api-compat serve-smoke loadsmoke obs-smoke bench-cluster
 
-check: vet build test race atpg-race telemetry-race fuzz-equiv api-compat bench-json serve-smoke loadsmoke obs-smoke
+check: vet build test race atpg-race telemetry-race wide-race fuzz-equiv api-compat bench-json serve-smoke loadsmoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,13 @@ bench-json:
 # so the bit-parallel paths and the job queue are raced too.
 telemetry-race:
 	$(GO) test -race -run 'Telemetry|Recorder|Trace|Registry|Packed|StageHooks|PatternCache|Submit|Queue|Coalesc|Drain|Deadline|Disconnect|Cancel|MCPacked|MCBatch|MCBackend' . ./internal/telemetry/ ./internal/power/ ./internal/service/ ./internal/obs/ ./internal/core/
+
+# The 256-lane compiled kernels under the race detector: the Compile
+# lowering property test, the wide-vs-scalar and width-invariance
+# equivalence suites, and the lane-width plumbing of every packed
+# consumer (measure, obs, fill, faultsim, leakage accumulators).
+wide-race:
+	$(GO) test -race -run 'Wide|Compile|Lane|PackedW|FaultSimW|MeasureScanPacked|EstimatePacked|FillPacked' ./internal/sim/ ./internal/leakage/ ./internal/power/ ./internal/obs/ ./internal/core/ ./internal/atpg/
 
 # Wire-compatibility gate for the v1 job API: golden JSON fixtures under
 # api/testdata round-tripped through the repro/api marshallers and the
@@ -88,6 +95,7 @@ bench-cluster:
 # then random circuits and flow shapes through both Monte-Carlo backends
 # (bit-equal solutions). The seed corpora also run on every plain `go test`.
 fuzz-equiv:
+	$(GO) test ./internal/sim/ -run '^$$' -fuzz FuzzWideEquivalence -fuzztime 10s
 	$(GO) test ./internal/power/ -run '^$$' -fuzz FuzzMeasureScanPackedEquivalence -fuzztime 10s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzMCPackedEquivalence -fuzztime 10s
 	$(GO) test ./internal/atpg/ -run '^$$' -fuzz FuzzFaultSimEquivalence -fuzztime 10s
@@ -103,6 +111,18 @@ bench-kernels:
 bench-mc:
 	$(GO) test ./internal/obs/ -run '^$$' -bench BenchmarkObsKernels -benchtime 2s
 	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkFillKernels -benchtime 2s
+
+# Wide-kernel benchmark: the four packed kernels (measure, obs, fill,
+# faultsim) at 64 vs 256 lanes against their preserved pre-refactor
+# 64-lane baselines on s1423/s5378; per-kernel best-of-5 timings land in
+# BENCH_<date>_wide.json (acceptance: new256 >= 1.5x per kernel). Each
+# run starts a fresh report.
+bench-wide:
+	rm -f BENCH_$(DATE)_wide.json
+	WIDE_BENCH_OUT=$(CURDIR)/BENCH_$(DATE)_wide.json $(GO) test ./internal/power/ -run TestBenchWideMeasureJSON -count=1 -v
+	WIDE_BENCH_OUT=$(CURDIR)/BENCH_$(DATE)_wide.json $(GO) test ./internal/obs/ -run TestBenchWideObsJSON -count=1 -v
+	WIDE_BENCH_OUT=$(CURDIR)/BENCH_$(DATE)_wide.json $(GO) test ./internal/core/ -run TestBenchWideFillJSON -count=1 -v
+	WIDE_BENCH_OUT=$(CURDIR)/BENCH_$(DATE)_wide.json $(GO) test ./internal/atpg/ -run TestBenchWideFaultSimJSON -count=1 -v
 
 # ATPG pipeline benchmark: incremental event-driven PODEM + batched fault
 # dropping vs the preserved legacy baseline on s1423/s5378, plus the

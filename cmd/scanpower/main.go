@@ -75,6 +75,7 @@ func main() {
 	manifestPath := fs.String("manifest", "", "write the run manifest JSON to this file")
 	measure := cliflags.Measure(fs)
 	mcBackend := cliflags.MC(fs)
+	lanes := cliflags.Lanes(fs)
 	atpgWorkers := cliflags.ATPGWorkers(fs)
 	server := fs.String("server", "", "submit to these scanpowerd base URLs (comma-separated) instead of computing in-process")
 	flag.Parse()
@@ -158,7 +159,7 @@ func main() {
 		}
 	}()
 
-	cfg, err := cliflags.BackendConfig(*measure, *mcBackend)
+	cfg, err := cliflags.BackendConfig(*measure, *mcBackend, *lanes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scanpower:", err)
 		os.Exit(2)

@@ -78,6 +78,7 @@ func main() {
 	jobTimeout := cliflags.Timeout(fs, "job-timeout", 0, "default per-job deadline for requests without timeout_ms (0 = none)")
 	maxJobTimeout := cliflags.Timeout(fs, "max-job-timeout", 10*time.Minute, "cap on client-requested deadlines (0 = no cap)")
 	measure := cliflags.Measure(fs)
+	lanes := cliflags.Lanes(fs)
 	atpgWorkers := cliflags.ATPGWorkers(fs)
 	self := fs.String("self", "", "this node's externally reachable base URL (e.g. http://10.0.0.1:8344); required with -peers")
 	node := fs.String("node", "", "this node's display name on trace spans and log lines (default -self, then \"local\")")
@@ -88,7 +89,7 @@ func main() {
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
 
-	if err := run(*listen, *workers, *queue, *atpgWorkers, *jobTimeout, *maxJobTimeout,
+	if err := run(*listen, *workers, *queue, *atpgWorkers, *lanes, *jobTimeout, *maxJobTimeout,
 		*measure, *self, *node, cluster, *tracePath, *manifestPath, *drainTimeout,
 		*logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "scanpowerd:", err)
@@ -107,7 +108,7 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
-func run(listen string, workers, queue, atpgWorkers int, jobTimeout, maxJobTimeout time.Duration,
+func run(listen string, workers, queue, atpgWorkers, lanes int, jobTimeout, maxJobTimeout time.Duration,
 	measure, self, node string, cluster *cliflags.Cluster, tracePath, manifestPath string,
 	drainTimeout time.Duration, logLevel string) error {
 
@@ -120,6 +121,10 @@ func run(listen string, workers, queue, atpgWorkers int, jobTimeout, maxJobTimeo
 		return err
 	}
 	atpgWorkers, err = cliflags.ValidateATPGWorkers(atpgWorkers)
+	if err != nil {
+		return err
+	}
+	lanes, err = cliflags.ValidateLanes(lanes)
 	if err != nil {
 		return err
 	}
@@ -154,6 +159,7 @@ func run(listen string, workers, queue, atpgWorkers int, jobTimeout, maxJobTimeo
 
 	cfg := scanpower.DefaultConfig()
 	cfg.Measure = backend
+	cfg.Lanes = lanes
 	cfg.ATPG.Workers = atpgWorkers
 	svc := service.New(service.Options{
 		Cfg:            cfg,

@@ -49,6 +49,7 @@ func main() {
 	manifestPath := fs.String("manifest", "", "write the run manifest JSON to this file")
 	measure := cliflags.Measure(fs)
 	mcBackend := cliflags.MC(fs)
+	lanes := cliflags.Lanes(fs)
 	atpgWorkers := cliflags.ATPGWorkers(fs)
 	flag.Parse()
 
@@ -89,7 +90,7 @@ func main() {
 	}
 	rec := scanpower.NewRecorder(reg, tw)
 
-	cfg, err := cliflags.BackendConfig(*measure, *mcBackend)
+	cfg, err := cliflags.BackendConfig(*measure, *mcBackend, *lanes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tableone:", err)
 		os.Exit(2)

@@ -391,9 +391,10 @@ func directPatterns(cfg Config, hooks Hooks) patternSource {
 
 // patternKey identifies one memoized ATPG run: the frozen circuit's
 // structural fingerprint plus the exact generation options (which the
-// large-circuit scaling may vary per circuit). Options.Workers is
-// normalized out of the key — it changes wall time only, never a result
-// bit, so runs that differ only in worker count share one entry.
+// large-circuit scaling may vary per circuit). Options.Workers and
+// Options.Lanes are normalized out of the key — they change wall time
+// only, never a result bit, so runs that differ only in worker count or
+// packed batch width share one entry.
 type patternKey struct {
 	fp   uint64
 	opts atpg.Options
@@ -401,6 +402,7 @@ type patternKey struct {
 
 func newPatternKey(fp uint64, opts atpg.Options) patternKey {
 	opts.Workers = 0
+	opts.Lanes = 0
 	return patternKey{fp: fp, opts: opts}
 }
 

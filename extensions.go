@@ -185,6 +185,9 @@ func scaledATPG(c *netlist.Circuit, cfg Config) atpg.Options {
 		aopts.MaxBacktracks = 8
 		aopts.MaxPodemFaults = 300
 	}
+	if cfg.Lanes != 0 {
+		aopts.Lanes = cfg.Lanes
+	}
 	return aopts
 }
 

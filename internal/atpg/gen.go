@@ -9,6 +9,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/scan"
+	"repro/internal/sim"
 	"repro/internal/testability"
 )
 
@@ -77,6 +78,15 @@ type Options struct {
 	// Seed drives random fill and the random phase; runs are fully
 	// deterministic for a given seed.
 	Seed int64
+	// Lanes sets the batch width of the width-free packed fault-simulation
+	// passes — static compaction here, coverage audits via CoverageOf.
+	// 0 means the default, sim.WideLanes; sim.LaneWidths lists the
+	// supported values. Purely a throughput knob: DetectAllMask credits
+	// lowest lanes first, so the result is identical at every width. The
+	// random phase and the deterministic fault-dropping buffer always run
+	// 64 wide — their rng stream and stall accounting are defined per
+	// 64-pattern batch.
+	Lanes int
 }
 
 // DefaultOptions returns the settings used by all experiments.
@@ -184,6 +194,10 @@ func GenerateObservedChains(ctx context.Context, c *netlist.Circuit, opts Option
 	}
 	if opts.NDetect < 1 {
 		opts.NDetect = 1
+	}
+	compactLanes, err := sim.ResolveLanes(opts.Lanes)
+	if err != nil {
+		return nil, fmt.Errorf("atpg: %w", err)
 	}
 	plan, err := newFillPlan(c, opts, groups)
 	if err != nil {
@@ -431,7 +445,7 @@ func GenerateObservedChains(ctx context.Context, c *netlist.Circuit, opts Option
 	stopPodem(len(patterns))
 
 	// Phase 3: reverse-order static compaction (quota-aware for NDetect),
-	// batched 64 patterns per packed pass.
+	// batched Options.Lanes patterns per packed pass.
 	stopCompact := ob.phaseTimer("compact")
 	if opts.Compact && len(patterns) > 1 {
 		var t0 time.Time
@@ -439,7 +453,7 @@ func GenerateObservedChains(ctx context.Context, c *netlist.Circuit, opts Option
 			t0 = time.Now()
 		}
 		n := len(patterns)
-		patterns = compact(c, patterns, faults, opts.NDetect)
+		patterns = compact(c, patterns, faults, opts.NDetect, compactLanes)
 		if ob.OnFaultSimBatch != nil {
 			ob.OnFaultSimBatch("compact", n, time.Since(t0))
 		}
@@ -594,23 +608,25 @@ func extractPattern(c *netlist.Circuit, assign []logic.Value, rng *rand.Rand, mo
 	return pat
 }
 
-// compact re-fault-simulates the patterns in reverse order, 64 lanes per
-// packed pass, and keeps only those that detect a fault not already
-// covered (to its quota) by a kept pattern. Lane 0 of each chunk is the
-// latest unprocessed pattern and DetectAllMask credits lowest lanes
-// first, so the kept set is bit-identical to the serial reverse sweep.
-func compact(c *netlist.Circuit, patterns []scan.Pattern, faults []Fault, nDetect int) []scan.Pattern {
+// compact re-fault-simulates the patterns in reverse order, lanes
+// patterns per packed pass, and keeps only those that detect a fault not
+// already covered (to its quota) by a kept pattern. Lane 0 of each chunk
+// is the latest unprocessed pattern and DetectAllMask credits lowest
+// lanes first, so the kept set is bit-identical to the serial reverse
+// sweep at every lane width.
+func compact(c *netlist.Circuit, patterns []scan.Pattern, faults []Fault, nDetect, lanes int) []scan.Pattern {
 	if nDetect < 1 {
 		nDetect = 1
 	}
-	fs := NewFaultSim64(c)
+	fs := NewFaultSimW(c, lanes)
+	width := fs.LaneWidth()
 	seen := make([]int, len(faults))
 	kept := make([]scan.Pattern, 0, len(patterns))
-	buf := make([]scan.Pattern, 0, 64)
+	buf := make([]scan.Pattern, 0, width)
 	for end := len(patterns); end > 0; {
 		n := end
-		if n > 64 {
-			n = 64
+		if n > width {
+			n = width
 		}
 		buf = buf[:0]
 		for k := 0; k < n; k++ {
@@ -619,7 +635,7 @@ func compact(c *netlist.Circuit, patterns []scan.Pattern, faults []Fault, nDetec
 		fs.SetPatterns(buf)
 		credited := fs.DetectAllMask(faults, seen, nil, nDetect)
 		for k := 0; k < n; k++ {
-			if credited&(1<<k) != 0 {
+			if credited[k>>6]>>uint(k&63)&1 != 0 {
 				kept = append(kept, buf[k])
 			}
 		}
@@ -632,10 +648,11 @@ func compact(c *netlist.Circuit, patterns []scan.Pattern, faults []Fault, nDetec
 	return kept
 }
 
-// CoverageOf fault-simulates an arbitrary pattern set from scratch — 64
-// patterns per packed pass — and returns its fault coverage over
-// AllFaults(c). Used to demonstrate that a DFT modification leaves
-// coverage unchanged.
+// CoverageOf fault-simulates an arbitrary pattern set from scratch —
+// sim.WideLanes patterns per packed pass — and returns its fault
+// coverage over AllFaults(c). Used to demonstrate that a DFT
+// modification leaves coverage unchanged. Detection is a per-pattern
+// property, so the batch width does not affect the result.
 func CoverageOf(c *netlist.Circuit, patterns []scan.Pattern) float64 {
 	faults := AllFaults(c)
 	if len(faults) == 0 {
@@ -643,10 +660,11 @@ func CoverageOf(c *netlist.Circuit, patterns []scan.Pattern) float64 {
 	}
 	detected := make([]bool, len(faults))
 	if len(patterns) > 0 {
-		fs := NewFaultSim64(c)
+		fs := NewFaultSimW(c, sim.WideLanes)
+		width := fs.LaneWidth()
 		counts := make([]int, len(faults))
-		for start := 0; start < len(patterns); start += 64 {
-			end := start + 64
+		for start := 0; start < len(patterns); start += width {
+			end := start + width
 			if end > len(patterns) {
 				end = len(patterns)
 			}

@@ -1,0 +1,310 @@
+package atpg
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/benchjson"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+)
+
+// This file preserves the pre-refactor FaultSim64 as the baseline for
+// `make bench-wide`: a fixed single-word lane layout, its own gate
+// switch, a stamp-checked read per fanin, and an interpreted topological
+// walk per 64-pattern good simulation. The shipping FaultSimW loads 256
+// patterns at once — one wide compiled-program evaluation replaces four
+// interpreted walks — and runs the faulty event passes over flattened
+// structure arrays with repair-based state and per-word early exit, so a
+// fault stops simulating the moment its detection quota is met.
+
+// legacyFaultSim64 is the pre-refactor FaultSim64, verbatim with local
+// names.
+type legacyFaultSim64 struct {
+	c    *netlist.Circuit
+	good []uint64
+	n    int
+
+	faulty []uint64
+	stamp  []uint32
+	gstamp []uint32
+	epoch  uint32
+
+	buckets [][]netlist.GateID
+	inBuf   []uint64
+}
+
+func newLegacyFaultSim64(c *netlist.Circuit) *legacyFaultSim64 {
+	if !c.Frozen() {
+		panic("legacy FaultSim64 needs a frozen circuit")
+	}
+	return &legacyFaultSim64{
+		c:       c,
+		good:    make([]uint64, c.NumNets()),
+		faulty:  make([]uint64, c.NumNets()),
+		stamp:   make([]uint32, c.NumNets()),
+		gstamp:  make([]uint32, c.NumGates()),
+		buckets: make([][]netlist.GateID, c.Depth()+1),
+		inBuf:   make([]uint64, 0, 8),
+	}
+}
+
+func legacyEvalWord(t logic.GateType, ins []uint64) uint64 {
+	switch t {
+	case logic.Buf:
+		return ins[0]
+	case logic.Not:
+		return ^ins[0]
+	case logic.And, logic.Nand:
+		out := ^uint64(0)
+		for _, w := range ins {
+			out &= w
+		}
+		if t == logic.Nand {
+			return ^out
+		}
+		return out
+	case logic.Or, logic.Nor:
+		out := uint64(0)
+		for _, w := range ins {
+			out |= w
+		}
+		if t == logic.Nor {
+			return ^out
+		}
+		return out
+	case logic.Xor, logic.Xnor:
+		out := uint64(0)
+		for _, w := range ins {
+			out ^= w
+		}
+		if t == logic.Xnor {
+			return ^out
+		}
+		return out
+	case logic.Mux2:
+		d0, d1, sel := ins[0], ins[1], ins[2]
+		return (d0 &^ sel) | (d1 & sel)
+	}
+	panic("legacy evalWord on unknown gate type " + t.String())
+}
+
+func (fs *legacyFaultSim64) SetPatterns(patterns []scan.Pattern) {
+	if len(patterns) == 0 || len(patterns) > 64 {
+		panic("legacy SetPatterns needs 1..64 patterns")
+	}
+	c := fs.c
+	fs.n = len(patterns)
+	for i, piNet := range c.PIs {
+		w := uint64(0)
+		for lane, p := range patterns {
+			if p.PI[i] {
+				w |= 1 << lane
+			}
+		}
+		fs.good[piNet] = w
+	}
+	for f, ff := range c.FFs {
+		w := uint64(0)
+		for lane, p := range patterns {
+			if p.State[f] {
+				w |= 1 << lane
+			}
+		}
+		fs.good[ff.Q] = w
+	}
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		fs.inBuf = fs.inBuf[:0]
+		for _, in := range g.Inputs {
+			fs.inBuf = append(fs.inBuf, fs.good[in])
+		}
+		fs.good[g.Output] = legacyEvalWord(g.Type, fs.inBuf)
+	}
+}
+
+func (fs *legacyFaultSim64) laneMask() uint64 {
+	if fs.n == 64 {
+		return ^uint64(0)
+	}
+	return (1 << fs.n) - 1
+}
+
+func (fs *legacyFaultSim64) val(n netlist.NetID) uint64 {
+	if fs.stamp[n] == fs.epoch {
+		return fs.faulty[n]
+	}
+	return fs.good[n]
+}
+
+func (fs *legacyFaultSim64) DetectMask(f Fault) uint64 {
+	c := fs.c
+	lanes := fs.laneMask()
+	stuck := uint64(0)
+	if f.Stuck {
+		stuck = ^uint64(0)
+	}
+	if (fs.good[f.Net]^stuck)&lanes == 0 {
+		return 0
+	}
+	fs.epoch++
+	if fs.epoch == 0 {
+		for i := range fs.stamp {
+			fs.stamp[i] = 0
+		}
+		for i := range fs.gstamp {
+			fs.gstamp[i] = 0
+		}
+		fs.epoch = 1
+	}
+	fs.faulty[f.Net] = stuck
+	fs.stamp[f.Net] = fs.epoch
+	detected := uint64(0)
+	if net := &c.Nets[f.Net]; net.IsPO() || len(net.FanoutFF) > 0 {
+		detected |= (fs.good[f.Net] ^ stuck) & lanes
+	}
+	for i := range fs.buckets {
+		fs.buckets[i] = fs.buckets[i][:0]
+	}
+	schedule := func(n netlist.NetID) {
+		for _, g := range c.Nets[n].Fanout {
+			if fs.gstamp[g] != fs.epoch {
+				fs.gstamp[g] = fs.epoch
+				fs.buckets[c.Level(g)] = append(fs.buckets[c.Level(g)], g)
+			}
+		}
+	}
+	schedule(f.Net)
+	for lvl := 0; lvl < len(fs.buckets); lvl++ {
+		for qi := 0; qi < len(fs.buckets[lvl]); qi++ {
+			gi := fs.buckets[lvl][qi]
+			g := &c.Gates[gi]
+			if g.Output == f.Net {
+				continue
+			}
+			fs.inBuf = fs.inBuf[:0]
+			for _, in := range g.Inputs {
+				fs.inBuf = append(fs.inBuf, fs.val(in))
+			}
+			nv := legacyEvalWord(g.Type, fs.inBuf)
+			if (nv^fs.val(g.Output))&lanes == 0 {
+				continue
+			}
+			fs.faulty[g.Output] = nv
+			fs.stamp[g.Output] = fs.epoch
+			if net := &c.Nets[g.Output]; net.IsPO() || len(net.FanoutFF) > 0 {
+				detected |= (nv ^ fs.good[g.Output]) & lanes
+			}
+			schedule(g.Output)
+		}
+	}
+	return detected
+}
+
+func (fs *legacyFaultSim64) DetectAllMask(faults []Fault, detCount []int, detected []bool, nDetect int) uint64 {
+	if nDetect < 1 {
+		nDetect = 1
+	}
+	credited := uint64(0)
+	for i, f := range faults {
+		if detCount[i] >= nDetect {
+			continue
+		}
+		mask := fs.DetectMask(f)
+		if mask == 0 {
+			continue
+		}
+		for mask != 0 && detCount[i] < nDetect {
+			low := mask & (-mask)
+			credited |= low
+			mask &^= low
+			detCount[i]++
+		}
+		if detected != nil {
+			detected[i] = true
+		}
+	}
+	return credited
+}
+
+// TestBenchWideFaultSimJSON times the fault-dropping sweep — every
+// collapsed fault against a 256-pattern buffer — on the preserved legacy
+// FaultSim64 (four 64-pattern chunks) vs FaultSimW at 64 and 256 lanes,
+// and merges faultsim/<circuit> entries into the bench-wide report.
+// `make bench-wide` runs it; without WIDE_BENCH_OUT it is skipped.
+func TestBenchWideFaultSimJSON(t *testing.T) {
+	out := os.Getenv("WIDE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set WIDE_BENCH_OUT to run the wide-kernel faultsim benchmark")
+	}
+	const nPats = 256
+	const rounds = 5
+	entries := map[string]benchjson.Entry{}
+	for _, name := range []string{"s1423", "s5378"} {
+		c := loadISCAS(t, name)
+		faults := AllFaults(c)
+		batch := randomBatch(c, rand.New(rand.NewSource(7)), nPats)
+
+		// Simulators are built once and reused across rounds — the realistic
+		// shape (one simulator serves many batches in a generation flow), and
+		// the same concession for every variant.
+		legacy := newLegacyFaultSim64(c)
+		sims := map[int]*FaultSimW{64: NewFaultSimW(c, 64), 256: NewFaultSimW(c, 256)}
+
+		// sweep runs the full fault-dropping pass over the 256-pattern
+		// buffer and returns the final quota state: lanes == 0 is the
+		// legacy baseline, otherwise the FaultSimW at that width chunking
+		// the buffer to its lane count.
+		sweep := func(lanes int) ([]int, []bool) {
+			detCount := make([]int, len(faults))
+			detected := make([]bool, len(faults))
+			if lanes == 0 {
+				for at := 0; at < nPats; at += 64 {
+					legacy.SetPatterns(batch[at : at+64])
+					legacy.DetectAllMask(faults, detCount, detected, 1)
+				}
+			} else {
+				fs := sims[lanes]
+				width := fs.LaneWidth()
+				for at := 0; at < nPats; at += width {
+					fs.SetPatterns(batch[at : at+width])
+					fs.DetectAllMask(faults, detCount, detected, 1)
+				}
+			}
+			return detCount, detected
+		}
+
+		lCount, lDet := sweep(0)
+		for _, lanes := range []int{64, 256} {
+			nCount, nDet := sweep(lanes)
+			if !reflect.DeepEqual(lCount, nCount) || !reflect.DeepEqual(lDet, nDet) {
+				t.Fatalf("%s: FaultSimW(%d) sweep diverges from the legacy baseline", name, lanes)
+			}
+		}
+
+		legacyMS := benchjson.MinMS(rounds, func() { sweep(0) })
+		new64MS := benchjson.MinMS(rounds, func() { sweep(64) })
+		new256MS := benchjson.MinMS(rounds, func() { sweep(256) })
+		speedup := legacyMS / new256MS
+		t.Logf("%s: legacy64 %.2fms, new64 %.2fms, new256 %.2fms (%.2fx)",
+			name, legacyMS, new64MS, new256MS, speedup)
+		entries["faultsim/"+name] = benchjson.Entry{
+			Workload: "DetectAllMask over all collapsed faults, 256 random patterns, seed 7, best of 5",
+			ResultsMS: map[string]float64{
+				"legacy64": benchjson.Round2(legacyMS),
+				"new64":    benchjson.Round2(new64MS),
+				"new256":   benchjson.Round2(new256MS),
+			},
+			SpeedupVsLegacy64: benchjson.Round2(speedup),
+			Criterion:         "new256 >= 1.5x over the pre-refactor 64-lane kernel",
+			Met:               speedup >= 1.5,
+		}
+	}
+	if err := benchjson.Merge(out, entries); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged faultsim entries into %s", out)
+}

@@ -1,0 +1,121 @@
+// Package benchjson assembles the wide-kernel benchmark report that
+// `make bench-wide` emits as BENCH_<date>_wide.json. Each kernel's
+// benchmark test (power, obs, core, atpg) runs in its own `go test`
+// process and folds its entries into the shared document with Merge, so
+// the Makefile target can run them sequentially and end up with one
+// report covering every packed kernel.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Schema is the document identifier, shared with the other kernel-bench
+// reports in the repo.
+const Schema = "scanpower/kernel-bench/v1"
+
+// Entry is one kernel-on-one-circuit measurement: wall times for the
+// preserved pre-refactor 64-lane baseline and the compiled evaluator at
+// both supported widths, plus the acceptance verdict.
+type Entry struct {
+	// Workload describes what was timed, precisely enough to re-run it.
+	Workload string `json:"workload"`
+	// ResultsMS holds best-of-N wall times in milliseconds, keyed
+	// legacy64 / new64 / new256.
+	ResultsMS map[string]float64 `json:"results_ms"`
+	// SpeedupVsLegacy64 is legacy64 / new256.
+	SpeedupVsLegacy64 float64 `json:"speedup_vs_legacy64"`
+	// Criterion states the acceptance bar; Met records whether this
+	// entry cleared it.
+	Criterion string `json:"criterion"`
+	Met       bool   `json:"met"`
+}
+
+// Report is the merged document. Kernels is keyed "<kernel>/<circuit>",
+// e.g. "measure/s1423".
+type Report struct {
+	Schema    string           `json:"schema"`
+	Label     string           `json:"label"`
+	CreatedAt string           `json:"created_at"`
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	CPU       string           `json:"cpu"`
+	Command   string           `json:"command"`
+	Kernels   map[string]Entry `json:"kernels"`
+}
+
+// Merge folds entries into the report at path, creating the document on
+// first use and preserving entries written by earlier processes. The
+// bench tests run sequentially (one per `go test` invocation under
+// `make bench-wide`), so plain read-modify-write is race-free.
+func Merge(path string, entries map[string]Entry) error {
+	var r Report
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &r); err != nil {
+			return fmt.Errorf("benchjson: existing %s is not a report: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	r.Schema = Schema
+	r.Label = "wide-kernels-256-vs-legacy-64"
+	r.CreatedAt = time.Now().Format("2006-01-02")
+	r.GoVersion = runtime.Version()
+	r.GOOS = runtime.GOOS
+	r.GOARCH = runtime.GOARCH
+	r.CPU = CPUModel()
+	r.Command = "make bench-wide"
+	if r.Kernels == nil {
+		r.Kernels = map[string]Entry{}
+	}
+	for k, e := range entries {
+		r.Kernels[k] = e
+	}
+	data, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MinMS runs fn rounds times and returns the fastest wall time in
+// milliseconds — best-of-N is the standard noise filter for wall-clock
+// kernel timing on a shared machine.
+func MinMS(rounds int, fn func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best) / float64(time.Millisecond)
+}
+
+// Round2 rounds to two decimals for stable report diffs.
+func Round2(x float64) float64 {
+	return float64(int(x*100+0.5)) / 100
+}
+
+// CPUModel best-effort reads the CPU model name for the report header.
+func CPUModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return "unknown"
+}

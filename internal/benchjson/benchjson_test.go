@@ -1,0 +1,80 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMergeAccumulates pins the cross-process contract of the bench-wide
+// report: sequential Merge calls from different kernel tests build one
+// document, later calls preserve earlier entries, and same-key entries
+// are overwritten rather than duplicated.
+func TestMergeAccumulates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wide.json")
+	first := map[string]Entry{
+		"measure/s1423": {
+			Workload:          "256 patterns",
+			ResultsMS:         map[string]float64{"legacy64": 10, "new256": 5},
+			SpeedupVsLegacy64: 2,
+			Criterion:         ">= 1.5x",
+			Met:               true,
+		},
+	}
+	if err := Merge(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := map[string]Entry{
+		"fill/s5378": {Workload: "256 trials", ResultsMS: map[string]float64{"legacy64": 8}},
+		"measure/s1423": {
+			Workload:          "256 patterns, rerun",
+			ResultsMS:         map[string]float64{"legacy64": 9, "new256": 4},
+			SpeedupVsLegacy64: 2.25,
+			Met:               true,
+		},
+	}
+	if err := Merge(path, second); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != Schema || r.Command != "make bench-wide" {
+		t.Errorf("header = %q %q", r.Schema, r.Command)
+	}
+	if len(r.Kernels) != 2 {
+		t.Fatalf("kernels = %d, want 2: %v", len(r.Kernels), r.Kernels)
+	}
+	if got := r.Kernels["measure/s1423"]; got.Workload != "256 patterns, rerun" || got.SpeedupVsLegacy64 != 2.25 {
+		t.Errorf("overwrite lost: %+v", got)
+	}
+	if got := r.Kernels["fill/s5378"]; got.ResultsMS["legacy64"] != 8 {
+		t.Errorf("first-write entry lost: %+v", got)
+	}
+}
+
+func TestMergeRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wide.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Merge(path, nil); err == nil {
+		t.Error("Merge accepted a non-JSON existing file")
+	}
+}
+
+func TestRound2(t *testing.T) {
+	if got := Round2(1.2345); got != 1.23 {
+		t.Errorf("Round2(1.2345) = %v", got)
+	}
+	if got := Round2(1.999); got != 2.0 {
+		t.Errorf("Round2(1.999) = %v", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/sim"
 )
 
 // Measure registers the -measure backend selector on fs and returns its
@@ -30,6 +31,25 @@ func Measure(fs *flag.FlagSet) *string {
 func MC(fs *flag.FlagSet) *string {
 	return fs.String("mc-backend", string(scanpower.MCPacked),
 		"Monte-Carlo kernel for observability and fill: packed (64-way bit-parallel) or scalar")
+}
+
+// Lanes registers the -lanes packed batch-width selector on fs and
+// returns its value. Validate with ValidateLanes after fs.Parse.
+func Lanes(fs *flag.FlagSet) *int {
+	return fs.Int("lanes", 0, fmt.Sprintf(
+		"packed kernel batch width in patterns/samples per pass, one of %v (0 = default %d); results are bit-identical at every width",
+		sim.LaneWidths(), sim.WideLanes))
+}
+
+// ValidateLanes resolves a -lanes value to a concrete width: 0 means the
+// default (sim.WideLanes), the supported widths pass through, anything
+// else is an error naming them.
+func ValidateLanes(n int) (int, error) {
+	w, err := sim.ResolveLanes(n)
+	if err != nil {
+		return 0, fmt.Errorf("-lanes must be 0 or one of %v, got %d", sim.LaneWidths(), n)
+	}
+	return w, nil
 }
 
 // Workers registers the worker-pool size flag under name ("j" for the
@@ -85,10 +105,10 @@ func ValidateMC(s string) (scanpower.MCBackend, error) {
 	return "", fmt.Errorf("unknown mc backend %q (want one of %v)", s, scanpower.MCBackends())
 }
 
-// BackendConfig returns DefaultConfig with the validated -measure and
-// -mc-backend selections applied — the shared "flags to Config" step of
-// every command.
-func BackendConfig(measure, mc string) (scanpower.Config, error) {
+// BackendConfig returns DefaultConfig with the validated -measure,
+// -mc-backend and -lanes selections applied — the shared "flags to
+// Config" step of every command.
+func BackendConfig(measure, mc string, lanes int) (scanpower.Config, error) {
 	cfg := scanpower.DefaultConfig()
 	m, err := ValidateMeasure(measure)
 	if err != nil {
@@ -98,8 +118,13 @@ func BackendConfig(measure, mc string) (scanpower.Config, error) {
 	if err != nil {
 		return cfg, err
 	}
+	w, err := ValidateLanes(lanes)
+	if err != nil {
+		return cfg, err
+	}
 	cfg.Measure = m
 	cfg.MC = b
+	cfg.Lanes = w
 	return cfg, nil
 }
 

@@ -7,26 +7,28 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/sim"
 )
 
 func TestSharedFlagsParse(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	measure := Measure(fs)
 	mc := MC(fs)
+	lanes := Lanes(fs)
 	workers := Workers(fs, "j", 4, "worker pool size")
 	timeout := Timeout(fs, "timeout", 0, "run deadline")
 	cluster := ClusterFlags(fs)
 
 	err := fs.Parse([]string{
-		"-measure", "dense", "-mc-backend", "scalar", "-j", "2", "-timeout", "90s",
+		"-measure", "dense", "-mc-backend", "scalar", "-lanes", "64", "-j", "2", "-timeout", "90s",
 		"-peers", " 10.0.0.2:8344, http://10.0.0.3:8344/ ,",
 		"-store-dir", "/tmp/s", "-store-max-bytes", "1024",
 	})
 	if err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
-	if *measure != "dense" || *mc != "scalar" || *workers != 2 || *timeout != 90*time.Second {
-		t.Errorf("parsed %q %q %d %v", *measure, *mc, *workers, *timeout)
+	if *measure != "dense" || *mc != "scalar" || *lanes != 64 || *workers != 2 || *timeout != 90*time.Second {
+		t.Errorf("parsed %q %q %d %d %v", *measure, *mc, *lanes, *workers, *timeout)
 	}
 	if cluster.StoreDir != "/tmp/s" || cluster.StoreMaxBytes != 1024 {
 		t.Errorf("cluster = %+v", cluster)
@@ -68,15 +70,29 @@ func TestValidation(t *testing.T) {
 			t.Errorf("ValidateMeasure(%q): %v", m, err)
 		}
 	}
-	cfg, err := BackendConfig("fast", "scalar")
+	if _, err := ValidateLanes(100); err == nil {
+		t.Error("ValidateLanes accepted 100")
+	}
+	if w, err := ValidateLanes(0); err != nil || w != sim.WideLanes {
+		t.Errorf("ValidateLanes(0) = %d, %v; want the %d default", w, err, sim.WideLanes)
+	}
+	for _, n := range sim.LaneWidths() {
+		if w, err := ValidateLanes(n); err != nil || w != n {
+			t.Errorf("ValidateLanes(%d) = %d, %v", n, w, err)
+		}
+	}
+	cfg, err := BackendConfig("fast", "scalar", 64)
 	if err != nil {
 		t.Fatalf("BackendConfig: %v", err)
 	}
-	if cfg.Measure != scanpower.MeasureFast || cfg.MC != scanpower.MCScalar {
-		t.Errorf("BackendConfig applied %q %q", cfg.Measure, cfg.MC)
+	if cfg.Measure != scanpower.MeasureFast || cfg.MC != scanpower.MCScalar || cfg.Lanes != 64 {
+		t.Errorf("BackendConfig applied %q %q %d", cfg.Measure, cfg.MC, cfg.Lanes)
 	}
-	if _, err := BackendConfig("nope", "packed"); err == nil {
+	if _, err := BackendConfig("nope", "packed", 0); err == nil {
 		t.Error("BackendConfig accepted bad measure")
+	}
+	if _, err := BackendConfig("packed", "packed", 33); err == nil {
+		t.Error("BackendConfig accepted bad lane width")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/scan"
+	"repro/internal/sim"
 	"repro/internal/timing"
 )
 
@@ -65,6 +66,9 @@ func BuildContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Solut
 	if !opts.MC.valid() {
 		return nil, fmt.Errorf("core: unknown MC backend %q", opts.MC)
 	}
+	if _, err := sim.ResolveLanes(opts.Lanes); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	work := c.Clone()
 	if err := work.Freeze(); err != nil {
 		return nil, err
@@ -111,7 +115,7 @@ func BuildContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Solut
 		doneObs := opts.Observe.phaseTimer("observability")
 		var err error
 		if opts.MC.packed() {
-			po := obs.PackedOpts{OnSamples: opts.Observe.OnObsSamples}
+			po := obs.PackedOpts{OnSamples: opts.Observe.OnObsSamples, Lanes: opts.Lanes}
 			if mcb := opts.Observe.OnMCBatch; mcb != nil {
 				po.OnBatch = func(lanes int, elapsed time.Duration) {
 					mcb("obs", lanes, elapsed)

@@ -90,6 +90,11 @@ type Options struct {
 	// estimate and the don't-care fill; the zero value means packed.
 	// Results are identical across backends for the same Seed.
 	MC MCBackend
+	// Lanes is the batch width of the packed Monte-Carlo kernels (see
+	// sim.LaneWidths; 0 means the default, sim.WideLanes). Results are
+	// bit-identical across widths, so this is purely a throughput knob;
+	// the scalar backend ignores it.
+	Lanes int
 
 	// Observe receives fine-grained flow telemetry; the zero value is
 	// free. Excluded from JSON so Options summaries stay marshalable.

@@ -48,35 +48,102 @@ func (f *finder) fillScalar(unassigned []netlist.NetID, trials int) []logic.Valu
 	return best
 }
 
-// fillPacked runs the same search 64 trials at a time on the dual-rail
-// three-valued simulator: each trial is one lane, free pseudo-inputs
-// stay X in every lane, and per-lane costs come from the X-averaged
-// tables in the scalar gate order.
+// fillScratch is the reusable state of fillPacked for one (circuit, lane
+// width) pair: the compiled dual-rail evaluator, the broadcast base
+// state, per-worker net-state buffers, and per-batch cost buffers. A
+// finished fill returns its scratch to fillPool, so repeated fills on the
+// same circuit (ablations, repeated Builds) allocate nothing batch-sized.
+type fillScratch struct {
+	c     *netlist.Circuit
+	ww    int
+	eval  func(v, x []uint64) // stateless: shared by all workers
+	baseV []uint64
+	baseX []uint64
+	vs    [][]uint64 // per worker
+	xs    [][]uint64
+	cycs  [][]float64 // per batch
+	lanes []int
+	span  []time.Duration
+}
+
+var fillPool sync.Pool
+
+// getFillScratch fetches pooled scratch compatible with (c, ww) or
+// builds a fresh one.
+func getFillScratch(c *netlist.Circuit, ww int) *fillScratch {
+	if s, _ := fillPool.Get().(*fillScratch); s != nil && s.c == c && s.ww == ww {
+		return s
+	}
+	s := &fillScratch{c: c, ww: ww}
+	prog := sim.Compile(c)
+	if ww == 1 {
+		s.eval = sim.NewPacked3Program(prog).EvalNets
+	} else {
+		s.eval = sim.NewWide3Program(prog).EvalNets
+	}
+	nw := c.NumNets() * ww
+	s.baseV = make([]uint64, nw)
+	s.baseX = make([]uint64, nw)
+	return s
+}
+
+// ensure grows the scratch to workers net-state buffers and nBatches
+// cost buffers.
+func (s *fillScratch) ensure(workers, nBatches, laneWidth int) {
+	nw := s.c.NumNets() * s.ww
+	for len(s.vs) < workers {
+		s.vs = append(s.vs, make([]uint64, nw))
+		s.xs = append(s.xs, make([]uint64, nw))
+	}
+	for len(s.cycs) < nBatches {
+		s.cycs = append(s.cycs, make([]float64, laneWidth))
+	}
+	if len(s.lanes) < nBatches {
+		s.lanes = make([]int, nBatches)
+		s.span = make([]time.Duration, nBatches)
+	}
+}
+
+// fillPacked runs the same search many trials at a time on the dual-rail
+// three-valued simulator: each trial is one lane (opts.Lanes per batch,
+// default sim.WideLanes = 256), free pseudo-inputs stay X in every lane,
+// and per-lane costs come from the X-averaged tables in the scalar gate
+// order.
 //
-// Bit-identity with fillScalar holds because (a) the candidate bits are
-// drawn up front in the scalar loop's exact rng order — trial 0 under
-// the observability directive takes the preferred-value vector and
-// draws nothing, (b) sim.Packed3 lanes equal logic.Eval on the same
-// inputs, (c) leakage.AccumLeak3Packed accumulates each lane in
-// CircuitLeakTabs3's gate order, and (d) the reduction walks trials in
-// ascending order with the scalar first-wins tie-break. Words are
-// sharded across a worker pool; the reduction is a single goroutine.
+// Bit-identity with fillScalar holds at every lane width because (a) the
+// candidate bits are drawn up front in the scalar loop's exact rng order
+// — trial 0 under the observability directive takes the preferred-value
+// vector and draws nothing, (b) the packed dual-rail lanes equal
+// logic.Eval on the same inputs, (c) leakage.AccumLeak3PackedW
+// accumulates each lane in CircuitLeakTabs3's gate order, and (d) the
+// reduction walks trials in ascending order with the scalar first-wins
+// tie-break. Batches are sharded across a worker pool; the reduction is
+// a single goroutine.
 func (f *finder) fillPacked(unassigned []netlist.NetID, trials int) []logic.Value {
 	best := make([]logic.Value, len(unassigned))
 	if f.cancelled() {
 		return best
 	}
+	laneWidth, err := sim.ResolveLanes(f.opts.Lanes)
+	if err != nil {
+		// BuildContext validates Options.Lanes up front; latch the error
+		// for direct finder users and return the empty completion.
+		f.err = err
+		return best
+	}
+	ww := laneWidth / 64
 	c := f.c
 	lm := f.opts.Leak
 	tabs3 := lm.CircuitTables3(c)
-	nNets := c.NumNets()
-	nWords := (trials + sim.PackedLanes - 1) / sim.PackedLanes
+	nWords := (trials + 63) / 64 // candidate words per input, 64 trials each
+	nBatches := (trials + laneWidth - 1) / laneWidth
 
-	// cand[i*nWords+w] bit t = input i's value in trial w*64+t.
+	// cand[i*nWords+w] bit t = input i's value in trial w*64+t. Drawn in
+	// the scalar loop's exact rng order, independent of the lane width.
 	cand := make([]uint64, len(unassigned)*nWords)
 	for trial := 0; trial < trials; trial++ {
-		w := trial / sim.PackedLanes
-		bit := uint64(1) << uint(trial%sim.PackedLanes)
+		w := trial >> 6
+		bit := uint64(1) << uint(trial&63)
 		for i, n := range unassigned {
 			var one bool
 			if trial == 0 && f.ob != nil {
@@ -90,87 +157,115 @@ func (f *finder) fillPacked(unassigned []netlist.NetID, trials int) []logic.Valu
 		}
 	}
 
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nBatches {
+		workers = nBatches
+	}
+	scratch := getFillScratch(c, ww)
+	scratch.ensure(workers, nBatches, laneWidth)
+	defer fillPool.Put(scratch)
+
 	// The lane pattern every trial shares: committed controlled inputs
 	// broadcast their binary value, everything else (free pseudo-inputs,
 	// and the unassigned slots about to be overlaid) is X.
-	baseV := make([]uint64, nNets)
-	baseX := make([]uint64, nNets)
+	baseV, baseX := scratch.baseV, scratch.baseX
+	for i := range baseV {
+		baseV[i] = 0
+		baseX[i] = 0
+	}
 	for _, n := range c.CombInputs() {
+		grp := int(n) * ww
 		if f.controlled[n] && f.assign[n] != logic.X {
 			if f.assign[n] == logic.One {
-				baseV[n] = ^uint64(0)
+				for k := 0; k < ww; k++ {
+					baseV[grp+k] = ^uint64(0)
+				}
 			}
 		} else {
-			baseX[n] = ^uint64(0)
+			for k := 0; k < ww; k++ {
+				baseX[grp+k] = ^uint64(0)
+			}
 		}
 	}
 
 	if f.cancelled() {
 		return best
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nWords {
-		workers = nWords
-	}
-	ps := sim.NewPacked3(c) // stateless: shared by all workers
-	cycs := make([][]float64, nWords)
-	lanes := make([]int, nWords)
-	elapsed := make([]time.Duration, nWords)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			v := make([]uint64, nNets)
-			x := make([]uint64, nNets)
-			for wi := range next {
-				n := trials - wi*sim.PackedLanes
-				if n > sim.PackedLanes {
-					n = sim.PackedLanes
-				}
-				t0 := time.Now()
-				copy(v, baseV)
-				copy(x, baseX)
-				for i, net := range unassigned {
-					v[net] = cand[i*nWords+wi]
-					x[net] = 0
-				}
-				ps.EvalNets(v, x)
-				cyc := make([]float64, sim.PackedLanes)
-				lm.AccumLeak3Packed(c, v, x, n, tabs3, cyc)
-				cycs[wi] = cyc
-				lanes[wi] = n
-				elapsed[wi] = time.Since(t0)
+
+	// evalBatch costs batch wi on worker w's net-state buffers.
+	evalBatch := func(w, wi int) {
+		v, x := scratch.vs[w], scratch.xs[w]
+		n := trials - wi*laneWidth
+		if n > laneWidth {
+			n = laneWidth
+		}
+		t0 := time.Now()
+		copy(v, baseV)
+		copy(x, baseX)
+		for i, net := range unassigned {
+			grp := int(net) * ww
+			nw := nWords - wi*ww
+			if nw > ww {
+				nw = ww
 			}
-		}()
+			copy(v[grp:grp+nw], cand[i*nWords+wi*ww:])
+			for k := 0; k < ww; k++ {
+				x[grp+k] = 0
+			}
+		}
+		scratch.eval(v, x)
+		cyc := scratch.cycs[wi]
+		for t := 0; t < n; t++ {
+			cyc[t] = 0
+		}
+		lm.AccumLeak3PackedW(c, v, x, ww, n, tabs3, cyc)
+		scratch.lanes[wi] = n
+		scratch.span[wi] = time.Since(t0)
 	}
-	for wi := 0; wi < nWords; wi++ {
-		next <- wi
+
+	if workers == 1 {
+		for wi := 0; wi < nBatches; wi++ {
+			evalBatch(0, wi)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for wi := range next {
+					evalBatch(w, wi)
+				}
+			}(w)
+		}
+		for wi := 0; wi < nBatches; wi++ {
+			next <- wi
+		}
+		close(next)
+		wg.Wait()
 	}
-	close(next)
-	wg.Wait()
 
 	// Reduce in ascending trial order — the scalar tie-break.
 	bestLeak := 0.0
 	bestTrial := 0
 	mcb := f.opts.Observe.OnMCBatch
-	for wi := 0; wi < nWords; wi++ {
-		cyc := cycs[wi]
-		for t := 0; t < lanes[wi]; t++ {
-			trial := wi*sim.PackedLanes + t
+	for wi := 0; wi < nBatches; wi++ {
+		cyc := scratch.cycs[wi]
+		for t := 0; t < scratch.lanes[wi]; t++ {
+			trial := wi*laneWidth + t
 			if trial == 0 || cyc[t] < bestLeak {
 				bestLeak = cyc[t]
 				bestTrial = trial
 			}
 		}
 		if mcb != nil {
-			mcb("fill", lanes[wi], elapsed[wi])
+			mcb("fill", scratch.lanes[wi], scratch.span[wi])
 		}
 	}
 	for i := range unassigned {
-		w := cand[i*nWords+bestTrial/sim.PackedLanes]
-		best[i] = logic.FromBool(w>>uint(bestTrial%sim.PackedLanes)&1 == 1)
+		w := cand[i*nWords+bestTrial>>6]
+		best[i] = logic.FromBool(w>>uint(bestTrial&63)&1 == 1)
 	}
 	return best
 }

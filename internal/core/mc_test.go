@@ -9,6 +9,7 @@ import (
 	"repro/internal/iscas"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/sim"
 )
 
 // solutionsIdentical returns "" when two solutions agree bit for bit on
@@ -57,19 +58,22 @@ func TestMCPackedBuildEquivalence(t *testing.T) {
 		for _, mk := range []func() Options{ProposedOptions, InputControlOptions} {
 			scalarOpts := mk()
 			scalarOpts.MC = MCScalar
-			packedOpts := mk()
-			packedOpts.MC = MCPacked
 			ref, err := Build(c, scalarOpts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := Build(c, packedOpts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if field := solutionsIdentical(ref, got); field != "" {
-				t.Errorf("%s UseMux=%v: %s differs between scalar and packed backends",
-					name, scalarOpts.UseMux, field)
+			for _, lanes := range sim.LaneWidths() {
+				packedOpts := mk()
+				packedOpts.MC = MCPacked
+				packedOpts.Lanes = lanes
+				got, err := Build(c, packedOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if field := solutionsIdentical(ref, got); field != "" {
+					t.Errorf("%s UseMux=%v lanes=%d: %s differs between scalar and packed backends",
+						name, scalarOpts.UseMux, lanes, field)
+				}
 			}
 		}
 	}
@@ -81,6 +85,11 @@ func TestMCBackendValidation(t *testing.T) {
 	opts.MC = "vectorized" // not a backend
 	if _, err := Build(c, opts); err == nil {
 		t.Fatal("Build accepted an unknown MC backend")
+	}
+	opts = ProposedOptions()
+	opts.Lanes = 128 // not a supported lane width
+	if _, err := Build(c, opts); err == nil {
+		t.Fatal("Build accepted an unsupported lane width")
 	}
 }
 
@@ -110,32 +119,36 @@ func TestMCBatchTelemetry(t *testing.T) {
 	opts := ProposedOptions()
 	opts.ObsSamples = 200
 	opts.FillTrials = 100
-	laneTotal := map[string]int{}
-	opts.Observe.OnMCBatch = func(kind string, lanes int, elapsed time.Duration) {
-		if kind != "obs" && kind != "fill" {
-			t.Errorf("unknown MC batch kind %q", kind)
+	for _, width := range sim.LaneWidths() {
+		opts.Lanes = width
+		laneTotal := map[string]int{}
+		opts.Observe.OnMCBatch = func(kind string, lanes int, elapsed time.Duration) {
+			if kind != "obs" && kind != "fill" {
+				t.Errorf("unknown MC batch kind %q", kind)
+			}
+			if lanes < 1 || lanes > width {
+				t.Errorf("width %d: %s batch carries %d lanes", width, kind, lanes)
+			}
+			if elapsed < 0 {
+				t.Errorf("%s batch has negative elapsed", kind)
+			}
+			laneTotal[kind] += lanes
 		}
-		if lanes < 1 || lanes > 64 {
-			t.Errorf("%s batch carries %d lanes", kind, lanes)
+		sol, err := Build(c, opts)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if elapsed < 0 {
-			t.Errorf("%s batch has negative elapsed", kind)
+		if laneTotal["obs"] != opts.ObsSamples {
+			t.Errorf("width %d: obs batches carried %d lanes, want %d", width, laneTotal["obs"], opts.ObsSamples)
 		}
-		laneTotal[kind] += lanes
+		if sol.Stats.FilledInputs == 0 {
+			t.Fatal("flow left no don't-cares to fill; test circuit no longer exercises fill")
+		}
+		if laneTotal["fill"] != opts.FillTrials {
+			t.Errorf("width %d: fill batches carried %d lanes, want %d", width, laneTotal["fill"], opts.FillTrials)
+		}
 	}
-	sol, err := Build(c, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if laneTotal["obs"] != opts.ObsSamples {
-		t.Errorf("obs batches carried %d lanes, want %d", laneTotal["obs"], opts.ObsSamples)
-	}
-	if sol.Stats.FilledInputs == 0 {
-		t.Fatal("flow left no don't-cares to fill; test circuit no longer exercises fill")
-	}
-	if laneTotal["fill"] != opts.FillTrials {
-		t.Errorf("fill batches carried %d lanes, want %d", laneTotal["fill"], opts.FillTrials)
-	}
+	opts.Lanes = 0
 
 	// The scalar backend evaluates no packed batches.
 	opts.MC = MCScalar

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/benchjson"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// This file preserves the pre-refactor 64-lane minimum-leakage fill as
+// the baseline for `make bench-wide`: the dual-rail topo-walk evaluator
+// (the old sim.Packed3), per-lane shift extraction for the X-averaged
+// leakage (the old leakage.AccumLeak3Packed), per-call slice allocation,
+// and a worker pool spawned per call. The shipping kernel runs the
+// compiled program at 256 lanes with pooled scratch.
+
+// legacyEvalNets3 is the pre-refactor sim.Packed3.EvalNets: dual-rail
+// three-valued evaluation over a topological net walk.
+func legacyEvalNets3(c *netlist.Circuit, v, x []uint64) {
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		ins := g.Inputs
+		var ov, ox uint64
+		switch g.Type {
+		case logic.Buf:
+			ov, ox = v[ins[0]], x[ins[0]]
+		case logic.Not:
+			ox = x[ins[0]]
+			ov = ^v[ins[0]] &^ ox
+		case logic.And, logic.Nand:
+			one := v[ins[0]]
+			zero := ^x[ins[0]] &^ v[ins[0]]
+			for _, in := range ins[1:] {
+				one &= v[in]
+				zero |= ^x[in] &^ v[in]
+			}
+			if g.Type == logic.And {
+				ov = one
+			} else {
+				ov = zero
+			}
+			ox = ^(one | zero)
+		case logic.Or, logic.Nor:
+			one := v[ins[0]]
+			zero := ^x[ins[0]] &^ v[ins[0]]
+			for _, in := range ins[1:] {
+				one |= v[in]
+				zero &= ^x[in] &^ v[in]
+			}
+			if g.Type == logic.Or {
+				ov = one
+			} else {
+				ov = zero
+			}
+			ox = ^(one | zero)
+		case logic.Xor, logic.Xnor:
+			known := ^x[ins[0]]
+			s := v[ins[0]]
+			for _, in := range ins[1:] {
+				known &= ^x[in]
+				s ^= v[in]
+			}
+			if g.Type == logic.Xor {
+				ov = s & known
+			} else {
+				ov = ^s & known
+			}
+			ox = ^known
+		case logic.Mux2:
+			d0v, d0x := v[ins[0]], x[ins[0]]
+			d1v, d1x := v[ins[1]], x[ins[1]]
+			sv, sx := v[ins[2]], x[ins[2]]
+			m1 := ^sx & sv
+			m0 := ^sx &^ sv
+			agree := ^d0x & ^d1x &^ (d0v ^ d1v)
+			ov = m1&d1v | m0&d0v | sx&agree&d0v
+			ox = m1&d1x | m0&d0x | sx&^agree
+		default:
+			panic("legacy EvalNets3 on unknown gate type " + g.Type.String())
+		}
+		v[g.Output] = ov
+		x[g.Output] = ox
+	}
+}
+
+// legacyAccumLeak3 is the pre-refactor leakage.AccumLeak3Packed.
+func legacyAccumLeak3(c *netlist.Circuit, v, x []uint64, n int, tabs3 [][]float64, cyc []float64) {
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		tab := tabs3[gi]
+		switch len(g.Inputs) {
+		case 1:
+			av := v[g.Inputs[0]]
+			ax := x[g.Inputs[0]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[ax&1<<1|av&1]
+				av >>= 1
+				ax >>= 1
+			}
+		case 2:
+			av, ax := v[g.Inputs[0]], x[g.Inputs[0]]
+			bv, bx := v[g.Inputs[1]], x[g.Inputs[1]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[(ax&1|bx&1<<1)<<2|av&1|bv&1<<1]
+				av >>= 1
+				ax >>= 1
+				bv >>= 1
+				bx >>= 1
+			}
+		case 3:
+			av, ax := v[g.Inputs[0]], x[g.Inputs[0]]
+			bv, bx := v[g.Inputs[1]], x[g.Inputs[1]]
+			dv, dx := v[g.Inputs[2]], x[g.Inputs[2]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[(ax&1|bx&1<<1|dx&1<<2)<<3|av&1|bv&1<<1|dv&1<<2]
+				av >>= 1
+				ax >>= 1
+				bv >>= 1
+				bx >>= 1
+				dv >>= 1
+				dx >>= 1
+			}
+		default:
+			k := uint(len(g.Inputs))
+			for t := 0; t < n; t++ {
+				idx, xmask := 0, 0
+				for i, in := range g.Inputs {
+					idx |= int(v[in]>>uint(t)&1) << uint(i)
+					xmask |= int(x[in]>>uint(t)&1) << uint(i)
+				}
+				cyc[t] += tab[xmask<<k|idx]
+			}
+		}
+	}
+}
+
+// legacyFillPacked is the pre-refactor finder.fillPacked, verbatim except
+// for using the preserved local evaluator and accumulator: 64-trial
+// words, per-call cyc allocation, per-call goroutine spawn.
+func legacyFillPacked(f *finder, unassigned []netlist.NetID, trials int) []logic.Value {
+	best := make([]logic.Value, len(unassigned))
+	if f.cancelled() {
+		return best
+	}
+	c := f.c
+	lm := f.opts.Leak
+	tabs3 := lm.CircuitTables3(c)
+	nNets := c.NumNets()
+	nWords := (trials + sim.PackedLanes - 1) / sim.PackedLanes
+
+	cand := make([]uint64, len(unassigned)*nWords)
+	for trial := 0; trial < trials; trial++ {
+		w := trial / sim.PackedLanes
+		bit := uint64(1) << uint(trial%sim.PackedLanes)
+		for i, n := range unassigned {
+			var one bool
+			if trial == 0 && f.ob != nil {
+				one = f.ob.PreferredValue(n)
+			} else {
+				one = f.rng.Intn(2) == 1
+			}
+			if one {
+				cand[i*nWords+w] |= bit
+			}
+		}
+	}
+
+	baseV := make([]uint64, nNets)
+	baseX := make([]uint64, nNets)
+	for _, n := range c.CombInputs() {
+		if f.controlled[n] && f.assign[n] != logic.X {
+			if f.assign[n] == logic.One {
+				baseV[n] = ^uint64(0)
+			}
+		} else {
+			baseX[n] = ^uint64(0)
+		}
+	}
+
+	if f.cancelled() {
+		return best
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nWords {
+		workers = nWords
+	}
+	cycs := make([][]float64, nWords)
+	lanes := make([]int, nWords)
+	elapsed := make([]time.Duration, nWords)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := make([]uint64, nNets)
+			x := make([]uint64, nNets)
+			for wi := range next {
+				n := trials - wi*sim.PackedLanes
+				if n > sim.PackedLanes {
+					n = sim.PackedLanes
+				}
+				t0 := time.Now()
+				copy(v, baseV)
+				copy(x, baseX)
+				for i, net := range unassigned {
+					v[net] = cand[i*nWords+wi]
+					x[net] = 0
+				}
+				legacyEvalNets3(c, v, x)
+				cyc := make([]float64, sim.PackedLanes)
+				legacyAccumLeak3(c, v, x, n, tabs3, cyc)
+				cycs[wi] = cyc
+				lanes[wi] = n
+				elapsed[wi] = time.Since(t0)
+			}
+		}()
+	}
+	for wi := 0; wi < nWords; wi++ {
+		next <- wi
+	}
+	close(next)
+	wg.Wait()
+
+	bestLeak := 0.0
+	bestTrial := 0
+	mcb := f.opts.Observe.OnMCBatch
+	for wi := 0; wi < nWords; wi++ {
+		cyc := cycs[wi]
+		for t := 0; t < lanes[wi]; t++ {
+			trial := wi*sim.PackedLanes + t
+			if trial == 0 || cyc[t] < bestLeak {
+				bestLeak = cyc[t]
+				bestTrial = trial
+			}
+		}
+		if mcb != nil {
+			mcb("fill", lanes[wi], elapsed[wi])
+		}
+	}
+	for i := range unassigned {
+		w := cand[i*nWords+bestTrial/sim.PackedLanes]
+		best[i] = logic.FromBool(w>>uint(bestTrial%sim.PackedLanes)&1 == 1)
+	}
+	return best
+}
+
+// wideFillFinder is fillBenchFinder for any profiling circuit and either
+// test or benchmark context.
+func wideFillFinder(t testing.TB, name string) (*finder, []netlist.NetID, *Options) {
+	p, ok := iscas.ByName(name)
+	if !ok {
+		t.Fatalf("no ISCAS profile %q", name)
+	}
+	c, err := iscas.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ProposedOptions()
+	muxable := make([]bool, c.NumFFs())
+	for i := range muxable {
+		muxable[i] = true
+	}
+	f := newFinder(c, &opts, muxable, nil, rand.New(rand.NewSource(1)))
+	f.imply()
+	var unassigned []netlist.NetID
+	for _, n := range c.CombInputs() {
+		if f.controlled[n] && f.assign[n] == logic.X {
+			unassigned = append(unassigned, n)
+		}
+	}
+	return f, unassigned, &opts
+}
+
+// TestBenchWideFillJSON times the minimum-leakage fill — preserved legacy
+// 64-lane baseline vs the compiled evaluator at 64 and 256 lanes — and
+// merges fill/<circuit> entries into the bench-wide report. `make
+// bench-wide` runs it; without WIDE_BENCH_OUT it is skipped.
+func TestBenchWideFillJSON(t *testing.T) {
+	out := os.Getenv("WIDE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set WIDE_BENCH_OUT to run the wide-kernel fill benchmark")
+	}
+	const rounds = 5
+	entries := map[string]benchjson.Entry{}
+	for _, name := range []string{"s1423", "s5378"} {
+		f, unassigned, opts := wideFillFinder(t, name)
+		trials := opts.FillTrials
+		reset := func(lanes int) {
+			f.rng = rand.New(rand.NewSource(1))
+			f.opts.Lanes = lanes
+			for _, n := range unassigned {
+				f.assign[n] = logic.X
+			}
+		}
+		run := func(lanes int) []logic.Value {
+			reset(lanes)
+			if lanes == 0 {
+				return legacyFillPacked(f, unassigned, trials)
+			}
+			return f.fillPacked(unassigned, trials)
+		}
+
+		legacyBest, new64, new256 := run(0), run(64), run(256)
+		if !reflect.DeepEqual(legacyBest, new64) {
+			t.Fatalf("%s: legacy vs new64 fill differs", name)
+		}
+		if !reflect.DeepEqual(legacyBest, new256) {
+			t.Fatalf("%s: legacy vs new256 fill differs", name)
+		}
+
+		legacyMS := benchjson.MinMS(rounds, func() { run(0) })
+		new64MS := benchjson.MinMS(rounds, func() { run(64) })
+		new256MS := benchjson.MinMS(rounds, func() { run(256) })
+		speedup := legacyMS / new256MS
+		t.Logf("%s: legacy64 %.2fms, new64 %.2fms, new256 %.2fms (%.2fx)",
+			name, legacyMS, new64MS, new256MS, speedup)
+		entries["fill/"+name] = benchjson.Entry{
+			Workload: "fillPacked, all pseudo-inputs don't-care, FillTrials trials, seed 1, best of 5",
+			ResultsMS: map[string]float64{
+				"legacy64": benchjson.Round2(legacyMS),
+				"new64":    benchjson.Round2(new64MS),
+				"new256":   benchjson.Round2(new256MS),
+			},
+			SpeedupVsLegacy64: benchjson.Round2(speedup),
+			Criterion:         "new256 >= 1.5x over the pre-refactor 64-lane kernel",
+			Met:               speedup >= 1.5,
+		}
+	}
+	if err := benchjson.Merge(out, entries); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged fill entries into %s", out)
+}

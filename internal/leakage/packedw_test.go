@@ -1,0 +1,144 @@
+package leakage
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// buildArities returns a frozen circuit with gate arities 1 through 4 so
+// every accumulator path (the mask-decomposed fast cases and the serial
+// fallback) is exercised.
+func buildArities(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("arities")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddPI("s")
+	c.AddFF("f0", "q0", "d0")
+	c.AddGate(logic.Not, "n1", "a")
+	c.AddGate(logic.Nand, "n2", "a", "b")
+	c.AddGate(logic.Nor, "n3", "n1", "n2", "q0")
+	c.AddGate(logic.Nand, "n4", "a", "b", "n1", "n3")
+	c.AddGate(logic.Mux2, "d0", "n3", "n4", "s")
+	c.MarkPO("d0")
+	c.MustFreeze()
+	return c
+}
+
+// TestAccumLeakPackedWMatchesScalar: at four words per net, every lane of
+// the wide two-valued accumulator must reproduce CircuitLeakBool for that
+// lane's per-net state — exactly, since both sum the same table entries
+// in the same gate order.
+func TestAccumLeakPackedWMatchesScalar(t *testing.T) {
+	c := buildArities(t)
+	m := Default()
+	tabs := m.CircuitTables(c)
+	rng := rand.New(rand.NewSource(21))
+	const ww = sim.WideWords
+	words := make([]uint64, c.NumNets()*ww)
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	for _, n := range []int{1, 63, 64, 100, 256} {
+		cyc := make([]float64, 256)
+		m.AccumLeakPackedW(c, words, ww, n, tabs, cyc)
+		state := make([]bool, c.NumNets())
+		for lane := 0; lane < n; lane++ {
+			for i := range state {
+				state[i] = words[i*ww+lane>>6]>>uint(lane&63)&1 == 1
+			}
+			want := m.CircuitLeakBool(c, state)
+			if cyc[lane] != want {
+				t.Fatalf("n=%d lane %d: packed %v, scalar %v", n, lane, cyc[lane], want)
+			}
+		}
+		for lane := n; lane < 256; lane++ {
+			if cyc[lane] != 0 {
+				t.Fatalf("n=%d: lane %d beyond batch accumulated %v", n, lane, cyc[lane])
+			}
+		}
+	}
+}
+
+// TestAccumLeak3PackedWMatchesScalar: each lane total of the wide
+// three-valued accumulator must equal CircuitLeak on the lane's unpacked
+// state, bit for bit, with lanes beyond the batch untouched.
+func TestAccumLeak3PackedWMatchesScalar(t *testing.T) {
+	c := buildArities(t)
+	m := Default()
+	tabs3 := m.CircuitTables3(c)
+	rng := rand.New(rand.NewSource(23))
+	const ww = sim.WideWords
+	nNets := c.NumNets()
+	v := make([]uint64, nNets*ww)
+	x := make([]uint64, nNets*ww)
+	lanes := make([][]logic.Value, 256)
+	for tl := range lanes {
+		lanes[tl] = make([]logic.Value, nNets)
+		for n := 0; n < nNets; n++ {
+			val := logic.Value(rng.Intn(3))
+			lanes[tl][n] = val
+			sim.PackValue(&v[n*ww+tl>>6], &x[n*ww+tl>>6], tl&63, val)
+		}
+	}
+	for _, n := range []int{1, 63, 64, 100, 256} {
+		cyc := make([]float64, 256)
+		m.AccumLeak3PackedW(c, v, x, ww, n, tabs3, cyc)
+		for tl := 0; tl < n; tl++ {
+			want := m.CircuitLeak(c, lanes[tl])
+			if cyc[tl] != want {
+				t.Fatalf("n=%d lane %d: packed %v, scalar %v", n, tl, cyc[tl], want)
+			}
+		}
+		for tl := n; tl < 256; tl++ {
+			if cyc[tl] != 0 {
+				t.Fatalf("n=%d: lane %d beyond batch accumulated %v", n, tl, cyc[tl])
+			}
+		}
+	}
+}
+
+// TestAccumLineLeakPackedW: the wide per-line conditional accumulator
+// must reproduce the scalar per-sample loop — same sums in the same
+// per-net ascending-lane addition order, lanes beyond the batch excluded.
+func TestAccumLineLeakPackedW(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	const (
+		nNets = 17
+		ww    = sim.WideWords
+	)
+	for _, n := range []int{1, 63, 64, 100, 256} {
+		words := make([]uint64, nNets*ww)
+		cyc := make([]float64, 256)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		for t := range cyc {
+			cyc[t] = rng.Float64() * 1000
+		}
+		sum1 := make([]float64, nNets)
+		cnt1 := make([]int, nNets)
+		AccumLineLeakPackedW(words, ww, n, cyc, sum1, cnt1)
+
+		wantSum := make([]float64, nNets)
+		wantCnt := make([]int, nNets)
+		for ni := 0; ni < nNets; ni++ {
+			for tl := 0; tl < n; tl++ {
+				if words[ni*ww+tl>>6]>>uint(tl&63)&1 == 1 {
+					wantSum[ni] += cyc[tl]
+					wantCnt[ni]++
+				}
+			}
+		}
+		for ni := 0; ni < nNets; ni++ {
+			if sum1[ni] != wantSum[ni] || cnt1[ni] != wantCnt[ni] {
+				t.Fatalf("n=%d net %d: packed (%v,%d), scalar (%v,%d)",
+					n, ni, sum1[ni], cnt1[ni], wantSum[ni], wantCnt[ni])
+			}
+		}
+	}
+}

@@ -113,52 +113,139 @@ func (m *Model) CircuitLeakTabs3(c *netlist.Circuit, state []logic.Value, tabs3 
 // totals are bit-identical to the serial evaluation of the same
 // three-valued state.
 func (m *Model) AccumLeak3Packed(c *netlist.Circuit, v, x []uint64, n int, tabs3 [][]float64, cyc []float64) {
-	for gi := range c.Gates {
-		g := &c.Gates[gi]
-		tab := tabs3[gi]
-		switch len(g.Inputs) {
-		case 1:
-			av := v[g.Inputs[0]]
-			ax := x[g.Inputs[0]]
-			for t := 0; t < n; t++ {
-				cyc[t] += tab[ax&1<<1|av&1]
-				av >>= 1
-				ax >>= 1
-			}
-		case 2:
-			av, ax := v[g.Inputs[0]], x[g.Inputs[0]]
-			bv, bx := v[g.Inputs[1]], x[g.Inputs[1]]
-			for t := 0; t < n; t++ {
-				cyc[t] += tab[(ax&1|bx&1<<1)<<2|av&1|bv&1<<1]
-				av >>= 1
-				ax >>= 1
-				bv >>= 1
-				bx >>= 1
-			}
-		case 3:
-			av, ax := v[g.Inputs[0]], x[g.Inputs[0]]
-			bv, bx := v[g.Inputs[1]], x[g.Inputs[1]]
-			dv, dx := v[g.Inputs[2]], x[g.Inputs[2]]
-			for t := 0; t < n; t++ {
-				cyc[t] += tab[(ax&1|bx&1<<1|dx&1<<2)<<3|av&1|bv&1<<1|dv&1<<2]
-				av >>= 1
-				ax >>= 1
-				bv >>= 1
-				bx >>= 1
-				dv >>= 1
-				dx >>= 1
-			}
-		default:
-			k := uint(len(g.Inputs))
-			for t := 0; t < n; t++ {
-				bits, xmask := 0, 0
-				for i, in := range g.Inputs {
-					bits |= int(v[in]>>uint(t)&1) << uint(i)
-					xmask |= int(x[in]>>uint(t)&1) << uint(i)
+	m.AccumLeak3PackedW(c, v, x, 1, n, tabs3, cyc)
+}
+
+// AccumLeak3PackedW is the lane-width-generic form of AccumLeak3Packed:
+// v and x hold ww words per net (the dual-rail layout of sim.Packed3 at
+// ww=1 and sim.Wide3 at ww=4), and cyc[t] receives lane t's X-averaged
+// leakage sum over all gates, for t < n.
+//
+// Like AccumLeakPackedW, the lanes are tiled eight at a time — one
+// 8-lane block of accumulators stays in registers across a full walk of
+// the gate list — and each gate's eight table indices
+// (xmask<<arity | bits) are formed in a single word by byte-spreading
+// the dual-rail words; the normalized encoding (v clear where x is set)
+// is exactly the "bits clear at X positions" convention of
+// CircuitTables3. Every lane still gets exactly one add per gate, in
+// ascending gate-index order, so per-lane totals remain bit-identical
+// to CircuitLeakTabs3 at any lane width.
+func (m *Model) AccumLeak3PackedW(c *netlist.Circuit, v, x []uint64, ww, n int, tabs3 [][]float64, cyc []float64) {
+	base := 0
+	for ; base+8 <= n; base += 8 {
+		k := base >> 6
+		sh := uint(base & 63)
+		cw := cyc[base : base+8 : base+8]
+		s0, s1, s2, s3 := cw[0], cw[1], cw[2], cw[3]
+		s4, s5, s6, s7 := cw[4], cw[5], cw[6], cw[7]
+		for gi := range c.Gates {
+			g := &c.Gates[gi]
+			tab := tabs3[gi]
+			var u uint64
+			switch len(g.Inputs) {
+			case 1:
+				ia := int(g.Inputs[0])*ww + k
+				u = spreadTab[byte(v[ia]>>sh)] | spreadTab[byte(x[ia]>>sh)]<<1
+				t4 := tab[0:4:4]
+				s0 += t4[u&3]
+				s1 += t4[u>>8&3]
+				s2 += t4[u>>16&3]
+				s3 += t4[u>>24&3]
+				s4 += t4[u>>32&3]
+				s5 += t4[u>>40&3]
+				s6 += t4[u>>48&3]
+				s7 += t4[u>>56&3]
+			case 2:
+				ia, ib := int(g.Inputs[0])*ww+k, int(g.Inputs[1])*ww+k
+				u = spreadTab[byte(v[ia]>>sh)] | spreadTab[byte(v[ib]>>sh)]<<1 |
+					spreadTab[byte(x[ia]>>sh)]<<2 | spreadTab[byte(x[ib]>>sh)]<<3
+				t16 := tab[0:16:16]
+				s0 += t16[u&15]
+				s1 += t16[u>>8&15]
+				s2 += t16[u>>16&15]
+				s3 += t16[u>>24&15]
+				s4 += t16[u>>32&15]
+				s5 += t16[u>>40&15]
+				s6 += t16[u>>48&15]
+				s7 += t16[u>>56&15]
+			case 3:
+				ia, ib, id := int(g.Inputs[0])*ww+k, int(g.Inputs[1])*ww+k, int(g.Inputs[2])*ww+k
+				u = spreadTab[byte(v[ia]>>sh)] | spreadTab[byte(v[ib]>>sh)]<<1 | spreadTab[byte(v[id]>>sh)]<<2 |
+					spreadTab[byte(x[ia]>>sh)]<<3 | spreadTab[byte(x[ib]>>sh)]<<4 | spreadTab[byte(x[id]>>sh)]<<5
+				t64 := tab[0:64:64]
+				s0 += t64[u&63]
+				s1 += t64[u>>8&63]
+				s2 += t64[u>>16&63]
+				s3 += t64[u>>24&63]
+				s4 += t64[u>>32&63]
+				s5 += t64[u>>40&63]
+				s6 += t64[u>>48&63]
+				s7 += t64[u>>56&63]
+			case 4:
+				ia, ib := int(g.Inputs[0])*ww+k, int(g.Inputs[1])*ww+k
+				id, ie := int(g.Inputs[2])*ww+k, int(g.Inputs[3])*ww+k
+				u = spreadTab[byte(v[ia]>>sh)] | spreadTab[byte(v[ib]>>sh)]<<1 |
+					spreadTab[byte(v[id]>>sh)]<<2 | spreadTab[byte(v[ie]>>sh)]<<3 |
+					spreadTab[byte(x[ia]>>sh)]<<4 | spreadTab[byte(x[ib]>>sh)]<<5 |
+					spreadTab[byte(x[id]>>sh)]<<6 | spreadTab[byte(x[ie]>>sh)]<<7
+				t256 := tab[0:256:256]
+				s0 += t256[u&255]
+				s1 += t256[u>>8&255]
+				s2 += t256[u>>16&255]
+				s3 += t256[u>>24&255]
+				s4 += t256[u>>32&255]
+				s5 += t256[u>>40&255]
+				s6 += t256[u>>48&255]
+				s7 += t256[u>>56&255]
+			default:
+				// Wider gates are rare; extract their lanes serially.
+				ar := uint(len(g.Inputs))
+				for t := uint(0); t < 8; t++ {
+					bits, xmask := 0, 0
+					for i, in := range g.Inputs {
+						bits |= int(v[int(in)*ww+k]>>(sh+t)&1) << uint(i)
+						xmask |= int(x[int(in)*ww+k]>>(sh+t)&1) << uint(i)
+					}
+					val := tab[xmask<<ar|bits]
+					switch t {
+					case 0:
+						s0 += val
+					case 1:
+						s1 += val
+					case 2:
+						s2 += val
+					case 3:
+						s3 += val
+					case 4:
+						s4 += val
+					case 5:
+						s5 += val
+					case 6:
+						s6 += val
+					case 7:
+						s7 += val
+					}
 				}
-				cyc[t] += tab[xmask<<k|bits]
 			}
 		}
+		cw[0], cw[1], cw[2], cw[3] = s0, s1, s2, s3
+		cw[4], cw[5], cw[6], cw[7] = s4, s5, s6, s7
+	}
+	// Tail lanes of a batch not a multiple of 8, one lane at a time.
+	for ; base < n; base++ {
+		wk, bit := base>>6, uint(base&63)
+		s := cyc[base]
+		for gi := range c.Gates {
+			g := &c.Gates[gi]
+			ar := uint(len(g.Inputs))
+			bits, xmask := 0, 0
+			for i, in := range g.Inputs {
+				bits |= int(v[int(in)*ww+wk]>>bit&1) << uint(i)
+				xmask |= int(x[int(in)*ww+wk]>>bit&1) << uint(i)
+			}
+			s += tabs3[gi][xmask<<ar|bits]
+		}
+		cyc[base] = s
 	}
 }
 
@@ -173,20 +260,33 @@ func (m *Model) AccumLeak3Packed(c *netlist.Circuit, v, x []uint64, n int, tabs3
 // estimator adds samples — so sum1 stays bit-identical to the serial
 // Monte-Carlo accumulation when callers feed batches in sample order.
 func AccumLineLeakPacked(words []uint64, n int, cyc []float64, sum1 []float64, cnt1 []int) {
-	valid := ^uint64(0)
-	if n < 64 {
-		valid = 1<<uint(n) - 1
-	}
-	for ni := range words {
-		w := words[ni] & valid
-		if w == 0 {
-			continue
-		}
+	AccumLineLeakPackedW(words, 1, n, cyc, sum1, cnt1)
+}
+
+// AccumLineLeakPackedW is the lane-width-generic form of
+// AccumLineLeakPacked: words holds ww words per net (len(words)/ww nets),
+// lane t of net n at bit t&63 of words[int(n)*ww+t>>6], and lanes up to n
+// are folded per net in ascending lane order (ascending word, then
+// ascending bit) — the order the scalar estimator adds samples.
+func AccumLineLeakPackedW(words []uint64, ww, n int, cyc []float64, sum1 []float64, cnt1 []int) {
+	nets := len(words) / ww
+	for ni := 0; ni < nets; ni++ {
 		s := sum1[ni]
-		for m := w; m != 0; m &= m - 1 {
-			s += cyc[bits.TrailingZeros64(m)]
+		cnt := 0
+		for k, base := 0, 0; base < n; k, base = k+1, base+64 {
+			w := words[ni*ww+k] & validMask(n-base)
+			if w == 0 {
+				continue
+			}
+			cw := cyc[base:]
+			for m := w; m != 0; m &= m - 1 {
+				s += cw[bits.TrailingZeros64(m)]
+			}
+			cnt += bits.OnesCount64(w)
 		}
-		sum1[ni] = s
-		cnt1[ni] += bits.OnesCount64(w)
+		if cnt != 0 {
+			sum1[ni] = s
+			cnt1[ni] += cnt
+		}
 	}
 }

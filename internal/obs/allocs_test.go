@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/leakage"
+)
+
+// TestEstimatePackedAllocsFlat guards the scratch reuse of the packed
+// estimator: once the pool is warm, the number of allocations per call
+// must not grow with the sample count — batches run entirely in pooled
+// buffers. A regression that allocates per batch (or per window) shows up
+// as the large run allocating far more than the small one.
+func TestEstimatePackedAllocsFlat(t *testing.T) {
+	c := testCircuit(t)
+	lm := leakage.Default()
+	rng := rand.New(rand.NewSource(17))
+	run := func(samples int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			if _, err := EstimatePacked(context.Background(), c, lm, samples, rng,
+				PackedOpts{Workers: 1}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	run(64) // warm the scratch pool
+	small := run(256)
+	large := run(4096)
+	// Slack absorbs an occasional mid-measurement GC clearing the pool;
+	// per-batch allocations would exceed it by an order of magnitude.
+	if large > small+16 {
+		t.Errorf("allocs grew with samples: %v at 256, %v at 4096", small, large)
+	}
+}

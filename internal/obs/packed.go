@@ -16,8 +16,12 @@ import (
 type PackedOpts struct {
 	// Workers bounds the evaluation pool; values < 1 mean GOMAXPROCS.
 	Workers int
+	// Lanes is the batch width: how many random vectors are evaluated per
+	// packed pass (see sim.LaneWidths; 0 means the default,
+	// sim.WideLanes). Estimates are bit-identical across widths.
+	Lanes int
 	// OnSamples, when non-nil, receives the number of vectors folded into
-	// the estimate since its previous call — once per 64-lane batch, from
+	// the estimate since its previous call — once per packed batch, from
 	// the reducing goroutine, so it need not be safe for concurrent use.
 	OnSamples func(n int)
 	// OnBatch, when non-nil, fires once per packed batch with its lane
@@ -26,25 +30,85 @@ type PackedOpts struct {
 	OnBatch func(lanes int, elapsed time.Duration)
 }
 
-// EstimatePacked is EstimateObserved on the 64-way bit-parallel simulator:
-// 64 random vectors pack into one lane word per net, the combinational
-// core evaluates once per batch, per-lane leakage comes from
-// leakage.AccumLeakPacked, and the per-line conditional accumulators fold
-// through leakage.AccumLineLeakPacked. Batches are sharded across a
-// worker pool.
+// estSlot is one in-flight batch: inputs drawn serially on the main
+// goroutine, evaluated by a worker, folded in order by the reducer.
+type estSlot struct {
+	pi, ppi []uint64  // packed input lane groups (ww words per input)
+	n       int       // lanes carried (== the lane width except the tail)
+	words   []uint64  // per-net lane groups after evaluation
+	cyc     []float64 // per-lane circuit leakage
+	elapsed time.Duration
+}
+
+// estScratch is the reusable state of EstimatePacked for one (circuit,
+// lane width) pair: the compiled program, per-worker simulators, and the
+// batch slots. A finished run returns its scratch to estPool so repeated
+// estimates on the same circuit allocate nothing batch-sized.
+type estScratch struct {
+	c     *netlist.Circuit
+	ww    int
+	prog  *sim.Program
+	slots []*estSlot
+	evals []func(pi, ppi []uint64) []uint64
+}
+
+var estPool sync.Pool
+
+// getEstScratch fetches pooled scratch compatible with (c, ww) or builds
+// a fresh one. An incompatible pooled entry is simply dropped.
+func getEstScratch(c *netlist.Circuit, ww int) *estScratch {
+	if s, _ := estPool.Get().(*estScratch); s != nil && s.c == c && s.ww == ww {
+		return s
+	}
+	return &estScratch{c: c, ww: ww, prog: sim.Compile(c)}
+}
+
+// ensure grows the scratch to hold window slots and workers evaluators.
+func (s *estScratch) ensure(window, workers, lanes int) {
+	c, ww := s.c, s.ww
+	for len(s.slots) < window {
+		s.slots = append(s.slots, &estSlot{
+			pi:    make([]uint64, len(c.PIs)*ww),
+			ppi:   make([]uint64, c.NumFFs()*ww),
+			words: make([]uint64, c.NumNets()*ww),
+			cyc:   make([]float64, lanes),
+		})
+	}
+	for len(s.evals) < workers {
+		if ww == 1 {
+			s.evals = append(s.evals, sim.NewPackedProgram(s.prog).Eval)
+		} else {
+			s.evals = append(s.evals, sim.NewWideProgram(s.prog).Eval)
+		}
+	}
+}
+
+// EstimatePacked is EstimateObserved on the bit-parallel simulator:
+// opts.Lanes random vectors (default sim.WideLanes = 256) pack into lane
+// words per net, the compiled combinational core evaluates once per
+// batch, per-lane leakage comes from leakage.AccumLeakPackedW, and the
+// per-line conditional accumulators fold through
+// leakage.AccumLineLeakPackedW. Batches are sharded across a worker pool.
 //
 // The result is bit-identical to the scalar kernel for the same rng, not
-// merely statistically equivalent — and therefore seed-stable: the random
-// stream is drawn in the exact serial sample order before packing (so the
-// rng ends in the same state the scalar kernel leaves it in), each lane's
-// leakage is summed in the scalar gate order, and the reducer folds
-// batches in ascending sample order on a single goroutine. Workers only
-// ever evaluate; they never touch the global accumulators.
+// merely statistically equivalent — and therefore seed-stable at every
+// lane width: the random stream is drawn in the exact serial sample order
+// while packing (so the rng ends in the same state the scalar kernel
+// leaves it in), each lane's leakage is summed in the scalar gate order,
+// and the reducer folds batches in ascending sample order on a single
+// goroutine. Workers only ever evaluate; they never touch the global
+// accumulators.
 //
 // ctx is checked before every batch is drawn and before every fold, so a
 // job deadline aborts the estimate promptly with ctx's error.
 func EstimatePacked(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, samples int,
 	rng *rand.Rand, opts PackedOpts) (*Observability, error) {
+
+	lanes, err := sim.ResolveLanes(opts.Lanes)
+	if err != nil {
+		return nil, err
+	}
+	ww := lanes / 64
 
 	if samples <= 0 {
 		samples = 128
@@ -54,7 +118,7 @@ func EstimatePacked(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, 
 	cnt1 := make([]int, nNets)
 	sumAll := 0.0
 
-	nBatches := (samples + sim.PackedLanes - 1) / sim.PackedLanes
+	nBatches := (samples + lanes - 1) / lanes
 	workers := opts.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -67,15 +131,6 @@ func EstimatePacked(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, 
 	// the workers share them read-only.
 	leakTabs := lm.CircuitTables(c)
 
-	// slot is one in-flight batch: inputs drawn serially on the main
-	// goroutine, evaluated by a worker, folded in order by the reducer.
-	type slot struct {
-		pi, ppi []uint64  // packed input lanes
-		n       int       // lanes carried (== PackedLanes except the tail)
-		words   []uint64  // per-net lane words after evaluation
-		cyc     []float64 // per-lane circuit leakage
-		elapsed time.Duration
-	}
 	// A bounded window of reusable slots keeps memory flat however many
 	// samples are requested: draw a window serially, evaluate it in
 	// parallel, fold it in order, repeat.
@@ -83,22 +138,45 @@ func EstimatePacked(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, 
 	if window > nBatches {
 		window = nBatches
 	}
-	slots := make([]*slot, window)
-	for i := range slots {
-		slots[i] = &slot{
-			pi:    make([]uint64, len(c.PIs)),
-			ppi:   make([]uint64, c.NumFFs()),
-			words: make([]uint64, nNets),
-			cyc:   make([]float64, sim.PackedLanes),
+	scratch := getEstScratch(c, ww)
+	scratch.ensure(window, workers, lanes)
+	defer estPool.Put(scratch)
+	slots := scratch.slots
+
+	// evalSlot runs one batch on evaluator w: compiled-program pass plus
+	// per-lane leakage accumulation.
+	evalSlot := func(w int, s *estSlot) {
+		t0 := time.Now()
+		words := scratch.evals[w](s.pi, s.ppi)
+		copy(s.words, words)
+		for t := 0; t < s.n; t++ {
+			s.cyc[t] = 0
 		}
-	}
-	sims := make([]*sim.Packed, workers)
-	for i := range sims {
-		sims[i] = sim.NewPacked(c)
+		lm.AccumLeakPackedW(c, s.words, ww, s.n, leakTabs, s.cyc)
+		s.elapsed = time.Since(t0)
 	}
 
-	pi := make([]bool, len(c.PIs))
-	ppi := make([]bool, c.NumFFs())
+	// The worker pool is spawned once for the whole run; each window
+	// dispatches its live slots and waits. With a single worker the
+	// batches run inline on this goroutine instead.
+	var (
+		wg   sync.WaitGroup
+		next chan int
+	)
+	if workers > 1 {
+		next = make(chan int)
+		defer close(next)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				for bi := range next {
+					evalSlot(w, slots[bi])
+					wg.Done()
+				}
+			}(w)
+		}
+	}
+
+	nPI, nFF := len(c.PIs), c.NumFFs()
 	drawn := 0 // samples drawn so far
 	for start := 0; start < nBatches; start += window {
 		end := start + window
@@ -109,7 +187,7 @@ func EstimatePacked(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, 
 
 		// Draw this window's random stream in the exact serial order the
 		// scalar kernel consumes it: per sample, PI vector then PPI
-		// vector, packed as lane (sample mod 64) of its batch.
+		// vector, packed as lane (sample mod lanes) of its batch.
 		for bi := 0; bi < live; bi++ {
 			s := slots[bi]
 			for i := range s.pi {
@@ -119,23 +197,17 @@ func EstimatePacked(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, 
 				s.ppi[i] = 0
 			}
 			n := samples - drawn
-			if n > sim.PackedLanes {
-				n = sim.PackedLanes
+			if n > lanes {
+				n = lanes
 			}
 			s.n = n
 			for t := 0; t < n; t++ {
-				sim.RandomVector(rng, pi)
-				sim.RandomVector(rng, ppi)
-				bit := uint64(1) << uint(t)
-				for i, v := range pi {
-					if v {
-						s.pi[i] |= bit
-					}
+				wk, bit := t>>6, uint(t&63)
+				for i := 0; i < nPI; i++ {
+					s.pi[i*ww+wk] |= coin(rng) << bit
 				}
-				for i, v := range ppi {
-					if v {
-						s.ppi[i] |= bit
-					}
+				for i := 0; i < nFF; i++ {
+					s.ppi[i*ww+wk] |= coin(rng) << bit
 				}
 			}
 			drawn += n
@@ -144,31 +216,19 @@ func EstimatePacked(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, 
 			return nil, err
 		}
 
-		// Evaluate the window's batches across the pool.
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(ps *sim.Packed) {
-				defer wg.Done()
-				for bi := range next {
-					s := slots[bi]
-					t0 := time.Now()
-					words := ps.Eval(s.pi, s.ppi)
-					copy(s.words, words)
-					for t := 0; t < s.n; t++ {
-						s.cyc[t] = 0
-					}
-					lm.AccumLeakPacked(c, s.words, s.n, leakTabs, s.cyc)
-					s.elapsed = time.Since(t0)
-				}
-			}(sims[w])
+		// Evaluate the window's batches across the pool. Worker 0 is this
+		// goroutine.
+		if workers == 1 {
+			for bi := 0; bi < live; bi++ {
+				evalSlot(0, slots[bi])
+			}
+		} else {
+			wg.Add(live)
+			for bi := 0; bi < live; bi++ {
+				next <- bi
+			}
+			wg.Wait()
 		}
-		for bi := 0; bi < live; bi++ {
-			next <- bi
-		}
-		close(next)
-		wg.Wait()
 
 		// Fold in ascending batch order — the scalar sample order.
 		for bi := 0; bi < live; bi++ {
@@ -179,7 +239,7 @@ func EstimatePacked(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, 
 			for t := 0; t < s.n; t++ {
 				sumAll += s.cyc[t]
 			}
-			leakage.AccumLineLeakPacked(s.words, s.n, s.cyc, sum1, cnt1)
+			leakage.AccumLineLeakPackedW(s.words, ww, s.n, s.cyc, sum1, cnt1)
 			if opts.OnSamples != nil {
 				opts.OnSamples(s.n)
 			}
@@ -189,4 +249,13 @@ func EstimatePacked(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, 
 		}
 	}
 	return finish(nNets, samples, sumAll, sum1, cnt1), nil
+}
+
+// coin draws one fair bit from rng with the same consumption as
+// sim.RandomVector (one Intn(2) per value), returning it as a 0/1 word.
+func coin(rng *rand.Rand) uint64 {
+	if rng.Intn(2) == 1 {
+		return 1
+	}
+	return 0
 }

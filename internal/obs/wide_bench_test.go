@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"context"
+	"math/bits"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/benchjson"
+	"repro/internal/iscas"
+	"repro/internal/leakage"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// This file preserves the pre-refactor 64-lane observability estimator as
+// the baseline for `make bench-wide`: per-worker topo-walk simulators
+// (the old sim.Packed), per-lane shift extraction for leakage (the old
+// leakage.AccumLeakPacked), single-width line accumulators, and a worker
+// pool respawned per window. The shipping kernel runs the compiled
+// program at 256 lanes with pooled scratch; the report quantifies the
+// difference.
+
+// legacyObsSim is the pre-refactor sim.Packed bound to one worker.
+type legacyObsSim struct {
+	c     *netlist.Circuit
+	words []uint64
+}
+
+func newLegacyObsSim(c *netlist.Circuit) *legacyObsSim {
+	return &legacyObsSim{c: c, words: make([]uint64, c.NumNets())}
+}
+
+func (p *legacyObsSim) Eval(pi, ppi []uint64) []uint64 {
+	c := p.c
+	v := p.words
+	for i, n := range c.PIs {
+		v[n] = pi[i]
+	}
+	for i, ff := range c.FFs {
+		v[ff.Q] = ppi[i]
+	}
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		ins := g.Inputs
+		var w uint64
+		switch g.Type {
+		case logic.Buf:
+			w = v[ins[0]]
+		case logic.Not:
+			w = ^v[ins[0]]
+		case logic.And, logic.Nand:
+			w = v[ins[0]]
+			for _, in := range ins[1:] {
+				w &= v[in]
+			}
+			if g.Type == logic.Nand {
+				w = ^w
+			}
+		case logic.Or, logic.Nor:
+			w = v[ins[0]]
+			for _, in := range ins[1:] {
+				w |= v[in]
+			}
+			if g.Type == logic.Nor {
+				w = ^w
+			}
+		case logic.Xor, logic.Xnor:
+			w = v[ins[0]]
+			for _, in := range ins[1:] {
+				w ^= v[in]
+			}
+			if g.Type == logic.Xnor {
+				w = ^w
+			}
+		case logic.Mux2:
+			sel := v[ins[2]]
+			w = (v[ins[0]] &^ sel) | (v[ins[1]] & sel)
+		default:
+			panic("legacy obs Eval on unknown gate type " + g.Type.String())
+		}
+		v[g.Output] = w
+	}
+	return v
+}
+
+// legacyObsAccumLeak is the pre-refactor leakage.AccumLeakPacked.
+func legacyObsAccumLeak(c *netlist.Circuit, words []uint64, n int, tabs [][]float64, cyc []float64) {
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		tab := tabs[gi]
+		switch len(g.Inputs) {
+		case 1:
+			a := words[g.Inputs[0]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[a&1]
+				a >>= 1
+			}
+		case 2:
+			a := words[g.Inputs[0]]
+			b := words[g.Inputs[1]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[(a&1)|(b&1)<<1]
+				a >>= 1
+				b >>= 1
+			}
+		case 3:
+			a := words[g.Inputs[0]]
+			b := words[g.Inputs[1]]
+			d := words[g.Inputs[2]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[(a&1)|(b&1)<<1|(d&1)<<2]
+				a >>= 1
+				b >>= 1
+				d >>= 1
+			}
+		default:
+			for t := 0; t < n; t++ {
+				idx := 0
+				for i, in := range g.Inputs {
+					idx |= int(words[in]>>uint(t)&1) << i
+				}
+				cyc[t] += tab[idx]
+			}
+		}
+	}
+}
+
+// legacyAccumLineLeak is the pre-refactor leakage.AccumLineLeakPacked.
+func legacyAccumLineLeak(words []uint64, n int, cyc []float64, sum1 []float64, cnt1 []int) {
+	valid := ^uint64(0)
+	if n < 64 {
+		valid = 1<<uint(n) - 1
+	}
+	for ni := range words {
+		w := words[ni] & valid
+		if w == 0 {
+			continue
+		}
+		s := sum1[ni]
+		for m := w; m != 0; m &= m - 1 {
+			s += cyc[bits.TrailingZeros64(m)]
+		}
+		sum1[ni] = s
+		cnt1[ni] += bits.OnesCount64(w)
+	}
+}
+
+// legacyEstimatePacked is the pre-refactor EstimatePacked, verbatim
+// except for using the preserved local evaluator and accumulators: fixed
+// 64-lane batches, fresh slots and simulators every call, and a worker
+// pool spawned per window.
+func legacyEstimatePacked(ctx context.Context, c *netlist.Circuit, lm *leakage.Model, samples int,
+	rng *rand.Rand, opts PackedOpts) (*Observability, error) {
+
+	if samples <= 0 {
+		samples = 128
+	}
+	nNets := c.NumNets()
+	sum1 := make([]float64, nNets)
+	cnt1 := make([]int, nNets)
+	sumAll := 0.0
+
+	nBatches := (samples + sim.PackedLanes - 1) / sim.PackedLanes
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nBatches {
+		workers = nBatches
+	}
+
+	leakTabs := lm.CircuitTables(c)
+
+	type slot struct {
+		pi, ppi []uint64
+		n       int
+		words   []uint64
+		cyc     []float64
+		elapsed time.Duration
+	}
+	window := workers * 4
+	if window > nBatches {
+		window = nBatches
+	}
+	slots := make([]*slot, window)
+	for i := range slots {
+		slots[i] = &slot{
+			pi:    make([]uint64, len(c.PIs)),
+			ppi:   make([]uint64, c.NumFFs()),
+			words: make([]uint64, nNets),
+			cyc:   make([]float64, sim.PackedLanes),
+		}
+	}
+	sims := make([]*legacyObsSim, workers)
+	for i := range sims {
+		sims[i] = newLegacyObsSim(c)
+	}
+
+	pi := make([]bool, len(c.PIs))
+	ppi := make([]bool, c.NumFFs())
+	drawn := 0
+	for start := 0; start < nBatches; start += window {
+		end := start + window
+		if end > nBatches {
+			end = nBatches
+		}
+		live := end - start
+
+		for bi := 0; bi < live; bi++ {
+			s := slots[bi]
+			for i := range s.pi {
+				s.pi[i] = 0
+			}
+			for i := range s.ppi {
+				s.ppi[i] = 0
+			}
+			n := samples - drawn
+			if n > sim.PackedLanes {
+				n = sim.PackedLanes
+			}
+			s.n = n
+			for t := 0; t < n; t++ {
+				sim.RandomVector(rng, pi)
+				sim.RandomVector(rng, ppi)
+				bit := uint64(1) << uint(t)
+				for i, v := range pi {
+					if v {
+						s.pi[i] |= bit
+					}
+				}
+				for i, v := range ppi {
+					if v {
+						s.ppi[i] |= bit
+					}
+				}
+			}
+			drawn += n
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(ps *legacyObsSim) {
+				defer wg.Done()
+				for bi := range next {
+					s := slots[bi]
+					t0 := time.Now()
+					words := ps.Eval(s.pi, s.ppi)
+					copy(s.words, words)
+					for t := 0; t < s.n; t++ {
+						s.cyc[t] = 0
+					}
+					legacyObsAccumLeak(c, s.words, s.n, leakTabs, s.cyc)
+					s.elapsed = time.Since(t0)
+				}
+			}(sims[w])
+		}
+		for bi := 0; bi < live; bi++ {
+			next <- bi
+		}
+		close(next)
+		wg.Wait()
+
+		for bi := 0; bi < live; bi++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			s := slots[bi]
+			for t := 0; t < s.n; t++ {
+				sumAll += s.cyc[t]
+			}
+			legacyAccumLineLeak(s.words, s.n, s.cyc, sum1, cnt1)
+			if opts.OnSamples != nil {
+				opts.OnSamples(s.n)
+			}
+			if opts.OnBatch != nil {
+				opts.OnBatch(s.n, s.elapsed)
+			}
+		}
+	}
+	return finish(nNets, samples, sumAll, sum1, cnt1), nil
+}
+
+// TestBenchWideObsJSON times the observability estimator — preserved
+// legacy 64-lane baseline vs the compiled evaluator at 64 and 256 lanes —
+// and merges obs/<circuit> entries into the bench-wide report. `make
+// bench-wide` runs it; without WIDE_BENCH_OUT it is skipped.
+func TestBenchWideObsJSON(t *testing.T) {
+	out := os.Getenv("WIDE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set WIDE_BENCH_OUT to run the wide-kernel obs benchmark")
+	}
+	const samples = 4096
+	const rounds = 5
+	ctx := context.Background()
+	entries := map[string]benchjson.Entry{}
+	for _, name := range []string{"s1423", "s5378"} {
+		p, ok := iscas.ByName(name)
+		if !ok {
+			t.Fatalf("no ISCAS profile %q", name)
+		}
+		c, err := iscas.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lm := leakage.Default()
+
+		run := func(lanes int) *Observability {
+			var ob *Observability
+			var err error
+			rng := rand.New(rand.NewSource(1))
+			if lanes == 0 {
+				ob, err = legacyEstimatePacked(ctx, c, lm, samples, rng, PackedOpts{})
+			} else {
+				ob, err = EstimatePacked(ctx, c, lm, samples, rng, PackedOpts{Lanes: lanes})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ob
+		}
+
+		legacyOb, new64, new256 := run(0), run(64), run(256)
+		if !reflect.DeepEqual(legacyOb, new64) {
+			t.Fatalf("%s: legacy vs new64 estimate differs", name)
+		}
+		if !reflect.DeepEqual(legacyOb, new256) {
+			t.Fatalf("%s: legacy vs new256 estimate differs", name)
+		}
+
+		legacyMS := benchjson.MinMS(rounds, func() { run(0) })
+		new64MS := benchjson.MinMS(rounds, func() { run(64) })
+		new256MS := benchjson.MinMS(rounds, func() { run(256) })
+		speedup := legacyMS / new256MS
+		t.Logf("%s: legacy64 %.2fms, new64 %.2fms, new256 %.2fms (%.2fx)",
+			name, legacyMS, new64MS, new256MS, speedup)
+		entries["obs/"+name] = benchjson.Entry{
+			Workload: "EstimatePacked, 4096 samples, seed 1, best of 5",
+			ResultsMS: map[string]float64{
+				"legacy64": benchjson.Round2(legacyMS),
+				"new64":    benchjson.Round2(new64MS),
+				"new256":   benchjson.Round2(new256MS),
+			},
+			SpeedupVsLegacy64: benchjson.Round2(speedup),
+			Criterion:         "new256 >= 1.5x over the pre-refactor 64-lane kernel",
+			Met:               speedup >= 1.5,
+		}
+	}
+	if err := benchjson.Merge(out, entries); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged obs entries into %s", out)
+}

@@ -9,19 +9,21 @@ import (
 	"repro/internal/sim"
 )
 
-// MeasureScanPacked is MeasureScan on the 64-way bit-parallel simulator:
-// it packs 64 consecutive scan-stream cycles into one uint64 lane word
-// per net, evaluates the combinational core once per batch with word-wide
-// boolean operations, counts toggled capacitance from the popcount of
-// prev^cur per net, and resolves every gate's leakage state per lane from
-// the packed input words.
+// MeasureScanPacked is MeasureScan on the bit-parallel simulator: it
+// packs consecutive scan-stream cycles into lane words — 64 per uint64,
+// opts.Lanes cycles per batch (default sim.WideLanes = 256) — evaluates
+// the combinational core once per batch with word-wide boolean operations
+// over the compiled levelized program, counts toggled capacitance from
+// the popcount of prev^cur per net, and resolves every gate's leakage
+// state per lane from the packed words.
 //
-// Results are bit-identical to MeasureScan — not merely close: the
-// per-cycle accumulation orders of the serial kernel (net order within a
-// cycle for switched capacitance, gate order within a cycle for leakage,
-// cycle order across the run) are reproduced exactly, so every float in
-// the Report matches to the last ulp. The equivalence is enforced by unit
-// and fuzz tests, like the existing MeasureScanFast guarantee.
+// Results are bit-identical to MeasureScan — not merely close, and at
+// every supported lane width: the per-cycle accumulation orders of the
+// serial kernel (net order within a cycle for switched capacitance, gate
+// order within a cycle for leakage, cycle order across the run) are
+// reproduced exactly, so every float in the Report matches to the last
+// ulp. The equivalence is enforced by unit and fuzz tests, like the
+// existing MeasureScanFast guarantee.
 func MeasureScanPacked(ch scan.Runner, patterns []scan.Pattern, cfg scan.ShiftConfig,
 	lm *leakage.Model, cm CapModel) (Report, error) {
 	return MeasureScanPackedOpts(ch, patterns, cfg, lm, cm, MeasureOptions{})
@@ -31,16 +33,41 @@ func MeasureScanPacked(ch scan.Runner, patterns []scan.Pattern, cfg scan.ShiftCo
 func MeasureScanPackedOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.ShiftConfig,
 	lm *leakage.Model, cm CapModel, opts MeasureOptions) (Report, error) {
 
+	lanes, err := sim.ResolveLanes(opts.Lanes)
+	if err != nil {
+		return Report{}, err
+	}
+	ww := lanes / 64
+
 	c := ch.Circuit()
-	ps := sim.NewPacked(c)
-	scratch := sim.New(c)
+	prog := sim.Compile(c)
 	loads := cm.NetLoads(c)
 	leakTabs := lm.CircuitTables(c)
 	nNets := c.NumNets()
 
+	// eval runs the shared compiled program at the chosen width over the
+	// flat input layout (ww words per PI/FF) and returns the flat per-net
+	// lane words (ww words per net).
+	var eval func(piW, ppiW []uint64) []uint64
+	if ww == 1 {
+		ps := sim.NewPackedProgram(prog)
+		eval = ps.Eval
+	} else {
+		wide := sim.NewWideProgram(prog)
+		eval = wide.Eval
+	}
+
+	// The capture responses run the same compiled program one lane at a
+	// time (lane 0 of a private packed instance): bit 0 of every output
+	// word is exactly the scalar evaluation of the same inputs, so this
+	// changes nothing but the cost of the throwaway capture simulation.
+	capSim := sim.NewPackedProgram(prog)
+	capPI := make([]uint64, len(c.PIs))
+	capPPI := make([]uint64, c.NumFFs())
+
 	var (
-		piW  = make([]uint64, len(c.PIs))
-		ppiW = make([]uint64, c.NumFFs())
+		piW  = make([]uint64, len(c.PIs)*ww)
+		ppiW = make([]uint64, c.NumFFs()*ww)
 		lane int // cycles packed into the current batch
 
 		// prevBit[n] is net n's value on the last cycle of the previous
@@ -48,8 +75,8 @@ func MeasureScanPackedOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.Shi
 		prevBit = make([]uint64, nNets)
 		primed  bool // true once the first observed cycle has been consumed
 
-		cycDelta = make([]float64, sim.PackedLanes)
-		cycLeak  = make([]float64, sim.PackedLanes)
+		cycDelta = make([]float64, lanes)
+		cycLeak  = make([]float64, lanes)
 
 		dynTotal, peak float64
 		rawToggles     int64
@@ -68,37 +95,43 @@ func MeasureScanPackedOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.Shi
 			return
 		}
 		start := time.Now()
-		words := ps.Eval(piW, ppiW)
+		words := eval(piW, ppiW)
 
 		for t := 0; t < n; t++ {
 			cycLeak[t] = 0
 			cycDelta[t] = 0
 		}
-		lm.AccumLeakPacked(c, words, n, leakTabs, cycLeak)
+		lm.AccumLeakPackedW(c, words, ww, n, leakTabs, cycLeak)
 
-		valid := ^uint64(0)
-		if n < 64 {
-			valid = 1<<uint(n) - 1
-		}
+		kLast := (n - 1) >> 6
+		lastShift := uint((n - 1) & 63)
 		for ni := 0; ni < nNets; ni++ {
-			w := words[ni] & valid
-			// Toggle word: bit t set iff the net differs between cycle t
-			// and cycle t-1 (bit 0 compares against the previous batch's
-			// last cycle).
-			tw := (w ^ (w<<1 | prevBit[ni])) & valid
-			if !primed {
-				tw &^= 1 // the first cycle ever is the priming observation
-			}
-			prevBit[ni] = w >> uint(n-1)
-			if tw == 0 {
-				continue
-			}
-			rawToggles += int64(bits.OnesCount64(tw))
 			load := loads[ni]
-			for tw != 0 {
-				cycDelta[bits.TrailingZeros64(tw)] += load
-				tw &= tw - 1
+			carry := prevBit[ni]
+			for k, base := 0, 0; base < n; k, base = k+1, base+64 {
+				valid := ^uint64(0)
+				if rem := n - base; rem < 64 {
+					valid = 1<<uint(rem) - 1
+				}
+				w := words[ni*ww+k] & valid
+				// Toggle word: bit t set iff the net differs between
+				// lane t and lane t-1 (bit 0 compares against the
+				// previous word's top lane, or across batches for k=0).
+				tw := (w ^ (w<<1 | carry)) & valid
+				if k == 0 && !primed {
+					tw &^= 1 // the first cycle ever is the priming observation
+				}
+				carry = w >> 63
+				if tw == 0 {
+					continue
+				}
+				rawToggles += int64(bits.OnesCount64(tw))
+				cw := cycDelta[base:]
+				for ; tw != 0; tw &= tw - 1 {
+					cw[bits.TrailingZeros64(tw)] += load
+				}
 			}
+			prevBit[ni] = words[ni*ww+kLast] >> lastShift & 1
 		}
 
 		first := 0
@@ -132,19 +165,15 @@ func MeasureScanPackedOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.Shi
 	}
 
 	observe := func(pi, ppi []bool) {
-		bit := uint64(1) << uint(lane)
+		wk, bit := lane>>6, uint(lane&63)
 		for i, v := range pi {
-			if v {
-				piW[i] |= bit
-			}
+			piW[i*ww+wk] |= b2w(v) << bit
 		}
 		for i, v := range ppi {
-			if v {
-				ppiW[i] |= bit
-			}
+			ppiW[i*ww+wk] |= b2w(v) << bit
 		}
 		lane++
-		if lane == sim.PackedLanes {
+		if lane == lanes {
 			flush()
 		}
 	}
@@ -157,12 +186,18 @@ func MeasureScanPackedOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.Shi
 				observe(pi, ppi)
 			}
 			// The capture response is a pure function of the applied
-			// inputs; a scalar throwaway evaluation decides it without
-			// disturbing the packed stream.
-			vals := scratch.Eval(pi, ppi)
+			// inputs; a throwaway single-lane evaluation decides it
+			// without disturbing the packed stream.
+			for i, v := range pi {
+				capPI[i] = b2w(v)
+			}
+			for i, v := range ppi {
+				capPPI[i] = b2w(v)
+			}
+			vals := capSim.Eval(capPI, capPPI)
 			next := make([]bool, c.NumFFs())
 			for i, ff := range c.FFs {
-				next[i] = vals[ff.D]
+				next[i] = vals[ff.D]&1 != 0
 			}
 			return next
 		}),
@@ -185,4 +220,12 @@ func MeasureScanPackedOpts(ch scan.Runner, patterns []scan.Pattern, cfg scan.Shi
 		r.StaticUW = lm.PowerUW(r.MeanLeakNA)
 	}
 	return r, nil
+}
+
+// b2w converts a bool to a 0/1 word without a branch.
+func b2w(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
 }

@@ -78,13 +78,16 @@ func TestMeasureScanPackedMatchesSlow(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				packed, err := MeasureScanPackedOpts(scan.New(c), pats, cfg, lm, cm, opts)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if field := reportsIdentical(slow, packed); field != "" {
-					t.Errorf("pats=%d cfg=%d cap=%v: %s differs: serial %+v, packed %+v",
-						nPats, ci, includeCapture, field, slow, packed)
+				for _, lanes := range sim.LaneWidths() {
+					opts.Lanes = lanes
+					packed, err := MeasureScanPackedOpts(scan.New(c), pats, cfg, lm, cm, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if field := reportsIdentical(slow, packed); field != "" {
+						t.Errorf("pats=%d cfg=%d cap=%v lanes=%d: %s differs: serial %+v, packed %+v",
+							nPats, ci, includeCapture, lanes, field, slow, packed)
+					}
 				}
 			}
 		}
@@ -136,6 +139,10 @@ func TestMeasureScanPackedEmptyAndErrors(t *testing.T) {
 		leakage.Default(), DefaultCapModel(), MeasureOptions{Ctx: ctx}); err == nil {
 		t.Error("cancelled context not honoured")
 	}
+	if _, err := MeasureScanPackedOpts(scan.New(c), pats, scan.Traditional(c),
+		leakage.Default(), DefaultCapModel(), MeasureOptions{Lanes: 128}); err == nil {
+		t.Error("unsupported lane width accepted")
+	}
 }
 
 // TestMeasureScanPackedHooks: OnPattern fires once per pattern in order,
@@ -147,38 +154,41 @@ func TestMeasureScanPackedHooks(t *testing.T) {
 		t.Fatal(err)
 	}
 	pats := randomPatterns(rand.New(rand.NewSource(5)), c, 5)
-	var patIdx []int
-	lanes := 0
-	batches := 0
-	opts := MeasureOptions{
-		OnPattern: func(i int) { patIdx = append(patIdx, i) },
-		OnBatch: func(n int, _ time.Duration) {
-			lanes += n
-			batches++
-			if n < 1 || n > sim.PackedLanes {
-				t.Errorf("batch of %d lanes", n)
-			}
-		},
-	}
-	rep, err := MeasureScanPackedOpts(scan.New(c), pats, scan.Traditional(c),
-		leakage.Default(), DefaultCapModel(), opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(patIdx) != len(pats) {
-		t.Fatalf("OnPattern fired %d times, want %d", len(patIdx), len(pats))
-	}
-	for i, got := range patIdx {
-		if got != i {
-			t.Errorf("OnPattern[%d] = %d", i, got)
+	for _, width := range sim.LaneWidths() {
+		var patIdx []int
+		lanes := 0
+		batches := 0
+		opts := MeasureOptions{
+			Lanes:     width,
+			OnPattern: func(i int) { patIdx = append(patIdx, i) },
+			OnBatch: func(n int, _ time.Duration) {
+				lanes += n
+				batches++
+				if n < 1 || n > width {
+					t.Errorf("width %d: batch of %d lanes", width, n)
+				}
+			},
 		}
-	}
-	// Observed cycles = counted transitions + the priming observation.
-	if want := rep.Cycles + 1; lanes != want {
-		t.Errorf("OnBatch lanes sum = %d, want %d", lanes, want)
-	}
-	if wantMin := (rep.Cycles + 1 + 63) / 64; batches < wantMin {
-		t.Errorf("OnBatch fired %d times, want >= %d", batches, wantMin)
+		rep, err := MeasureScanPackedOpts(scan.New(c), pats, scan.Traditional(c),
+			leakage.Default(), DefaultCapModel(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(patIdx) != len(pats) {
+			t.Fatalf("width %d: OnPattern fired %d times, want %d", width, len(patIdx), len(pats))
+		}
+		for i, got := range patIdx {
+			if got != i {
+				t.Errorf("width %d: OnPattern[%d] = %d", width, i, got)
+			}
+		}
+		// Observed cycles = counted transitions + the priming observation.
+		if want := rep.Cycles + 1; lanes != want {
+			t.Errorf("width %d: OnBatch lanes sum = %d, want %d", width, lanes, want)
+		}
+		if wantMin := (rep.Cycles + 1 + width - 1) / width; batches < wantMin {
+			t.Errorf("width %d: OnBatch fired %d times, want >= %d", width, batches, wantMin)
+		}
 	}
 }
 
@@ -259,13 +269,16 @@ func FuzzMeasureScanPackedEquivalence(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		packed, err := MeasureScanPackedOpts(scan.New(c), pats, cfg, lm, cm, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if field := reportsIdentical(slow, packed); field != "" {
-			t.Fatalf("seed=%d np=%d mux=%x cap=%v: %s differs: serial %+v, packed %+v",
-				seed, np, muxMask, includeCapture, field, slow, packed)
+		for _, lanes := range sim.LaneWidths() {
+			opts.Lanes = lanes
+			packed, err := MeasureScanPackedOpts(scan.New(c), pats, cfg, lm, cm, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if field := reportsIdentical(slow, packed); field != "" {
+				t.Fatalf("seed=%d np=%d mux=%x cap=%v lanes=%d: %s differs: serial %+v, packed %+v",
+					seed, np, muxMask, includeCapture, lanes, field, slow, packed)
+			}
 		}
 	})
 }

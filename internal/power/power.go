@@ -134,6 +134,11 @@ type MeasureOptions struct {
 	// wall time the batch took. Only MeasureScanPacked emits it; the
 	// serial kernels never call it.
 	OnBatch func(lanes int, elapsed time.Duration) `json:"-"`
+	// Lanes is the batch width of the packed kernel: how many scan cycles
+	// are evaluated per pass (see sim.LaneWidths; 0 means the default,
+	// sim.WideLanes). Reports are bit-identical across widths, so this is
+	// purely a throughput knob; the serial kernels ignore it.
+	Lanes int
 }
 
 // patternHook wraps a capture function so OnPattern fires once per

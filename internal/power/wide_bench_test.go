@@ -1,0 +1,361 @@
+package power
+
+import (
+	"math/bits"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/benchjson"
+	"repro/internal/iscas"
+	"repro/internal/leakage"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// This file preserves the pre-refactor 64-lane measurement kernel as the
+// baseline for `make bench-wide`: a per-gate switch over a topological
+// net walk (the old sim.Packed) and per-lane shift extraction for the
+// leakage accumulation (the old leakage.AccumLeakPacked). The shipping
+// kernel compiles the circuit once into a levelized flat program and
+// decomposes leakage lookups into lane masks; the report quantifies what
+// that bought on the profiling circuits.
+
+// legacyPackedSim is the pre-refactor sim.Packed: a 64-lane evaluator
+// that re-walks Topo() and re-dispatches on gate type every batch.
+type legacyPackedSim struct {
+	c     *netlist.Circuit
+	words []uint64
+}
+
+func newLegacyPackedSim(c *netlist.Circuit) *legacyPackedSim {
+	return &legacyPackedSim{c: c, words: make([]uint64, c.NumNets())}
+}
+
+func (p *legacyPackedSim) Eval(pi, ppi []uint64) []uint64 {
+	c := p.c
+	v := p.words
+	for i, n := range c.PIs {
+		v[n] = pi[i]
+	}
+	for i, ff := range c.FFs {
+		v[ff.Q] = ppi[i]
+	}
+	for _, gi := range c.Topo() {
+		g := &c.Gates[gi]
+		ins := g.Inputs
+		var w uint64
+		switch g.Type {
+		case logic.Buf:
+			w = v[ins[0]]
+		case logic.Not:
+			w = ^v[ins[0]]
+		case logic.And, logic.Nand:
+			w = v[ins[0]]
+			for _, in := range ins[1:] {
+				w &= v[in]
+			}
+			if g.Type == logic.Nand {
+				w = ^w
+			}
+		case logic.Or, logic.Nor:
+			w = v[ins[0]]
+			for _, in := range ins[1:] {
+				w |= v[in]
+			}
+			if g.Type == logic.Nor {
+				w = ^w
+			}
+		case logic.Xor, logic.Xnor:
+			w = v[ins[0]]
+			for _, in := range ins[1:] {
+				w ^= v[in]
+			}
+			if g.Type == logic.Xnor {
+				w = ^w
+			}
+		case logic.Mux2:
+			sel := v[ins[2]]
+			w = (v[ins[0]] &^ sel) | (v[ins[1]] & sel)
+		default:
+			panic("legacy packed Eval on unknown gate type " + g.Type.String())
+		}
+		v[g.Output] = w
+	}
+	return v
+}
+
+// legacyAccumLeak is the pre-refactor leakage.AccumLeakPacked: per gate,
+// every lane's table index is extracted with a serially dependent
+// shift-and-mask chain.
+func legacyAccumLeak(c *netlist.Circuit, words []uint64, n int, tabs [][]float64, cyc []float64) {
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		tab := tabs[gi]
+		switch len(g.Inputs) {
+		case 1:
+			a := words[g.Inputs[0]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[a&1]
+				a >>= 1
+			}
+		case 2:
+			a := words[g.Inputs[0]]
+			b := words[g.Inputs[1]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[(a&1)|(b&1)<<1]
+				a >>= 1
+				b >>= 1
+			}
+		case 3:
+			a := words[g.Inputs[0]]
+			b := words[g.Inputs[1]]
+			d := words[g.Inputs[2]]
+			for t := 0; t < n; t++ {
+				cyc[t] += tab[(a&1)|(b&1)<<1|(d&1)<<2]
+				a >>= 1
+				b >>= 1
+				d >>= 1
+			}
+		default:
+			for t := 0; t < n; t++ {
+				idx := 0
+				for i, in := range g.Inputs {
+					idx |= int(words[in]>>uint(t)&1) << i
+				}
+				cyc[t] += tab[idx]
+			}
+		}
+	}
+}
+
+// legacyMeasureScanPacked is the pre-refactor MeasureScanPackedOpts,
+// verbatim except for using the preserved local evaluator and
+// accumulator. It produces the same bit-identical Report the shipping
+// kernel does — the bench test asserts that before timing anything.
+func legacyMeasureScanPacked(ch scan.Runner, patterns []scan.Pattern, cfg scan.ShiftConfig,
+	lm *leakage.Model, cm CapModel, opts MeasureOptions) (Report, error) {
+
+	c := ch.Circuit()
+	ps := newLegacyPackedSim(c)
+	scratch := sim.New(c)
+	loads := cm.NetLoads(c)
+	leakTabs := lm.CircuitTables(c)
+	nNets := c.NumNets()
+
+	var (
+		piW  = make([]uint64, len(c.PIs))
+		ppiW = make([]uint64, c.NumFFs())
+		lane int
+
+		prevBit = make([]uint64, nNets)
+		primed  bool
+
+		cycDelta = make([]float64, sim.PackedLanes)
+		cycLeak  = make([]float64, sim.PackedLanes)
+
+		dynTotal, peak float64
+		rawToggles     int64
+		cycles         int
+		leakSum        float64
+		leakCycles     int
+	)
+
+	flush := func() {
+		n := lane
+		if n == 0 {
+			return
+		}
+		start := time.Now()
+		words := ps.Eval(piW, ppiW)
+
+		for t := 0; t < n; t++ {
+			cycLeak[t] = 0
+			cycDelta[t] = 0
+		}
+		legacyAccumLeak(c, words, n, leakTabs, cycLeak)
+
+		valid := ^uint64(0)
+		if n < 64 {
+			valid = 1<<uint(n) - 1
+		}
+		for ni := 0; ni < nNets; ni++ {
+			w := words[ni] & valid
+			tw := (w ^ (w<<1 | prevBit[ni])) & valid
+			if !primed {
+				tw &^= 1
+			}
+			prevBit[ni] = w >> uint(n-1)
+			if tw == 0 {
+				continue
+			}
+			rawToggles += int64(bits.OnesCount64(tw))
+			load := loads[ni]
+			for tw != 0 {
+				cycDelta[bits.TrailingZeros64(tw)] += load
+				tw &= tw - 1
+			}
+		}
+
+		first := 0
+		if !primed {
+			first = 1
+		}
+		for t := first; t < n; t++ {
+			d := cycDelta[t]
+			dynTotal += d
+			if d > peak {
+				peak = d
+			}
+			cycles++
+		}
+		for t := 0; t < n; t++ {
+			leakSum += cycLeak[t]
+			leakCycles++
+		}
+
+		primed = true
+		lane = 0
+		for i := range piW {
+			piW[i] = 0
+		}
+		for i := range ppiW {
+			ppiW[i] = 0
+		}
+		if opts.OnBatch != nil {
+			opts.OnBatch(n, time.Since(start))
+		}
+	}
+
+	observe := func(pi, ppi []bool) {
+		bit := uint64(1) << uint(lane)
+		for i, v := range pi {
+			if v {
+				piW[i] |= bit
+			}
+		}
+		for i, v := range ppi {
+			if v {
+				ppiW[i] |= bit
+			}
+		}
+		lane++
+		if lane == sim.PackedLanes {
+			flush()
+		}
+	}
+
+	hooks := scan.Hooks{
+		ShiftCycle: observe,
+		Stop:       opts.stopHook(),
+		Capture: opts.patternHook(func(pi, ppi []bool) []bool {
+			if opts.IncludeCapture {
+				observe(pi, ppi)
+			}
+			vals := scratch.Eval(pi, ppi)
+			next := make([]bool, c.NumFFs())
+			for i, ff := range c.FFs {
+				next[i] = vals[ff.D]
+			}
+			return next
+		}),
+	}
+	if err := ch.Run(patterns, cfg, hooks); err != nil {
+		return Report{}, err
+	}
+	flush()
+
+	var r Report
+	r.Cycles = cycles
+	if cycles > 0 {
+		toUWHz := cm.VDD * cm.VDD / 2 * 1e-9
+		r.DynamicPerHz = dynTotal / float64(cycles) * toUWHz
+		r.PeakDynamicPerHz = peak * toUWHz
+		r.MeanTogglesPerCycle = float64(rawToggles) / float64(cycles)
+	}
+	if leakCycles > 0 {
+		r.MeanLeakNA = leakSum / float64(leakCycles)
+		r.StaticUW = lm.PowerUW(r.MeanLeakNA)
+	}
+	return r, nil
+}
+
+// TestBenchWideMeasureJSON times the scan-power measurement kernel —
+// preserved legacy 64-lane baseline vs the compiled evaluator at 64 and
+// 256 lanes — on the profiling circuits and merges a measure/<circuit>
+// entry into the bench-wide report. `make bench-wide` runs it; without
+// WIDE_BENCH_OUT it is skipped so normal test runs stay fast.
+func TestBenchWideMeasureJSON(t *testing.T) {
+	out := os.Getenv("WIDE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set WIDE_BENCH_OUT to run the wide-kernel measure benchmark")
+	}
+	const nPats = 256
+	const rounds = 5
+	entries := map[string]benchjson.Entry{}
+	for _, name := range []string{"s1423", "s5378"} {
+		p, ok := iscas.ByName(name)
+		if !ok {
+			t.Fatalf("no ISCAS profile %q", name)
+		}
+		c, err := iscas.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := scan.Traditional(c)
+		pats := randomPatterns(rand.New(rand.NewSource(40)), c, nPats)
+		lm := leakage.Default()
+		cm := DefaultCapModel()
+		ch := scan.New(c)
+
+		run := func(lanes int) Report {
+			opts := MeasureOptions{Lanes: lanes}
+			var r Report
+			var err error
+			if lanes == 0 {
+				r, err = legacyMeasureScanPacked(ch, pats, cfg, lm, cm, MeasureOptions{})
+			} else {
+				r, err = MeasureScanPackedOpts(ch, pats, cfg, lm, cm, opts)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+
+		// The baseline must still be the kernel it claims to be: all
+		// three variants produce bit-identical reports.
+		legacyRep, new64, new256 := run(0), run(64), run(256)
+		if f := reportsIdentical(legacyRep, new64); f != "" {
+			t.Fatalf("%s: legacy vs new64 %s differs", name, f)
+		}
+		if f := reportsIdentical(legacyRep, new256); f != "" {
+			t.Fatalf("%s: legacy vs new256 %s differs", name, f)
+		}
+
+		legacyMS := benchjson.MinMS(rounds, func() { run(0) })
+		new64MS := benchjson.MinMS(rounds, func() { run(64) })
+		new256MS := benchjson.MinMS(rounds, func() { run(256) })
+		speedup := legacyMS / new256MS
+		t.Logf("%s: legacy64 %.2fms, new64 %.2fms, new256 %.2fms (%.2fx)",
+			name, legacyMS, new64MS, new256MS, speedup)
+		entries["measure/"+name] = benchjson.Entry{
+			Workload: "MeasureScanPacked, 256 random patterns, traditional scan, seed 40, best of 5",
+			ResultsMS: map[string]float64{
+				"legacy64": benchjson.Round2(legacyMS),
+				"new64":    benchjson.Round2(new64MS),
+				"new256":   benchjson.Round2(new256MS),
+			},
+			SpeedupVsLegacy64: benchjson.Round2(speedup),
+			Criterion:         "new256 >= 1.5x over the pre-refactor 64-lane kernel",
+			Met:               speedup >= 1.5,
+		}
+	}
+	if err := benchjson.Merge(out, entries); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged measure entries into %s", out)
+}

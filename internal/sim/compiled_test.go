@@ -1,0 +1,372 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// TestCompileLevelizedOrder is the lowering property test: on random
+// circuits (plus an ISCAS netlist when available), the compiled program
+// must hold every gate exactly once in (level, GateID) ascending order,
+// with each instruction's opcode, output and fanin run matching the
+// netlist gate in order and multiplicity, and every fanin's driver
+// lowered to an earlier instruction.
+func TestCompileLevelizedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var circuits []*netlist.Circuit
+	for iter := 0; iter < 40; iter++ {
+		circuits = append(circuits, randomCircuit3(rng))
+	}
+	if p, ok := iscas.ByName("s344"); ok {
+		c, err := iscas.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circuits = append(circuits, c)
+	}
+	for _, c := range circuits {
+		p := Compile(c)
+		if p.NumInstrs() != c.NumGates() {
+			t.Fatalf("%s: %d instructions for %d gates", c.Name, p.NumInstrs(), c.NumGates())
+		}
+		seen := make([]bool, c.NumGates())
+		// instrOf[g] = instruction index of gate g, for the driver check.
+		instrOf := make([]int, c.NumGates())
+		for i := 0; i < p.NumInstrs(); i++ {
+			gi := p.GateOf(i)
+			if seen[gi] {
+				t.Fatalf("%s: gate %d lowered twice", c.Name, gi)
+			}
+			seen[gi] = true
+			instrOf[gi] = i
+			if i > 0 {
+				prev := p.GateOf(i - 1)
+				lp, li := c.Level(prev), c.Level(gi)
+				if lp > li || (lp == li && prev > gi) {
+					t.Fatalf("%s: instr %d: (level %d, gate %d) after (level %d, gate %d)",
+						c.Name, i, li, gi, lp, prev)
+				}
+			}
+			g := &c.Gates[gi]
+			if p.Output(i) != g.Output {
+				t.Fatalf("%s: instr %d output %d, want %d", c.Name, i, p.Output(i), g.Output)
+			}
+			fins := p.Fanins(i)
+			if len(fins) != len(g.Inputs) {
+				t.Fatalf("%s: instr %d has %d fanins, want %d (multiplicity must survive lowering)",
+					c.Name, i, len(fins), len(g.Inputs))
+			}
+			for j, in := range g.Inputs {
+				if fins[j] != in {
+					t.Fatalf("%s: instr %d fanin %d is net %d, want %d", c.Name, i, j, fins[j], in)
+				}
+			}
+		}
+		// Topological soundness: every gate-driven fanin was computed by an
+		// earlier instruction.
+		for i := 0; i < p.NumInstrs(); i++ {
+			for _, in := range p.Fanins(i) {
+				if d := c.Nets[in].Driver; d != netlist.InvalidGate && instrOf[d] >= i {
+					t.Fatalf("%s: instr %d reads net %d before its driver (instr %d) ran",
+						c.Name, i, in, instrOf[d])
+				}
+			}
+		}
+		// LevelRange partitions the instruction stream in level order.
+		at := 0
+		for l := 0; l < c.Depth(); l++ {
+			s, e := p.LevelRange(l)
+			if s != at {
+				t.Fatalf("%s: level %d starts at %d, want %d", c.Name, l, s, at)
+			}
+			for i := s; i < e; i++ {
+				if c.Level(p.GateOf(i)) != l {
+					t.Fatalf("%s: instr %d in level-%d range has level %d",
+						c.Name, i, l, c.Level(p.GateOf(i)))
+				}
+			}
+			at = e
+		}
+		if at != p.NumInstrs() {
+			t.Fatalf("%s: level ranges cover %d of %d instructions", c.Name, at, p.NumInstrs())
+		}
+	}
+}
+
+// TestWideMatchesScalar: each of the 256 lanes of a wide evaluation must
+// equal the scalar simulator's result for that lane's inputs, on every
+// net — the same contract TestPackedMatchesScalar pins at 64 lanes.
+func TestWideMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 20; iter++ {
+		c := randomCircuit3(rng)
+		ws := NewWide(c)
+		ss := New(c)
+		piW := make([]uint64, len(c.PIs)*WideWords)
+		ppiW := make([]uint64, c.NumFFs()*WideWords)
+		for i := range piW {
+			piW[i] = rng.Uint64()
+		}
+		for i := range ppiW {
+			ppiW[i] = rng.Uint64()
+		}
+		words := ws.Eval(piW, ppiW)
+		pi := make([]bool, len(c.PIs))
+		ppi := make([]bool, c.NumFFs())
+		for lane := 0; lane < WideLanes; lane++ {
+			wd, bit := lane>>6, uint(lane&63)
+			for i := range pi {
+				pi[i] = piW[i*WideWords+wd]>>bit&1 == 1
+			}
+			for i := range ppi {
+				ppi[i] = ppiW[i*WideWords+wd]>>bit&1 == 1
+			}
+			st := ss.Eval(pi, ppi)
+			for ni, v := range st {
+				if got := words[ni*WideWords+wd]>>bit&1 == 1; got != v {
+					t.Fatalf("%s: lane %d net %s: wide %v, scalar %v",
+						c.Name, lane, c.Nets[ni].Name, got, v)
+				}
+			}
+		}
+	}
+}
+
+// TestWide3MatchesPacked3 pins word-level identity of the wide
+// three-valued evaluator against Packed3 (itself pinned against the
+// scalar Eval3): every 64-lane slice of a 256-lane evaluation must equal
+// the packed evaluation of those lanes.
+func TestWide3MatchesPacked3(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 20; iter++ {
+		c := randomCircuit3(rng)
+		prog := Compile(c)
+		w3 := NewWide3Program(prog)
+		p3 := NewPacked3Program(prog)
+		nNets := c.NumNets()
+		v := make([]uint64, nNets*WideWords)
+		x := make([]uint64, nNets*WideWords)
+		for _, n := range c.CombInputs() {
+			for k := 0; k < WideWords; k++ {
+				xv := rng.Uint64()
+				v[int(n)*WideWords+k] = rng.Uint64() &^ xv
+				x[int(n)*WideWords+k] = xv
+			}
+		}
+		// Narrow reference: evaluate each 64-lane slice with Packed3.
+		for k := 0; k < WideWords; k++ {
+			nv := make([]uint64, nNets)
+			nx := make([]uint64, nNets)
+			for n := 0; n < nNets; n++ {
+				nv[n] = v[n*WideWords+k]
+				nx[n] = x[n*WideWords+k]
+			}
+			w3.EvalNets(v, x) // idempotent over inputs; run before compare below
+			p3.EvalNets(nv, nx)
+			for n := 0; n < nNets; n++ {
+				if v[n*WideWords+k] != nv[n] || x[n*WideWords+k] != nx[n] {
+					t.Fatalf("%s: word %d net %s: wide (%x,%x) vs packed (%x,%x)", c.Name, k,
+						c.Nets[n].Name, v[n*WideWords+k], x[n*WideWords+k], nv[n], nx[n])
+				}
+			}
+		}
+	}
+}
+
+// TestLaneWidthResolution pins the selectable-backend contract.
+func TestLaneWidthResolution(t *testing.T) {
+	if got, err := ResolveLanes(0); err != nil || got != WideLanes {
+		t.Fatalf("ResolveLanes(0) = %d, %v; want default %d", got, err, WideLanes)
+	}
+	for _, w := range LaneWidths() {
+		if got, err := ResolveLanes(w); err != nil || got != w {
+			t.Fatalf("ResolveLanes(%d) = %d, %v", w, got, err)
+		}
+	}
+	for _, bad := range []int{-1, 1, 63, 128, 512} {
+		if _, err := ResolveLanes(bad); err == nil {
+			t.Fatalf("ResolveLanes(%d) accepted", bad)
+		}
+	}
+}
+
+// TestPanicsNameCircuitAndLengths pins the misuse diagnostics: frozen
+// and length panics must name the circuit and the offending vs expected
+// counts, across all four evaluators.
+func TestPanicsNameCircuitAndLengths(t *testing.T) {
+	mustPanic := func(name string, want []string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: no panic", name)
+				return
+			}
+			msg, ok := r.(string)
+			if !ok {
+				t.Errorf("%s: panic value %v is not a string", name, r)
+				return
+			}
+			for _, w := range want {
+				if !strings.Contains(msg, w) {
+					t.Errorf("%s: panic %q does not mention %q", name, msg, w)
+				}
+			}
+		}()
+		fn()
+	}
+
+	unfrozen := netlist.New("never-frozen")
+	unfrozen.AddPI("a")
+	unfrozen.AddGate(logic.Not, "o", "a")
+	mustPanic("NewPacked unfrozen", []string{`"never-frozen"`}, func() { NewPacked(unfrozen) })
+	mustPanic("NewPacked3 unfrozen", []string{`"never-frozen"`}, func() { NewPacked3(unfrozen) })
+	mustPanic("NewWide unfrozen", []string{`"never-frozen"`}, func() { NewWide(unfrozen) })
+	mustPanic("NewWide3 unfrozen", []string{`"never-frozen"`}, func() { NewWide3(unfrozen) })
+	mustPanic("Compile unfrozen", []string{`"never-frozen"`}, func() { Compile(unfrozen) })
+
+	c := netlist.New("tiny2")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddFF("f", "q", "d")
+	c.AddGate(logic.And, "d", "a", "b", "q")
+	c.MarkPO("d")
+	c.MustFreeze()
+
+	mustPanic("Packed.Eval pi", []string{`"tiny2"`, "got 1", "want 2"}, func() {
+		NewPacked(c).Eval(make([]uint64, 1), make([]uint64, 1))
+	})
+	mustPanic("Packed.Eval ppi", []string{`"tiny2"`, "got 3", "want 1"}, func() {
+		NewPacked(c).Eval(make([]uint64, 2), make([]uint64, 3))
+	})
+	mustPanic("Packed3.EvalNets", []string{`"tiny2"`, "v=1", "want 4"}, func() {
+		NewPacked3(c).EvalNets(make([]uint64, 1), make([]uint64, c.NumNets()))
+	})
+	mustPanic("Wide.Eval", []string{`"tiny2"`, "got 2", "want 2 PIs x 4 = 8"}, func() {
+		NewWide(c).Eval(make([]uint64, 2), make([]uint64, WideWords))
+	})
+	mustPanic("Wide3.EvalNets", []string{`"tiny2"`, "want 4 nets x 4 = 16"}, func() {
+		NewWide3(c).EvalNets(make([]uint64, 1), make([]uint64, 1))
+	})
+	mustPanic("Program.Run bad words", []string{`"tiny2"`, "lane words 2"}, func() {
+		Compile(c).Run(make([]uint64, c.NumNets()*2), 2)
+	})
+	mustPanic("Program.Run bad length", []string{`"tiny2"`, "state length 3"}, func() {
+		Compile(c).Run(make([]uint64, 3), 1)
+	})
+	mustPanic("Program.Run3 bad length", []string{`"tiny2"`, "v=16 x=3"}, func() {
+		Compile(c).Run3(make([]uint64, 16), make([]uint64, 3), WideWords)
+	})
+}
+
+// FuzzWideEquivalence cross-checks the three backends — scalar, 64-lane
+// packed, 256-lane wide — on fuzzer-shaped random circuits, both
+// two-valued and three-valued, lane by lane on every net. Wired into
+// `make fuzz-equiv`.
+func FuzzWideEquivalence(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit3(rng)
+		prog := Compile(c)
+		ss := New(c)
+		nNets := c.NumNets()
+
+		// Two-valued: wide vs packed word-identity, then packed vs scalar.
+		piW := make([]uint64, len(c.PIs)*WideWords)
+		ppiW := make([]uint64, c.NumFFs()*WideWords)
+		for i := range piW {
+			piW[i] = rng.Uint64()
+		}
+		for i := range ppiW {
+			ppiW[i] = rng.Uint64()
+		}
+		wide := NewWideProgram(prog).Eval(piW, ppiW)
+		packed := NewPackedProgram(prog)
+		pi1 := make([]uint64, len(c.PIs))
+		ppi1 := make([]uint64, c.NumFFs())
+		for k := 0; k < WideWords; k++ {
+			for i := range pi1 {
+				pi1[i] = piW[i*WideWords+k]
+			}
+			for i := range ppi1 {
+				ppi1[i] = ppiW[i*WideWords+k]
+			}
+			words := packed.Eval(pi1, ppi1)
+			for n := 0; n < nNets; n++ {
+				if words[n] != wide[n*WideWords+k] {
+					t.Fatalf("net %s word %d: packed %x vs wide %x",
+						c.Nets[n].Name, k, words[n], wide[n*WideWords+k])
+				}
+			}
+		}
+		pib := make([]bool, len(c.PIs))
+		ppib := make([]bool, c.NumFFs())
+		for lane := 0; lane < PackedLanes; lane++ {
+			for i := range pib {
+				pib[i] = pi1[i]>>uint(lane)&1 == 1
+			}
+			for i := range ppib {
+				ppib[i] = ppi1[i]>>uint(lane)&1 == 1
+			}
+			st := ss.Eval(pib, ppib)
+			for n, v := range st {
+				if got := packed.v[n]>>uint(lane)&1 == 1; got != v {
+					t.Fatalf("net %s lane %d: packed %v vs scalar %v", c.Nets[n].Name, lane, got, v)
+				}
+			}
+		}
+
+		// Three-valued: wide vs packed word-identity and scalar spot check.
+		v := make([]uint64, nNets*WideWords)
+		x := make([]uint64, nNets*WideWords)
+		for _, n := range c.CombInputs() {
+			for k := 0; k < WideWords; k++ {
+				xv := rng.Uint64()
+				v[int(n)*WideWords+k] = rng.Uint64() &^ xv
+				x[int(n)*WideWords+k] = xv
+			}
+		}
+		nv := make([]uint64, nNets)
+		nx := make([]uint64, nNets)
+		for n := 0; n < nNets; n++ {
+			nv[n] = v[n*WideWords]
+			nx[n] = x[n*WideWords]
+		}
+		NewWide3Program(prog).EvalNets(v, x)
+		NewPacked3Program(prog).EvalNets(nv, nx)
+		for n := 0; n < nNets; n++ {
+			if nv[n] != v[n*WideWords] || nx[n] != x[n*WideWords] {
+				t.Fatalf("net %s: packed3 (%x,%x) vs wide3 word 0 (%x,%x)",
+					c.Nets[n].Name, nv[n], nx[n], v[n*WideWords], x[n*WideWords])
+			}
+		}
+		piV := make([]logic.Value, len(c.PIs))
+		ppiV := make([]logic.Value, c.NumFFs())
+		lane := int(rng.Int31n(PackedLanes))
+		for i, n := range c.PIs {
+			piV[i] = UnpackValue(nvIn(nv, nx, n, lane))
+		}
+		for i, ff := range c.FFs {
+			ppiV[i] = UnpackValue(nvIn(nv, nx, ff.Q, lane))
+		}
+		st3 := ss.Eval3(piV, ppiV)
+		for n := 0; n < nNets; n++ {
+			if got := UnpackValue(nv[n], nx[n], lane); got != st3[n] {
+				t.Fatalf("net %s lane %d: packed3 %v vs scalar %v", c.Nets[n].Name, lane, got, st3[n])
+			}
+		}
+	})
+}
+
+// nvIn adapts (slice, slice, net, lane) to UnpackValue's word arguments.
+func nvIn(v, x []uint64, n netlist.NetID, lane int) (uint64, uint64, int) {
+	return v[n], x[n], lane
+}

@@ -1,7 +1,8 @@
 package sim
 
 import (
-	"repro/internal/logic"
+	"fmt"
+
 	"repro/internal/netlist"
 )
 
@@ -13,28 +14,46 @@ const PackedLanes = 64
 // a time: every net carries one uint64 whose bit t is the net's boolean
 // value in lane t. A lane is an independent evaluation — callers pack 64
 // patterns, or 64 consecutive shift cycles of a scan stream, into the
-// input words and get all 64 per-net states from a single topological
-// pass of word-wide boolean operations.
+// input words and get all 64 per-net states from a single pass of
+// word-wide boolean operations over the compiled levelized program.
 //
 // Bit t of every output word equals exactly what Simulator.Eval would
 // compute for the scalar inputs at bit t of every input word (the packed
 // gate operations are the word-wide forms of logic.EvalBool). It is not
-// safe for concurrent use; create one per goroutine.
+// safe for concurrent use; create one per goroutine — the compiled
+// Program itself is immutable and may be shared via NewPackedProgram.
 type Packed struct {
-	c     *netlist.Circuit
-	words []uint64 // per-net lane words, indexed by NetID
+	p *Program
+	v []uint64 // per-net lane words, indexed by NetID
 }
 
-// NewPacked returns a packed simulator bound to the frozen circuit c.
+// NewPacked returns a packed simulator bound to the frozen circuit c,
+// compiling it first. To share one compiled program across simulators,
+// use Compile once and NewPackedProgram per goroutine.
 func NewPacked(c *netlist.Circuit) *Packed {
 	if !c.Frozen() {
-		panic("sim: circuit must be frozen")
+		panic(fmt.Sprintf("sim: NewPacked needs a frozen circuit (circuit %q is not frozen)", c.Name))
 	}
-	return &Packed{c: c, words: make([]uint64, c.NumNets())}
+	return NewPackedProgram(Compile(c))
+}
+
+// NewPackedProgram returns a packed simulator executing the already
+// compiled program p with its own lane state.
+func NewPackedProgram(p *Program) *Packed {
+	return &Packed{p: p, v: make([]uint64, p.c.NumNets())}
 }
 
 // Circuit returns the simulated circuit.
-func (p *Packed) Circuit() *netlist.Circuit { return p.c }
+func (p *Packed) Circuit() *netlist.Circuit { return p.p.c }
+
+// Program returns the compiled program the simulator executes.
+func (p *Packed) Program() *Program { return p.p }
+
+// Lanes returns the lane width (PackedLanes).
+func (p *Packed) Lanes() int { return PackedLanes }
+
+// Words returns the uint64 words carried per net (1).
+func (p *Packed) Words() int { return 1 }
 
 // Eval evaluates the combinational core across all 64 lanes. pi holds the
 // primary-input lane words in netlist.Circuit.PIs order, ppi the
@@ -42,57 +61,20 @@ func (p *Packed) Circuit() *netlist.Circuit { return p.c }
 // per-net lane word, indexed by NetID; it is owned by the simulator and
 // overwritten by the next Eval call.
 func (p *Packed) Eval(pi, ppi []uint64) []uint64 {
-	c := p.c
-	if len(pi) != len(c.PIs) || len(ppi) != len(c.FFs) {
-		panic("sim: packed Eval input length mismatch")
+	c := p.p.c
+	if len(pi) != len(c.PIs) {
+		panic(fmt.Sprintf("sim: packed Eval on circuit %q: got %d primary-input words, want %d", c.Name, len(pi), len(c.PIs)))
 	}
-	v := p.words
+	if len(ppi) != len(c.FFs) {
+		panic(fmt.Sprintf("sim: packed Eval on circuit %q: got %d pseudo-input words, want %d", c.Name, len(ppi), len(c.FFs)))
+	}
+	v := p.v
 	for i, n := range c.PIs {
 		v[n] = pi[i]
 	}
 	for i, ff := range c.FFs {
 		v[ff.Q] = ppi[i]
 	}
-	for _, gi := range c.Topo() {
-		g := &c.Gates[gi]
-		ins := g.Inputs
-		var w uint64
-		switch g.Type {
-		case logic.Buf:
-			w = v[ins[0]]
-		case logic.Not:
-			w = ^v[ins[0]]
-		case logic.And, logic.Nand:
-			w = v[ins[0]]
-			for _, in := range ins[1:] {
-				w &= v[in]
-			}
-			if g.Type == logic.Nand {
-				w = ^w
-			}
-		case logic.Or, logic.Nor:
-			w = v[ins[0]]
-			for _, in := range ins[1:] {
-				w |= v[in]
-			}
-			if g.Type == logic.Nor {
-				w = ^w
-			}
-		case logic.Xor, logic.Xnor:
-			w = v[ins[0]]
-			for _, in := range ins[1:] {
-				w ^= v[in]
-			}
-			if g.Type == logic.Xnor {
-				w = ^w
-			}
-		case logic.Mux2:
-			sel := v[ins[2]]
-			w = (v[ins[0]] &^ sel) | (v[ins[1]] & sel)
-		default:
-			panic("sim: packed Eval on unknown gate type " + g.Type.String())
-		}
-		v[g.Output] = w
-	}
+	runProg1(p.p, v)
 	return v
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/logic"
 	"repro/internal/netlist"
 )
@@ -18,104 +20,49 @@ import (
 // optimistic rules (a controlling value forces the output through X side
 // inputs; MUX2 with an X select still resolves when both data inputs
 // agree on a binary value). The packed minimum-leakage fill rides on this
-// to evaluate 64 candidate completions per topological pass while free
-// pseudo-inputs stay X.
+// to evaluate 64 candidate completions per pass of the compiled program
+// while free pseudo-inputs stay X.
 type Packed3 struct {
-	c *netlist.Circuit
+	p *Program
 }
 
 // NewPacked3 returns a packed three-valued evaluator bound to the frozen
-// circuit c. It holds no lane state — EvalNets works in caller-owned
-// word slices — so one instance may be shared across goroutines.
+// circuit c, compiling it first. It holds no lane state — EvalNets works
+// in caller-owned word slices — so one instance may be shared across
+// goroutines. To share an existing compiled program, use
+// NewPacked3Program.
 func NewPacked3(c *netlist.Circuit) *Packed3 {
 	if !c.Frozen() {
-		panic("sim: circuit must be frozen")
+		panic(fmt.Sprintf("sim: NewPacked3 needs a frozen circuit (circuit %q is not frozen)", c.Name))
 	}
-	return &Packed3{c: c}
+	return NewPacked3Program(Compile(c))
 }
 
+// NewPacked3Program returns a packed three-valued evaluator executing the
+// already compiled program p.
+func NewPacked3Program(p *Program) *Packed3 { return &Packed3{p: p} }
+
 // Circuit returns the evaluated circuit.
-func (p *Packed3) Circuit() *netlist.Circuit { return p.c }
+func (p *Packed3) Circuit() *netlist.Circuit { return p.p.c }
+
+// Program returns the compiled program the evaluator executes.
+func (p *Packed3) Program() *Program { return p.p }
+
+// Lanes returns the lane width (PackedLanes).
+func (p *Packed3) Lanes() int { return PackedLanes }
 
 // EvalNets evaluates the combinational core from an arbitrary per-net
 // lane assignment: the caller must set (v[n], x[n]) for every PI and
 // pseudo-input net n — normalized, v&x == 0 — and every gate-output entry
-// is recomputed in place in topological order. v and x must both have
+// is recomputed in place in instruction order. v and x must both have
 // length NumNets.
 func (p *Packed3) EvalNets(v, x []uint64) {
-	c := p.c
+	c := p.p.c
 	if len(v) != c.NumNets() || len(x) != c.NumNets() {
-		panic("sim: packed3 EvalNets length mismatch")
+		panic(fmt.Sprintf("sim: packed3 EvalNets on circuit %q: got v=%d x=%d words, want %d nets",
+			c.Name, len(v), len(x), c.NumNets()))
 	}
-	for _, gi := range c.Topo() {
-		g := &c.Gates[gi]
-		ins := g.Inputs
-		var ov, ox uint64
-		switch g.Type {
-		case logic.Buf:
-			ov, ox = v[ins[0]], x[ins[0]]
-		case logic.Not:
-			ox = x[ins[0]]
-			ov = ^v[ins[0]] &^ ox
-		case logic.And, logic.Nand:
-			// one: every input known 1. zero: some input known 0.
-			one := v[ins[0]]
-			zero := ^x[ins[0]] &^ v[ins[0]]
-			for _, in := range ins[1:] {
-				one &= v[in]
-				zero |= ^x[in] &^ v[in]
-			}
-			if g.Type == logic.And {
-				ov = one
-			} else {
-				ov = zero
-			}
-			ox = ^(one | zero)
-		case logic.Or, logic.Nor:
-			// one: some input known 1. zero: every input known 0.
-			one := v[ins[0]]
-			zero := ^x[ins[0]] &^ v[ins[0]]
-			for _, in := range ins[1:] {
-				one |= v[in]
-				zero &= ^x[in] &^ v[in]
-			}
-			if g.Type == logic.Or {
-				ov = one
-			} else {
-				ov = zero
-			}
-			ox = ^(one | zero)
-		case logic.Xor, logic.Xnor:
-			// Known only where every input is known (no optimistic rule).
-			known := ^x[ins[0]]
-			s := v[ins[0]]
-			for _, in := range ins[1:] {
-				known &= ^x[in]
-				s ^= v[in]
-			}
-			if g.Type == logic.Xor {
-				ov = s & known
-			} else {
-				ov = ^s & known
-			}
-			ox = ^known
-		case logic.Mux2:
-			d0v, d0x := v[ins[0]], x[ins[0]]
-			d1v, d1x := v[ins[1]], x[ins[1]]
-			sv, sx := v[ins[2]], x[ins[2]]
-			m1 := ^sx & sv  // select known 1: pass d1
-			m0 := ^sx &^ sv // select known 0: pass d0
-			// Select X: the output is still binary where both data inputs
-			// are known and agree (logic.Eval's d0 == d1 rule).
-			agree := ^d0x & ^d1x &^ (d0v ^ d1v)
-			ov = m1&d1v | m0&d0v | sx&agree&d0v
-			ox = m1&d1x | m0&d0x | sx&^agree
-		default:
-			panic("sim: packed3 EvalNets on unknown gate type " + g.Type.String())
-		}
-		v[g.Output] = ov
-		x[g.Output] = ox
-	}
+	runProg3w1(p.p, v, x)
 }
 
 // PackValue sets lane t of the (v, x) pair for one net to the three-valued

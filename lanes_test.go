@@ -1,0 +1,58 @@
+package scanpower
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestCompareLanesInvariance pins the lane-width contract at the top of
+// the stack: a full Table I row — ATPG, both engineered builds, and all
+// three measurements — must be bit-identical whether the packed kernels
+// run 64 or 256 lanes per batch, so Config.Lanes is observable only as
+// wall time. An unsupported width must fail the experiment up front.
+func TestCompareLanesInvariance(t *testing.T) {
+	c, err := Benchmark("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *Comparison
+	for _, lanes := range sim.LaneWidths() {
+		cfg := DefaultConfig()
+		cfg.Lanes = lanes
+		cmp, err := Compare(context.Background(), c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = cmp
+			continue
+		}
+		if cmp.Patterns != ref.Patterns || cmp.FaultCoverage != ref.FaultCoverage {
+			t.Errorf("lanes=%d: patterns/coverage %d/%v, want %d/%v",
+				lanes, cmp.Patterns, cmp.FaultCoverage, ref.Patterns, ref.FaultCoverage)
+		}
+		if cmp.Traditional != ref.Traditional {
+			t.Errorf("lanes=%d: traditional report differs", lanes)
+		}
+		if cmp.InputControl != ref.InputControl {
+			t.Errorf("lanes=%d: input-control report differs", lanes)
+		}
+		if cmp.Proposed != ref.Proposed {
+			t.Errorf("lanes=%d: proposed report differs", lanes)
+		}
+		if cmp.ProposedStats != ref.ProposedStats || cmp.InputControlStats != ref.InputControlStats {
+			t.Errorf("lanes=%d: build stats differ", lanes)
+		}
+		if cmp.MuxOverheadUW != ref.MuxOverheadUW {
+			t.Errorf("lanes=%d: mux overhead differs", lanes)
+		}
+	}
+
+	cfg := DefaultConfig()
+	cfg.Lanes = 32
+	if _, err := Compare(context.Background(), c, cfg); err == nil {
+		t.Error("Compare accepted an unsupported lane width")
+	}
+}

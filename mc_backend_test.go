@@ -6,6 +6,8 @@ import (
 	"context"
 	"encoding/json"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 // TestMCBackendRowEquivalence: the packed and scalar Monte-Carlo backends
@@ -92,7 +94,7 @@ func TestRecorderMCBatches(t *testing.T) {
 		if ev.Name != "mc-batch" || ev.Attrs.Kind == "" {
 			continue
 		}
-		if ev.Attrs.Lanes < 1 || ev.Attrs.Lanes > 64 {
+		if ev.Attrs.Lanes < 1 || ev.Attrs.Lanes > sim.WideLanes {
 			t.Errorf("mc-batch span carries %d lanes", ev.Attrs.Lanes)
 		}
 		kinds[ev.Attrs.Kind]++

@@ -137,6 +137,15 @@ type Config struct {
 	// (which itself defaults to packed), a non-zero value overrides both.
 	// All backends produce bit-identical solutions.
 	MC MCBackend
+	// Lanes sets the batch width of every packed kernel in the experiment
+	// — scan-power measurement, the Monte-Carlo build loops, and ATPG's
+	// compaction fault simulation. The zero value keeps the per-component
+	// settings (ATPG.Lanes, Proposed.Lanes, InputControl.Lanes), which
+	// themselves default to sim.WideLanes = 256; a non-zero value
+	// overrides all of them. Like Measure and MC this is purely a
+	// throughput knob: every kernel is bit-identical at every supported
+	// width (64 or 256).
+	Lanes int
 	// Proposed and InputControl configure the two engineered structures.
 	Proposed     core.Options
 	InputControl core.Options
@@ -285,6 +294,13 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 		Patterns:      len(res.Patterns),
 		FaultCoverage: res.Coverage(),
 	}
+	// mopts is the per-stage measurement options with the experiment's
+	// lane width applied.
+	mopts := func(stage string) power.MeasureOptions {
+		m := hooks.measureOptions(ctx, c.Name, stage)
+		m.Lanes = cfg.Lanes
+		return m
+	}
 	// stage runs one structure's build+measure under a guaranteed
 	// start/done pair: the done callback fires on the error paths too
 	// (with Failed set), so span accounting stays balanced however the
@@ -302,7 +318,7 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 	if err := stage(StageTraditional, func() error {
 		var err error
 		cmp.Traditional, err = cfg.Measure.measure(scan.New(c), res.Patterns, scan.Traditional(c),
-			cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageTraditional))
+			cfg.Leak, cfg.Cap, mopts(StageTraditional))
 		return err
 	}); err != nil {
 		return nil, err
@@ -316,6 +332,9 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 		if cfg.MC != "" {
 			icOpts.MC = core.MCBackend(cfg.MC)
 		}
+		if cfg.Lanes != 0 {
+			icOpts.Lanes = cfg.Lanes
+		}
 		var err error
 		icSol, err = core.BuildContext(ctx, c, icOpts)
 		if err != nil {
@@ -323,7 +342,7 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 		}
 		cmp.InputControlStats = icSol.Stats
 		cmp.InputControl, err = cfg.Measure.measure(scan.New(icSol.Circuit), res.Patterns, icSol.Cfg,
-			cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageInputControl))
+			cfg.Leak, cfg.Cap, mopts(StageInputControl))
 		return err
 	}); err != nil {
 		return nil, err
@@ -337,6 +356,9 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 		if cfg.MC != "" {
 			propOpts.MC = core.MCBackend(cfg.MC)
 		}
+		if cfg.Lanes != 0 {
+			propOpts.Lanes = cfg.Lanes
+		}
 		var err error
 		sol, err = core.BuildContext(ctx, c, propOpts)
 		if err != nil {
@@ -344,7 +366,7 @@ func compareWith(ctx context.Context, c *netlist.Circuit, cfg Config,
 		}
 		cmp.ProposedStats = sol.Stats
 		cmp.Proposed, err = cfg.Measure.measure(scan.New(sol.Circuit), res.Patterns, sol.Cfg,
-			cfg.Leak, cfg.Cap, hooks.measureOptions(ctx, c.Name, StageProposed))
+			cfg.Leak, cfg.Cap, mopts(StageProposed))
 		return err
 	}); err != nil {
 		return nil, err
